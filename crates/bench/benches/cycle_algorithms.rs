@@ -1,0 +1,58 @@
+//! Benchmarks the three maximum-cycle-ratio oracles (Howard, Lawler, Karp)
+//! on random strongly-cyclic graphs of growing size. Howard is the
+//! production algorithm; this bench documents why.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use maxplus::graph::RatioGraph;
+use maxplus::howard::max_cycle_ratio;
+use maxplus::karp::max_cycle_ratio_karp;
+use maxplus::lawler::max_cycle_ratio_lawler;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Random graph: a Hamiltonian tokenized ring (guaranteed liveness and
+/// strong connectivity) plus `3n` random extra edges.
+fn random_graph(n: usize, seed: u64) -> RatioGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = RatioGraph::with_capacity(n, 4 * n);
+    for v in 0..n as u32 {
+        g.add_edge(v, (v + 1) % n as u32, rng.gen_range(1.0..100.0), 1);
+    }
+    for _ in 0..3 * n {
+        let a = rng.gen_range(0..n) as u32;
+        let b = rng.gen_range(0..n) as u32;
+        // Zero-token edges are only added "forward" (a < b), so they form a
+        // DAG and no token-free (deadlocked) circuit can arise.
+        let tokens = if a < b { rng.gen_range(0..3) } else { rng.gen_range(1..3) };
+        g.add_edge(a, b, rng.gen_range(1.0..100.0), tokens);
+    }
+    g
+}
+
+fn bench_oracles(c: &mut Criterion) {
+    let mut group = c.benchmark_group("max_cycle_ratio");
+    for &n in &[32usize, 128, 512] {
+        let g = random_graph(n, 42);
+        // Sanity: all oracles agree before we time them.
+        let h = max_cycle_ratio(&g).unwrap().unwrap().ratio;
+        let l = max_cycle_ratio_lawler(&g).unwrap().unwrap().ratio;
+        assert!((h - l).abs() < 1e-6 * h);
+        group.bench_with_input(BenchmarkId::new("howard", n), &g, |b, g| {
+            b.iter(|| max_cycle_ratio(g).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("lawler", n), &g, |b, g| {
+            b.iter(|| max_cycle_ratio_lawler(g).unwrap())
+        });
+        if n <= 128 {
+            let k = max_cycle_ratio_karp(&g).unwrap().unwrap().ratio;
+            assert!((h - k).abs() < 1e-6 * h);
+            group.bench_with_input(BenchmarkId::new("karp_reduction", n), &g, |b, g| {
+                b.iter(|| max_cycle_ratio_karp(g).unwrap())
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_oracles);
+criterion_main!(benches);

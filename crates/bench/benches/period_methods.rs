@@ -1,0 +1,78 @@
+//! The Theorem 1 performance claim: the polynomial algorithm computes the
+//! overlap-model period in time independent of `m = lcm(m_i)`, while the
+//! full-TPN analysis grows with `m`. Replication factors are chosen
+//! pairwise-coprime so `m` explodes combinatorially.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use repwf_core::fixtures::example_c;
+use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
+use repwf_core::period::{compute_period, Method};
+
+/// Chain with the given replica counts; heterogeneous-ish times.
+fn instance(replicas: &[usize]) -> Instance {
+    let n = replicas.len();
+    let pipeline =
+        Pipeline::new((0..n).map(|i| 10.0 + i as f64).collect(), vec![8.0; n - 1]).unwrap();
+    let p: usize = replicas.iter().sum();
+    let mut platform = Platform::uniform(p, 1.0, 1.0);
+    for u in 0..p {
+        platform.set_speed(u, 1.0 + (u % 5) as f64 * 0.2);
+        for v in 0..p {
+            platform.set_bandwidth(u, v, 1.0 + ((u * 7 + v * 3) % 8) as f64 * 0.15);
+        }
+    }
+    let mut next = 0;
+    let assignment: Vec<Vec<usize>> = replicas
+        .iter()
+        .map(|&m| {
+            let procs: Vec<usize> = (next..next + m).collect();
+            next += m;
+            procs
+        })
+        .collect();
+    Instance::new(pipeline, platform, Mapping::new(assignment).unwrap()).unwrap()
+}
+
+fn bench_methods(c: &mut Criterion) {
+    let mut group = c.benchmark_group("period_methods");
+    // m = lcm: 6, 60, 2310 — the polynomial method should stay flat.
+    let cases: [(&str, Vec<usize>); 3] =
+        [("m=6", vec![2, 3]), ("m=60", vec![3, 4, 5]), ("m=2310", vec![2, 3, 5, 7, 11])];
+    for (name, replicas) in &cases {
+        let inst = instance(replicas);
+        let poly = compute_period(&inst, CommModel::Overlap, Method::Polynomial).unwrap();
+        let full = compute_period(&inst, CommModel::Overlap, Method::FullTpn).unwrap();
+        assert!((poly.period - full.period).abs() < 1e-9 * full.period);
+        group.bench_with_input(BenchmarkId::new("polynomial", name), &inst, |b, i| {
+            b.iter(|| compute_period(i, CommModel::Overlap, Method::Polynomial).unwrap())
+        });
+        group.bench_with_input(BenchmarkId::new("full_tpn", name), &inst, |b, i| {
+            b.iter(|| compute_period(i, CommModel::Overlap, Method::FullTpn).unwrap())
+        });
+    }
+    // Example C (m = 10395): the paper's decomposition showcase.
+    let c_inst = example_c();
+    group.bench_function("polynomial/example_c(m=10395)", |b| {
+        b.iter(|| compute_period(&c_inst, CommModel::Overlap, Method::Polynomial).unwrap())
+    });
+    group.sample_size(10).bench_function("full_tpn/example_c(m=10395)", |b| {
+        b.iter(|| compute_period(&c_inst, CommModel::Overlap, Method::FullTpn).unwrap())
+    });
+    group.finish();
+}
+
+fn bench_strict(c: &mut Criterion) {
+    let mut group = c.benchmark_group("strict_model");
+    for (name, replicas) in
+        [("m=6", vec![2usize, 3]), ("m=60", vec![3, 4, 5]), ("m=420", vec![3, 4, 5, 7])]
+    {
+        let inst = instance(&replicas);
+        group.bench_with_input(BenchmarkId::new("full_tpn", name), &inst, |b, i| {
+            b.iter(|| compute_period(i, CommModel::Strict, Method::FullTpn).unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_methods, bench_strict);
+criterion_main!(benches);

@@ -1,0 +1,56 @@
+//! Discrete-event simulator throughput: data sets simulated per second, and
+//! the cost of the TPN earliest-firing recurrence for comparison. The
+//! simulator is the fallback for strict-model instances whose TPN is too
+//! large, so its rate bounds the campaign's worst case.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use repwf_core::fixtures::{example_b, example_c};
+use repwf_core::model::CommModel;
+use repwf_sim::{simulate, SimOptions};
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator");
+    group.sample_size(20);
+    let cases = [("example_b", example_b()), ("example_c", example_c())];
+    for (name, inst) in &cases {
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let tag = match model {
+                CommModel::Overlap => "overlap",
+                CommModel::Strict => "strict",
+            };
+            let data_sets = 20_000u64;
+            group.throughput(Throughput::Elements(data_sets));
+            group.bench_with_input(
+                BenchmarkId::new(format!("sim_{tag}"), name),
+                inst,
+                |b, inst| {
+                    b.iter(|| {
+                        simulate(inst, model, &SimOptions { data_sets, record_ops: false })
+                            .period_estimate()
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+fn bench_tpn_recurrence(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpn_firing_recurrence");
+    let inst = example_b();
+    let built = repwf_core::tpn_build::build_tpn(
+        &inst,
+        CommModel::Overlap,
+        &repwf_core::tpn_build::BuildOptions { labels: false, max_transitions: 100_000 },
+    )
+    .unwrap();
+    let firings = 2000usize;
+    group.throughput(Throughput::Elements(firings as u64 * built.net.num_transitions() as u64));
+    group.bench_function("example_b_overlap", |b| {
+        b.iter(|| tpn::sim::simulate(&built.net, firings))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator, bench_tpn_recurrence);
+criterion_main!(benches);

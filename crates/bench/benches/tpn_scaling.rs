@@ -1,0 +1,58 @@
+//! TPN construction cost: the paper states the build is `O(m·n)`; this
+//! bench measures construction (and the follow-up critical-cycle analysis)
+//! as the row count `m` grows.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
+use repwf_core::tpn_build::{build_tpn, BuildOptions};
+
+fn instance(replicas: &[usize]) -> Instance {
+    let n = replicas.len();
+    let pipeline = Pipeline::new(vec![12.0; n], vec![6.0; n - 1]).unwrap();
+    let p: usize = replicas.iter().sum();
+    let platform = Platform::uniform(p, 1.0, 1.0);
+    let mut next = 0;
+    let assignment: Vec<Vec<usize>> = replicas
+        .iter()
+        .map(|&m| {
+            let procs: Vec<usize> = (next..next + m).collect();
+            next += m;
+            procs
+        })
+        .collect();
+    Instance::new(pipeline, platform, Mapping::new(assignment).unwrap()).unwrap()
+}
+
+fn bench_build(c: &mut Criterion) {
+    let mut group = c.benchmark_group("tpn_build");
+    group.sample_size(20);
+    let opts = BuildOptions { labels: false, max_transitions: 4_000_000 };
+    for (name, replicas, m) in [
+        ("m=60", vec![3usize, 4, 5], 60u64),
+        ("m=2310", vec![2, 3, 5, 7, 11], 2310),
+        ("m=27720", vec![8, 9, 5, 7, 11], 27720),
+    ] {
+        let inst = instance(&replicas);
+        let transitions = m * (2 * replicas.len() as u64 - 1);
+        group.throughput(Throughput::Elements(transitions));
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let tag = match model {
+                CommModel::Overlap => "overlap",
+                CommModel::Strict => "strict",
+            };
+            group.bench_with_input(
+                BenchmarkId::new(format!("build_{tag}"), name),
+                &inst,
+                |b, i| b.iter(|| build_tpn(i, model, &opts).unwrap()),
+            );
+        }
+        let built = build_tpn(&inst, CommModel::Overlap, &opts).unwrap();
+        group.bench_with_input(BenchmarkId::new("analyze_overlap", name), &built.net, |b, net| {
+            b.iter(|| tpn::analysis::period(net).unwrap().unwrap())
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_build);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! Regenerates the Gantt figures:
+//!
+//! * `a-strict` — Fig. 7: schedule of Example A under the strict model (the
+//!   paper's "schedule without critical resource": every resource idles);
+//! * `b-overlap` — Fig. 12: first periods of Example B (overlap model).
+//!
+//! Usage: `fig_gantt <a-strict|b-overlap> [--svg PATH] [--periods K]`
+//! Prints ASCII art; `--svg` additionally writes an SVG file.
+
+use repwf_core::fixtures::{example_a, example_b};
+use repwf_core::model::CommModel;
+use repwf_sim::gantt::build;
+use repwf_sim::{simulate, SimOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("a-strict");
+    let mut svg_path: Option<String> = None;
+    let mut periods = 3usize;
+    let mut k = 2;
+    while k < args.len() {
+        match args[k].as_str() {
+            "--svg" => {
+                k += 1;
+                svg_path = Some(args[k].clone());
+            }
+            "--periods" => {
+                k += 1;
+                periods = args[k].parse().expect("--periods K");
+            }
+            other => panic!("unknown argument {other}"),
+        }
+        k += 1;
+    }
+
+    let (inst, model, title) = match which {
+        "a-strict" => (example_a(), CommModel::Strict, "Fig. 7: Example A, strict one-port"),
+        "a-overlap" => (example_a(), CommModel::Overlap, "Example A, overlap one-port"),
+        "b-overlap" => (example_b(), CommModel::Overlap, "Fig. 12: Example B, overlap one-port"),
+        other => panic!("unknown chart {other}"),
+    };
+
+    let report =
+        repwf_core::period::compute_period(&inst, model, repwf_core::period::Method::Auto).unwrap();
+    let m = report.num_paths as u64;
+    let data_sets = m * (periods as u64 + 4);
+    let sim = simulate(&inst, model, &SimOptions { data_sets, record_ops: true });
+
+    // The paper's figures show the FIRST periods (0, 1, 2, …): the
+    // unthrottled early stages run ahead of completions, so the tail of the
+    // schedule contains no early-stage work at all.
+    let p_big = report.period * m as f64; // one full TPN period
+    let t0 = 0.0;
+    let t1 = periods as f64 * p_big;
+    let chart = build(&inst, model, &sim, t0, t1);
+
+    println!("{title}");
+    println!(
+        "period = {:.4} per data set (M_ct = {:.4}, critical resource: {})\n",
+        report.period,
+        report.mct,
+        if report.has_critical_resource(1e-9) { "yes" } else { "NO — every resource idles" }
+    );
+    print!("{}", chart.to_ascii(110));
+    println!("\nidle fractions over the window:");
+    for &row in &chart.rows {
+        let idle = chart.idle_fraction(row, t0);
+        println!("  {:?}: {:.1}% idle", row, idle * 100.0);
+    }
+    if let Some(path) = svg_path {
+        std::fs::write(&path, chart.to_svg()).expect("write svg");
+        println!("SVG written to {path}");
+    }
+}

@@ -1,0 +1,68 @@
+//! Regenerates the TPN figures as Graphviz DOT:
+//!
+//! * `overlap` — Fig. 4: complete overlap-model TPN of Example A (the
+//!   constraint families of Figs. 3a–3d are its place groups);
+//! * `strict` — Fig. 5b: complete strict-model TPN of Example A;
+//! * `strict-critical` — Fig. 8: same net with the critical circuit
+//!   highlighted (the paper's "complex critical cycles");
+//! * `overlap-critical` — overlap net with its critical circuit;
+//! * `subtpn-a-f1` — Fig. 9: sub-TPN of the `F_1` transfers of Example A;
+//! * `subtpn-b-f0` — Fig. 10: sub-TPN of the `F_0` transfers of Example B.
+//!
+//! Usage: `fig_tpn_dot <which> [output.dot]` (stdout by default).
+
+use repwf_core::fixtures::{example_a, example_b};
+use repwf_core::model::CommModel;
+use repwf_core::tpn_build::{build_tpn, comm_sub_tpn, BuildOptions};
+use tpn::dot::{to_dot, DotOptions};
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let which = args.get(1).map(String::as_str).unwrap_or("overlap");
+    let opts = BuildOptions::default();
+
+    let (net, highlight, title) = match which {
+        "overlap" => {
+            let built = build_tpn(&example_a(), CommModel::Overlap, &opts).unwrap();
+            (built.net, Vec::new(), "Fig. 4: Example A, overlap one-port TPN")
+        }
+        "strict" => {
+            let built = build_tpn(&example_a(), CommModel::Strict, &opts).unwrap();
+            (built.net, Vec::new(), "Fig. 5b: Example A, strict one-port TPN")
+        }
+        "overlap-critical" | "strict-critical" => {
+            let model = if which.starts_with("overlap") { CommModel::Overlap } else { CommModel::Strict };
+            let built = build_tpn(&example_a(), model, &opts).unwrap();
+            let sol = tpn::analysis::period(&built.net).unwrap().unwrap();
+            eprintln!(
+                "critical circuit: {} transitions, {} tokens, period {:.4} ({:.4} per data set)",
+                sol.critical.len(),
+                sol.tokens,
+                sol.period,
+                sol.period / built.rows as f64
+            );
+            (built.net, sol.critical, "Fig. 8: Example A critical circuit")
+        }
+        "subtpn-a-f1" => {
+            let sub = comm_sub_tpn(&example_a(), 1, &opts).unwrap();
+            (sub.net, Vec::new(), "Fig. 9: sub-TPN of F1 (Example A)")
+        }
+        "subtpn-b-f0" => {
+            let sub = comm_sub_tpn(&example_b(), 0, &opts).unwrap();
+            (sub.net, Vec::new(), "Fig. 10: sub-TPN of F0 (Example B)")
+        }
+        other => panic!("unknown figure {other}"),
+    };
+
+    let dot = to_dot(
+        &net,
+        &DotOptions { highlight, title: title.to_string(), left_to_right: true },
+    );
+    match args.get(2) {
+        Some(path) => {
+            std::fs::write(path, dot).expect("write dot file");
+            eprintln!("wrote {path}");
+        }
+        None => print!("{dot}"),
+    }
+}

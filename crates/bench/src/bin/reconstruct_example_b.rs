@@ -1,0 +1,54 @@
+//! Recovers the Example B (Fig. 6) transfer-time matrix by exhaustive
+//! search.
+//!
+//! Example B: `S0` on {P0,P1,P2}, `S1` on {P3..P6}, computation times 100,
+//! transfer times ∈ {100, 1000} (Figures 6/10). Published values (overlap
+//! one-port): `M_ct = 258.3` — the out-port of `P2`, i.e. `3100/12` — and
+//! actual period `291.7 = 3500/12`, i.e. *no* critical resource. This
+//! program tries all `2^12` {100,1000} matrices and prints those matching.
+
+use repwf_core::cycle_time::max_cycle_time;
+use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
+use repwf_core::period::{compute_period, Method};
+
+fn build(times: &[[f64; 4]; 3]) -> Instance {
+    let pipeline = Pipeline::new(vec![300.0, 400.0], vec![1.0]).unwrap();
+    let mut platform = Platform::uniform(7, 1.0, 1.0);
+    for u in 0..3 {
+        platform.set_speed(u, 3.0); // 300/3 = 100 per data set slot
+    }
+    for u in 3..7 {
+        platform.set_speed(u, 4.0);
+    }
+    for (s, row) in times.iter().enumerate() {
+        for (r, &t) in row.iter().enumerate() {
+            platform.set_bandwidth(s, 3 + r, 1.0 / t);
+        }
+    }
+    let mapping = Mapping::new(vec![vec![0, 1, 2], vec![3, 4, 5, 6]]).unwrap();
+    Instance::new(pipeline, platform, mapping).unwrap()
+}
+
+fn main() {
+    let mut found = 0;
+    for mask in 0u32..(1 << 12) {
+        let mut times = [[0.0f64; 4]; 3];
+        for k in 0..12 {
+            times[k / 4][k % 4] = if mask & (1 << k) != 0 { 1000.0 } else { 100.0 };
+        }
+        let inst = build(&times);
+        let (mct, who) = max_cycle_time(&inst, CommModel::Overlap);
+        if who.proc != 2 || (mct - 3100.0 / 12.0).abs() > 1e-6 {
+            continue;
+        }
+        let r = compute_period(&inst, CommModel::Overlap, Method::Polynomial).unwrap();
+        if (r.period - 3500.0 / 12.0).abs() > 1e-6 {
+            continue;
+        }
+        found += 1;
+        if found <= 12 {
+            println!("SOLUTION {found}: {times:?} period={:.4} mct={:.4}", r.period, r.mct);
+        }
+    }
+    println!("{found} matching matrices");
+}

@@ -1,0 +1,194 @@
+//! Per-resource cycle-times and the `M_ct` lower bound.
+//!
+//! The *cycle-time* `C_exec(u)` of a processor is the average time per data
+//! set it spends busy, in steady state. For the overlap model the three
+//! sub-resources (in-port, CPU, out-port) work concurrently, so
+//! `C_exec = max(C_in, C_comp, C_out)`; for the strict model they serialize:
+//! `C_exec = C_in + C_comp + C_out`. The maximum cycle-time
+//! `M_ct = max_u C_exec(u)` is a lower bound of the period for both models,
+//! and *equals* the period when no stage is replicated.
+//!
+//! All quantities are **per data set** (the paper's normalization: a
+//! processor replicated `m_i`-fold only serves every `m_i`-th data set, so
+//! its raw busy time is divided by the global data-set rate).
+
+use crate::model::{CommModel, Instance, ProcId, StageId};
+use crate::paths::lcm;
+
+/// The cycle-time decomposition of one mapped processor.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CycleTime {
+    /// The processor.
+    pub proc: ProcId,
+    /// The stage it runs.
+    pub stage: StageId,
+    /// Its position in the stage's round-robin order.
+    pub replica_index: usize,
+    /// Average per-data-set reception time `C_in` (0 for the first stage).
+    pub c_in: f64,
+    /// Average per-data-set computation time `C_comp`.
+    pub c_comp: f64,
+    /// Average per-data-set emission time `C_out` (0 for the last stage).
+    pub c_out: f64,
+}
+
+impl CycleTime {
+    /// `C_exec` under the given communication model.
+    pub fn exec(&self, model: CommModel) -> f64 {
+        match model {
+            CommModel::Overlap => self.c_in.max(self.c_comp).max(self.c_out),
+            CommModel::Strict => self.c_in + self.c_comp + self.c_out,
+        }
+    }
+}
+
+/// The set of senders of stage `i−1` that feed replica `β` of stage `i`
+/// (round-robin compatibility: rows `j ≡ β (mod m_i)` have sender
+/// `j mod m_{i−1}`), together with how often the full sender cycle repeats.
+///
+/// Returns `(sender_indices, period L = lcm(m_prev, m_i))`: over `L`
+/// consecutive data sets, replica `β` receives `L/m_i` files, one from each
+/// listed sender.
+pub fn partner_residues(m_prev: usize, m_cur: usize, beta: usize) -> (Vec<usize>, u64) {
+    let l = lcm(m_prev as u128, m_cur as u128).expect("small lcm") as u64;
+    let count = (l / m_cur as u64) as usize;
+    let senders = (0..count).map(|k| (beta + k * m_cur) % m_prev).collect();
+    (senders, l)
+}
+
+/// Computes the cycle-time decomposition of every mapped processor.
+pub fn cycle_times(inst: &Instance) -> Vec<CycleTime> {
+    let n = inst.num_stages();
+    let mut out = Vec::new();
+    for i in 0..n {
+        let procs = inst.mapping.procs(i);
+        let m_i = procs.len();
+        for (beta, &u) in procs.iter().enumerate() {
+            let c_comp = inst.comp_time(i, u) / m_i as f64;
+            let c_in = if i == 0 {
+                0.0
+            } else {
+                let prev = inst.mapping.procs(i - 1);
+                let (senders, l) = partner_residues(prev.len(), m_i, beta);
+                let total: f64 = senders.iter().map(|&a| inst.comm_time(i - 1, prev[a], u)).sum();
+                total / l as f64
+            };
+            let c_out = if i + 1 == n {
+                0.0
+            } else {
+                let next = inst.mapping.procs(i + 1);
+                let (receivers, l) = partner_residues(next.len(), m_i, beta);
+                let total: f64 = receivers.iter().map(|&b| inst.comm_time(i, u, next[b])).sum();
+                total / l as f64
+            };
+            out.push(CycleTime { proc: u, stage: i, replica_index: beta, c_in, c_comp, c_out });
+        }
+    }
+    out
+}
+
+/// The maximum cycle-time `M_ct` and the processor attaining it.
+pub fn max_cycle_time(inst: &Instance, model: CommModel) -> (f64, CycleTime) {
+    let all = cycle_times(inst);
+    let best = all
+        .into_iter()
+        .max_by(|a, b| a.exec(model).partial_cmp(&b.exec(model)).expect("finite cycle times"))
+        .expect("instance has at least one stage and processor");
+    (best.exec(model), best)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Mapping, Pipeline, Platform};
+
+    /// Example-B-like shape: stage 0 on 3 procs, stage 1 on 4 procs.
+    fn b_like() -> Instance {
+        let pipeline = Pipeline::new(vec![300.0, 400.0], vec![1.0]).unwrap();
+        let mut platform = Platform::uniform(7, 1.0, 1.0);
+        // Make each link distinguishable: b(u,v) = 1/(100·(u+1) + v) so that
+        // comm time = 100(u+1) + v.
+        for u in 0..3 {
+            for v in 3..7 {
+                platform.set_bandwidth(u, v, 1.0 / (100.0 * (u as f64 + 1.0) + v as f64));
+            }
+        }
+        let mapping = Mapping::new(vec![vec![0, 1, 2], vec![3, 4, 5, 6]]).unwrap();
+        Instance::new(pipeline, platform, mapping).unwrap()
+    }
+
+    #[test]
+    fn partner_residues_all_pairs_when_coprime() {
+        // m_prev = 3 senders, m_cur = 4 receivers: receiver β hears from all
+        // 3 senders over L = 12 data sets.
+        let (senders, l) = partner_residues(3, 4, 0);
+        assert_eq!(l, 12);
+        assert_eq!(senders, vec![0, 1, 2]);
+        let (senders, _) = partner_residues(3, 4, 1);
+        assert_eq!(senders, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn partner_residues_with_gcd() {
+        // m_prev = 4, m_cur = 6, gcd 2: receiver β only hears senders of the
+        // same parity.
+        let (senders, l) = partner_residues(4, 6, 0);
+        assert_eq!(l, 12);
+        assert_eq!(senders, vec![0, 2]);
+        let (senders, _) = partner_residues(4, 6, 1);
+        assert_eq!(senders, vec![1, 3]);
+    }
+
+    #[test]
+    fn comp_time_divided_by_replicas() {
+        let inst = b_like();
+        let cts = cycle_times(&inst);
+        let p0 = cts.iter().find(|c| c.proc == 0).unwrap();
+        assert!((p0.c_comp - 100.0).abs() < 1e-12); // 300 work / 3 replicas
+        let p3 = cts.iter().find(|c| c.proc == 3).unwrap();
+        assert!((p3.c_comp - 100.0).abs() < 1e-12); // 400 / 4
+    }
+
+    #[test]
+    fn out_port_averages_over_receivers() {
+        let inst = b_like();
+        let cts = cycle_times(&inst);
+        // P0 (sender index 0) sends rows j ≡ 0 mod 3: receivers j mod 4 =
+        // 0,3,2,1 → all four links 103,104,105,106: sum 418 over L=12.
+        let p0 = cts.iter().find(|c| c.proc == 0).unwrap();
+        assert!((p0.c_out - 418.0 / 12.0).abs() < 1e-12);
+        assert_eq!(p0.c_in, 0.0);
+    }
+
+    #[test]
+    fn in_port_averages_over_senders() {
+        let inst = b_like();
+        let cts = cycle_times(&inst);
+        // P3 (receiver index 0) hears from senders 0,1,2: links 103, 203, 303
+        // → sum 609 over L=12.
+        let p3 = cts.iter().find(|c| c.proc == 3).unwrap();
+        assert!((p3.c_in - 609.0 / 12.0).abs() < 1e-12);
+        assert_eq!(p3.c_out, 0.0);
+    }
+
+    #[test]
+    fn strict_sums_overlap_maxes() {
+        let inst = b_like();
+        let cts = cycle_times(&inst);
+        let p0 = cts.iter().find(|c| c.proc == 0).unwrap();
+        assert!((p0.exec(CommModel::Strict) - (100.0 + 418.0 / 12.0)).abs() < 1e-12);
+        assert!((p0.exec(CommModel::Overlap) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mct_picks_max() {
+        let inst = b_like();
+        // P2's links are 301..306-ish, the largest: it should be critical
+        // under both models.
+        let (_, who) = max_cycle_time(&inst, CommModel::Strict);
+        assert_eq!(who.proc, 2);
+        let (mct, _) = max_cycle_time(&inst, CommModel::Overlap);
+        // P2 out: links 303+304+305+306 = 1218 over 12 = 101.5 > comp 100.
+        assert!((mct - 1218.0 / 12.0).abs() < 1e-12);
+    }
+}

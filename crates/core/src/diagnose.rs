@@ -1,0 +1,186 @@
+//! Mapping diagnostics: warnings a practitioner would want before
+//! deploying a mapping (none of these are *errors* — the instance is
+//! valid — but each flags throughput left on the table).
+
+use crate::cycle_time::cycle_times;
+use crate::model::{CommModel, Instance};
+use std::fmt;
+
+/// A diagnostic finding about a mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Diagnostic {
+    /// Processors on the platform that no stage uses.
+    UnusedProcessors {
+        /// the idle processors
+        procs: Vec<usize>,
+    },
+    /// A replicated stage whose replica speeds differ by more than the
+    /// factor: under uniform round-robin, the slow replica dictates the
+    /// stage's rate (consider the weighted extension or dropping it).
+    ImbalancedReplicas {
+        /// the stage
+        stage: usize,
+        /// slowest/fastest computation-time ratio (> 1)
+        ratio: f64,
+    },
+    /// A stage whose replication cannot help because a neighbouring
+    /// communication port already saturates first (its port cycle-time
+    /// exceeds the stage's computation cycle-time).
+    PortBound {
+        /// the stage
+        stage: usize,
+        /// the saturated processor
+        proc: usize,
+    },
+    /// The mapping has no critical resource under the given model: the
+    /// period strictly exceeds every cycle-time (round-robin interference).
+    NoCriticalResource {
+        /// the model in which the gap was measured
+        model: CommModel,
+        /// relative gap `(P̂ − M_ct)/M_ct`
+        gap: f64,
+    },
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::UnusedProcessors { procs } => {
+                write!(f, "unused processors: {procs:?}")
+            }
+            Diagnostic::ImbalancedReplicas { stage, ratio } => write!(
+                f,
+                "stage {stage}: replica speeds spread {ratio:.2}x — uniform round-robin is dictated by the slowest"
+            ),
+            Diagnostic::PortBound { stage, proc } => write!(
+                f,
+                "stage {stage}: P{proc} is port-bound — more replicas cannot raise throughput"
+            ),
+            Diagnostic::NoCriticalResource { model, gap } => write!(
+                f,
+                "{model}: no critical resource — period is {:.1}% above the busiest resource",
+                gap * 100.0
+            ),
+        }
+    }
+}
+
+/// Runs all structural diagnostics (cheap; no TPN is built) plus the
+/// period-gap check when `period` (per data set) is supplied.
+pub fn diagnose(inst: &Instance, model: CommModel, period: Option<f64>) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+
+    // unused processors
+    let mut used = vec![false; inst.platform.num_procs()];
+    for i in 0..inst.num_stages() {
+        for &u in inst.mapping.procs(i) {
+            used[u] = true;
+        }
+    }
+    let idle: Vec<usize> = (0..used.len()).filter(|&u| !used[u]).collect();
+    if !idle.is_empty() {
+        out.push(Diagnostic::UnusedProcessors { procs: idle });
+    }
+
+    // replica imbalance
+    for i in 0..inst.num_stages() {
+        let times: Vec<f64> = inst.mapping.procs(i).iter().map(|&u| inst.comp_time(i, u)).collect();
+        if times.len() > 1 {
+            let fast = times.iter().copied().fold(f64::INFINITY, f64::min);
+            let slow = times.iter().copied().fold(0.0f64, f64::max);
+            if fast > 0.0 && slow / fast > 1.5 {
+                out.push(Diagnostic::ImbalancedReplicas { stage: i, ratio: slow / fast });
+            }
+        }
+    }
+
+    // port-bound stages
+    for ct in cycle_times(inst) {
+        let port = ct.c_in.max(ct.c_out);
+        if port > ct.c_comp && port > 0.0 && inst.mapping.replicas(ct.stage) > 1 {
+            out.push(Diagnostic::PortBound { stage: ct.stage, proc: ct.proc });
+        }
+    }
+
+    // gap
+    if let Some(p) = period {
+        let (mct, _) = crate::cycle_time::max_cycle_time(inst, model);
+        let gap = (p - mct) / mct;
+        if gap > 1e-7 {
+            out.push(Diagnostic::NoCriticalResource { model, gap });
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{example_a, example_b};
+    use crate::model::{Mapping, Pipeline, Platform};
+    use crate::period::{compute_period, Method};
+
+    #[test]
+    fn unused_processors_flagged() {
+        let pipeline = Pipeline::new(vec![1.0], vec![]).unwrap();
+        let platform = Platform::uniform(4, 1.0, 1.0);
+        let mapping = Mapping::new(vec![vec![1]]).unwrap();
+        let inst = Instance::new(pipeline, platform, mapping).unwrap();
+        let d = diagnose(&inst, CommModel::Overlap, None);
+        assert!(d.iter().any(|x| matches!(
+            x,
+            Diagnostic::UnusedProcessors { procs } if procs == &vec![0, 2, 3]
+        )));
+    }
+
+    #[test]
+    fn imbalance_flagged() {
+        let pipeline = Pipeline::new(vec![12.0], vec![]).unwrap();
+        let mut platform = Platform::uniform(2, 1.0, 1.0);
+        platform.set_speed(0, 4.0);
+        let mapping = Mapping::new(vec![vec![0, 1]]).unwrap();
+        let inst = Instance::new(pipeline, platform, mapping).unwrap();
+        let d = diagnose(&inst, CommModel::Overlap, None);
+        assert!(d.iter().any(|x| matches!(
+            x,
+            Diagnostic::ImbalancedReplicas { stage: 0, ratio } if (*ratio - 4.0).abs() < 1e-9
+        )));
+    }
+
+    #[test]
+    fn gap_flagged_on_example_b() {
+        let inst = example_b();
+        let p = compute_period(&inst, CommModel::Overlap, Method::Auto).unwrap().period;
+        let d = diagnose(&inst, CommModel::Overlap, Some(p));
+        assert!(d
+            .iter()
+            .any(|x| matches!(x, Diagnostic::NoCriticalResource { gap, .. } if *gap > 0.1)));
+    }
+
+    #[test]
+    fn no_gap_on_example_a_overlap() {
+        let inst = example_a();
+        let p = compute_period(&inst, CommModel::Overlap, Method::Auto).unwrap().period;
+        let d = diagnose(&inst, CommModel::Overlap, Some(p));
+        assert!(!d.iter().any(|x| matches!(x, Diagnostic::NoCriticalResource { .. })));
+    }
+
+    #[test]
+    fn port_bound_flagged() {
+        // Two receivers of a heavy file, negligible compute: the in-ports
+        // dominate their compute.
+        let pipeline = Pipeline::new(vec![0.1, 0.1], vec![10.0]).unwrap();
+        let platform = Platform::uniform(3, 1.0, 1.0);
+        let mapping = Mapping::new(vec![vec![0], vec![1, 2]]).unwrap();
+        let inst = Instance::new(pipeline, platform, mapping).unwrap();
+        let d = diagnose(&inst, CommModel::Overlap, None);
+        assert!(d.iter().any(|x| matches!(x, Diagnostic::PortBound { stage: 1, .. })));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let d = Diagnostic::ImbalancedReplicas { stage: 2, ratio: 3.0 };
+        let s = format!("{d}");
+        assert!(s.contains("stage 2") && s.contains("3.00x"));
+    }
+}

@@ -1,0 +1,436 @@
+//! The application / platform / mapping model (§2 of the paper).
+
+use std::fmt;
+
+/// Index of a processor on the platform.
+pub type ProcId = usize;
+/// Index of a stage of the pipeline.
+pub type StageId = usize;
+
+/// The two communication models of the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CommModel {
+    /// **Overlap one-port**: a processor simultaneously receives, computes
+    /// and sends (three independent sub-resources), each port serializing
+    /// its own transfers.
+    Overlap,
+    /// **Strict one-port**: receive, compute and send are mutually
+    /// exclusive on a processor.
+    Strict,
+}
+
+impl fmt::Display for CommModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CommModel::Overlap => write!(f, "overlap one-port"),
+            CommModel::Strict => write!(f, "strict one-port"),
+        }
+    }
+}
+
+/// Validation errors for [`Pipeline`], [`Mapping`] and [`Instance`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A pipeline needs at least one stage.
+    EmptyPipeline,
+    /// `files.len()` must equal `work.len() − 1`.
+    FileCountMismatch {
+        /// number of stages
+        stages: usize,
+        /// number of inter-stage files provided
+        files: usize,
+    },
+    /// Stage works and file sizes must be finite and non-negative.
+    InvalidSize(f64),
+    /// Every stage must be mapped onto at least one processor.
+    UnmappedStage(StageId),
+    /// A processor may execute at most one stage (and appear once in it).
+    ProcessorReused(ProcId),
+    /// A mapped processor does not exist on the platform.
+    UnknownProcessor(ProcId),
+    /// Processor speeds must be positive and finite.
+    InvalidSpeed {
+        /// the processor with the invalid speed
+        proc: ProcId,
+        /// the offending value
+        speed: f64,
+    },
+    /// A bandwidth used by the mapping must be positive and finite.
+    InvalidBandwidth {
+        /// sending processor
+        from: ProcId,
+        /// receiving processor
+        to: ProcId,
+        /// the offending value
+        bandwidth: f64,
+    },
+    /// Stage/mapping length mismatch.
+    StageCountMismatch {
+        /// stages in the pipeline
+        pipeline: usize,
+        /// stages in the mapping
+        mapping: usize,
+    },
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::EmptyPipeline => write!(f, "pipeline has no stage"),
+            ModelError::FileCountMismatch { stages, files } => {
+                write!(f, "{stages} stages need {} files, got {files}", stages - 1)
+            }
+            ModelError::InvalidSize(v) => write!(f, "invalid stage/file size {v}"),
+            ModelError::UnmappedStage(s) => write!(f, "stage {s} is mapped to no processor"),
+            ModelError::ProcessorReused(p) => {
+                write!(f, "processor {p} is assigned more than one stage slot")
+            }
+            ModelError::UnknownProcessor(p) => write!(f, "processor {p} not on the platform"),
+            ModelError::InvalidSpeed { proc, speed } => {
+                write!(f, "processor {proc} has invalid speed {speed}")
+            }
+            ModelError::InvalidBandwidth { from, to, bandwidth } => {
+                write!(f, "link {from}->{to} has invalid bandwidth {bandwidth}")
+            }
+            ModelError::StageCountMismatch { pipeline, mapping } => {
+                write!(f, "pipeline has {pipeline} stages but mapping covers {mapping}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ModelError {}
+
+/// A linear-chain streaming application: stage `S_k` costs `work[k]` FLOP
+/// and sends a file of `files[k]` bytes to `S_{k+1}`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pipeline {
+    work: Vec<f64>,
+    files: Vec<f64>,
+}
+
+impl Pipeline {
+    /// Builds a pipeline of `work.len()` stages with `work.len() − 1`
+    /// inter-stage files.
+    pub fn new(work: Vec<f64>, files: Vec<f64>) -> Result<Self, ModelError> {
+        if work.is_empty() {
+            return Err(ModelError::EmptyPipeline);
+        }
+        if files.len() != work.len() - 1 {
+            return Err(ModelError::FileCountMismatch { stages: work.len(), files: files.len() });
+        }
+        for &v in work.iter().chain(files.iter()) {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ModelError::InvalidSize(v));
+            }
+        }
+        Ok(Pipeline { work, files })
+    }
+
+    /// Number of stages `n`.
+    pub fn num_stages(&self) -> usize {
+        self.work.len()
+    }
+
+    /// Work (FLOP) of stage `k`.
+    pub fn work(&self, k: StageId) -> f64 {
+        self.work[k]
+    }
+
+    /// Size (bytes) of file `F_k` (produced by stage `k`, `k < n−1`).
+    pub fn file(&self, k: usize) -> f64 {
+        self.files[k]
+    }
+
+    /// All stage works.
+    pub fn works(&self) -> &[f64] {
+        &self.work
+    }
+
+    /// All file sizes.
+    pub fn file_sizes(&self) -> &[f64] {
+        &self.files
+    }
+}
+
+/// A fully heterogeneous platform: processor speeds and a full bandwidth
+/// matrix (links may be logical, e.g. through a central switch).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    speeds: Vec<f64>,
+    /// Row-major `p × p`; `bandwidth[u][v]` is the bandwidth of
+    /// `link(u → v)`. Diagonal unused.
+    bandwidth: Vec<f64>,
+}
+
+impl Platform {
+    /// A platform with the given speeds and bandwidth matrix (row-major,
+    /// `speeds.len()²` entries).
+    pub fn new(speeds: Vec<f64>, bandwidth: Vec<f64>) -> Self {
+        assert_eq!(bandwidth.len(), speeds.len() * speeds.len(), "bandwidth must be p×p");
+        Platform { speeds, bandwidth }
+    }
+
+    /// A homogeneous platform: `p` processors of speed `speed`, all links of
+    /// bandwidth `bw`.
+    pub fn uniform(p: usize, speed: f64, bw: f64) -> Self {
+        Platform { speeds: vec![speed; p], bandwidth: vec![bw; p * p] }
+    }
+
+    /// Number of processors `p`.
+    pub fn num_procs(&self) -> usize {
+        self.speeds.len()
+    }
+
+    /// Speed `Π_u`.
+    pub fn speed(&self, u: ProcId) -> f64 {
+        self.speeds[u]
+    }
+
+    /// Bandwidth `b_{u,v}`.
+    pub fn bandwidth(&self, u: ProcId, v: ProcId) -> f64 {
+        self.bandwidth[u * self.speeds.len() + v]
+    }
+
+    /// Sets one link's bandwidth.
+    pub fn set_bandwidth(&mut self, u: ProcId, v: ProcId, bw: f64) {
+        let p = self.speeds.len();
+        self.bandwidth[u * p + v] = bw;
+    }
+
+    /// Sets one processor's speed.
+    pub fn set_speed(&mut self, u: ProcId, speed: f64) {
+        self.speeds[u] = speed;
+    }
+}
+
+/// A mapping of stages to processors. `assignment[i]` lists the `m_i`
+/// processors running stage `S_i`, **in round-robin order**: data set `j` of
+/// stage `i` is processed by `assignment[i][j mod m_i]`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mapping {
+    assignment: Vec<Vec<ProcId>>,
+}
+
+impl Mapping {
+    /// Builds a mapping; checks that every stage has at least one processor
+    /// and no processor appears twice (a processor executes at most one
+    /// stage — rule enforced by the paper).
+    pub fn new(assignment: Vec<Vec<ProcId>>) -> Result<Self, ModelError> {
+        let mut seen = std::collections::BTreeSet::new();
+        for (i, procs) in assignment.iter().enumerate() {
+            if procs.is_empty() {
+                return Err(ModelError::UnmappedStage(i));
+            }
+            for &p in procs {
+                if !seen.insert(p) {
+                    return Err(ModelError::ProcessorReused(p));
+                }
+            }
+        }
+        Ok(Mapping { assignment })
+    }
+
+    /// One-to-one mapping: stage `i` on processor `procs[i]`.
+    pub fn one_to_one(procs: Vec<ProcId>) -> Result<Self, ModelError> {
+        Mapping::new(procs.into_iter().map(|p| vec![p]).collect())
+    }
+
+    /// Number of stages covered.
+    pub fn num_stages(&self) -> usize {
+        self.assignment.len()
+    }
+
+    /// Replication factor `m_i`.
+    pub fn replicas(&self, i: StageId) -> usize {
+        self.assignment[i].len()
+    }
+
+    /// The processors of stage `i`, in round-robin order.
+    pub fn procs(&self, i: StageId) -> &[ProcId] {
+        &self.assignment[i]
+    }
+
+    /// All replication factors `(m_0, …, m_{n−1})`.
+    pub fn replica_counts(&self) -> Vec<usize> {
+        self.assignment.iter().map(Vec::len).collect()
+    }
+
+    /// True iff no stage is replicated (`m_i = 1` for all `i`).
+    pub fn is_one_to_one(&self) -> bool {
+        self.assignment.iter().all(|a| a.len() == 1)
+    }
+
+    /// The underlying assignment.
+    pub fn assignment(&self) -> &[Vec<ProcId>] {
+        &self.assignment
+    }
+}
+
+/// A validated (pipeline, platform, mapping) triple — the input of every
+/// throughput algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Instance {
+    /// The application.
+    pub pipeline: Pipeline,
+    /// The platform.
+    pub platform: Platform,
+    /// The mapping.
+    pub mapping: Mapping,
+}
+
+impl Instance {
+    /// Bundles and cross-validates the three components: stage counts agree,
+    /// mapped processors exist, speeds of used processors and bandwidths of
+    /// used links are positive and finite.
+    pub fn new(pipeline: Pipeline, platform: Platform, mapping: Mapping) -> Result<Self, ModelError> {
+        if pipeline.num_stages() != mapping.num_stages() {
+            return Err(ModelError::StageCountMismatch {
+                pipeline: pipeline.num_stages(),
+                mapping: mapping.num_stages(),
+            });
+        }
+        for i in 0..mapping.num_stages() {
+            for &u in mapping.procs(i) {
+                if u >= platform.num_procs() {
+                    return Err(ModelError::UnknownProcessor(u));
+                }
+                let s = platform.speed(u);
+                if !(s.is_finite() && s > 0.0) {
+                    return Err(ModelError::InvalidSpeed { proc: u, speed: s });
+                }
+            }
+        }
+        // Every sender/receiver pair that the round-robin can produce must
+        // have a usable link.
+        for i in 0..mapping.num_stages().saturating_sub(1) {
+            for &u in mapping.procs(i) {
+                for &v in mapping.procs(i + 1) {
+                    let b = platform.bandwidth(u, v);
+                    if !(b.is_finite() && b > 0.0) {
+                        return Err(ModelError::InvalidBandwidth { from: u, to: v, bandwidth: b });
+                    }
+                }
+            }
+        }
+        Ok(Instance { pipeline, platform, mapping })
+    }
+
+    /// Number of stages `n`.
+    pub fn num_stages(&self) -> usize {
+        self.pipeline.num_stages()
+    }
+
+    /// Computation time of stage `i` on processor `u`: `w_i / Π_u`.
+    pub fn comp_time(&self, i: StageId, u: ProcId) -> f64 {
+        self.pipeline.work(i) / self.platform.speed(u)
+    }
+
+    /// Transfer time of file `F_i` over `link(u → v)`: `δ_i / b_{u,v}`.
+    pub fn comm_time(&self, i: usize, u: ProcId, v: ProcId) -> f64 {
+        self.pipeline.file(i) / self.platform.bandwidth(u, v)
+    }
+
+    /// The processor handling stage `i` of data set `j`
+    /// (round-robin: `procs_i[j mod m_i]`).
+    pub fn proc_for(&self, i: StageId, data_set: u64) -> ProcId {
+        let procs = self.mapping.procs(i);
+        procs[(data_set % procs.len() as u64) as usize]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small() -> Instance {
+        let pipeline = Pipeline::new(vec![4.0, 6.0], vec![2.0]).unwrap();
+        let platform = Platform::uniform(3, 2.0, 1.0);
+        let mapping = Mapping::new(vec![vec![0], vec![1, 2]]).unwrap();
+        Instance::new(pipeline, platform, mapping).unwrap()
+    }
+
+    #[test]
+    fn pipeline_validation() {
+        assert_eq!(Pipeline::new(vec![], vec![]), Err(ModelError::EmptyPipeline));
+        assert!(matches!(
+            Pipeline::new(vec![1.0, 2.0], vec![]),
+            Err(ModelError::FileCountMismatch { .. })
+        ));
+        assert!(matches!(
+            Pipeline::new(vec![1.0, f64::NAN], vec![1.0]),
+            Err(ModelError::InvalidSize(_))
+        ));
+        assert!(Pipeline::new(vec![5.0], vec![]).is_ok());
+    }
+
+    #[test]
+    fn mapping_rejects_reuse() {
+        assert_eq!(
+            Mapping::new(vec![vec![0], vec![0, 1]]),
+            Err(ModelError::ProcessorReused(0))
+        );
+        assert_eq!(Mapping::new(vec![vec![0], vec![]]), Err(ModelError::UnmappedStage(1)));
+    }
+
+    #[test]
+    fn instance_cross_checks() {
+        let pipeline = Pipeline::new(vec![1.0, 1.0], vec![1.0]).unwrap();
+        let platform = Platform::uniform(2, 1.0, 1.0);
+        let mapping = Mapping::new(vec![vec![0], vec![5]]).unwrap();
+        assert_eq!(
+            Instance::new(pipeline.clone(), platform.clone(), mapping),
+            Err(ModelError::UnknownProcessor(5))
+        );
+        let mapping3 = Mapping::new(vec![vec![0]]).unwrap();
+        assert!(matches!(
+            Instance::new(pipeline, platform, mapping3),
+            Err(ModelError::StageCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn zero_bandwidth_on_used_link_rejected() {
+        let pipeline = Pipeline::new(vec![1.0, 1.0], vec![1.0]).unwrap();
+        let mut platform = Platform::uniform(2, 1.0, 1.0);
+        platform.set_bandwidth(0, 1, 0.0);
+        let mapping = Mapping::new(vec![vec![0], vec![1]]).unwrap();
+        assert!(matches!(
+            Instance::new(pipeline, platform, mapping),
+            Err(ModelError::InvalidBandwidth { from: 0, to: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn zero_bandwidth_on_unused_link_ok() {
+        let pipeline = Pipeline::new(vec![1.0, 1.0], vec![1.0]).unwrap();
+        let mut platform = Platform::uniform(3, 1.0, 1.0);
+        platform.set_bandwidth(2, 0, 0.0); // proc 2 unused
+        let mapping = Mapping::new(vec![vec![0], vec![1]]).unwrap();
+        assert!(Instance::new(pipeline, platform, mapping).is_ok());
+    }
+
+    #[test]
+    fn times() {
+        let inst = small();
+        assert_eq!(inst.comp_time(0, 0), 2.0); // 4 / 2
+        assert_eq!(inst.comm_time(0, 0, 1), 2.0); // 2 / 1
+    }
+
+    #[test]
+    fn round_robin_assignment() {
+        let inst = small();
+        assert_eq!(inst.proc_for(1, 0), 1);
+        assert_eq!(inst.proc_for(1, 1), 2);
+        assert_eq!(inst.proc_for(1, 2), 1);
+    }
+
+    #[test]
+    fn one_to_one_detection() {
+        let inst = small();
+        assert!(!inst.mapping.is_one_to_one());
+        let m = Mapping::one_to_one(vec![3, 7]).unwrap();
+        assert!(m.is_one_to_one());
+        assert_eq!(m.replica_counts(), vec![1, 1]);
+    }
+}

@@ -1,0 +1,316 @@
+//! Theorem 1: the polynomial algorithm for the **overlap one-port** model.
+//!
+//! In the overlap TPN every place is either forward (row order) or stays
+//! within a column, so every circuit lives in a single column and the period
+//! is the worst column. Computation columns are trivial (one circuit per
+//! processor). For a communication column `F_i` with `m_i` senders and
+//! `m_{i+1}` receivers, the sub-TPN is a circulant graph on the `m` rows
+//! with steps `+m_i` (out-port circuits) and `+m_{i+1}` (in-port circuits).
+//! Writing `g = gcd(m_i, m_{i+1})`, `u = m_i/g`, `v = m_{i+1}/g`:
+//!
+//! * rows split into `g` connected components (residues mod `g`);
+//! * inside a component, reindexing rows by `q = (j−ρ)/g` gives steps `+u`
+//!   and `+v` on `Z_{m/g}`, and transfer times are periodic in `q mod uv` —
+//!   the component is `c = m / lcm(m_i, m_{i+1})` copies of a single `u×v`
+//!   **pattern** (the paper's Figures 13/14);
+//! * a circuit taking `a` sender-steps and `b` receiver-steps has token
+//!   count `(a·u + b·v)·g/m`, so on the pattern quotient the critical ratio
+//!   becomes a cycle-ratio problem with integer edge weights `u` and `v`:
+//!
+//! ```text
+//! P̂_col(ρ) = (1/g) · max over circuits of the pattern of Σtime / Σweight
+//! ```
+//!
+//! solved by Howard's iteration on `u·v` vertices and `2·u·v` edges. The
+//! full TPN (of possibly astronomical row count `m`) is never materialized;
+//! the overall complexity is `O(Σ_i poly(m_i·m_{i+1}))` as in the paper.
+//!
+//! The equivalence with the full-TPN analysis is property-tested in
+//! `crates/core/tests` and the workspace integration tests.
+
+use crate::cycle_time::{cycle_times, max_cycle_time};
+use crate::model::{CommModel, Instance, ProcId, StageId};
+use crate::paths::gcd;
+use maxplus::graph::RatioGraph;
+use maxplus::howard::max_cycle_ratio;
+use std::fmt;
+
+/// The bottleneck of an overlap-model mapping.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Bottleneck {
+    /// A computation: stage `stage` on processor `proc`.
+    Computation {
+        /// the stage
+        stage: StageId,
+        /// the processor
+        proc: ProcId,
+    },
+    /// A communication column: the critical circuit of one pattern of the
+    /// transfer of `F_file`.
+    Communication {
+        /// index of the file
+        file: usize,
+        /// residue class (connected component) mod `gcd(m_i, m_{i+1})`
+        residue: usize,
+        /// rows (data-set indices mod `lcm(m_i, m_{i+1})`) of the critical
+        /// pattern circuit
+        pattern_rows: Vec<u64>,
+    },
+}
+
+impl fmt::Display for Bottleneck {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Bottleneck::Computation { stage, proc } => write!(f, "computation of S{stage} on P{proc}"),
+            Bottleneck::Communication { file, residue, .. } => {
+                write!(f, "transfer of F{file} (component {residue})")
+            }
+        }
+    }
+}
+
+/// Per-column period contributions of the overlap analysis.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ColumnPeriod {
+    /// What the column is.
+    pub bottleneck: Bottleneck,
+    /// The column's contribution to the per-data-set period.
+    pub period: f64,
+}
+
+/// The full result of the Theorem 1 algorithm.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OverlapAnalysis {
+    /// The per-data-set period `P̂` (inverse throughput).
+    pub period: f64,
+    /// The critical column.
+    pub bottleneck: Bottleneck,
+    /// Every column's contribution (computation columns flattened to one
+    /// entry per processor).
+    pub columns: Vec<ColumnPeriod>,
+}
+
+/// The decomposition constants of one communication column
+/// (paper Figures 11/13/14; Example C: `(g,u,v,c) = (3,7,9,55)`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PatternInfo {
+    /// `g = gcd(m_i, m_{i+1})`: number of connected components.
+    pub g: usize,
+    /// `u = m_i / g`: pattern rows (senders per component).
+    pub u: usize,
+    /// `v = m_{i+1} / g`: pattern columns (receivers per component).
+    pub v: usize,
+    /// `c = m / lcm(m_i, m_{i+1})`: patterns per component (`None` if `m`
+    /// overflows).
+    pub c: Option<u128>,
+    /// `m = lcm(m_0,…,m_{n−1})` (`None` on overflow).
+    pub m: Option<u128>,
+}
+
+/// Computes the pattern decomposition constants for communication `F_i`.
+pub fn pattern_info(replicas: &[usize], i: usize) -> PatternInfo {
+    assert!(i + 1 < replicas.len());
+    let (mi, mn) = (replicas[i], replicas[i + 1]);
+    let g = gcd(mi as u128, mn as u128) as usize;
+    let m = crate::paths::num_paths(replicas);
+    let l = (mi / g) as u128 * mn as u128; // lcm(m_i, m_{i+1})
+    PatternInfo { g, u: mi / g, v: mn / g, c: m.map(|m| m / l), m }
+}
+
+/// Builds the pattern cycle-ratio graph for communication `F_i`, residue
+/// `rho`: `u·v` vertices `q` (rows `j = rho + g·q` of the component), a
+/// sender-step edge `q → q+u (mod uv)` of token-weight `u` and a
+/// receiver-step edge `q → q+v (mod uv)` of token-weight `v`, both carrying
+/// the transfer time of row `j` as cost.
+pub fn pattern_graph(inst: &Instance, i: usize, rho: usize) -> RatioGraph {
+    let procs_s = inst.mapping.procs(i);
+    let procs_r = inst.mapping.procs(i + 1);
+    let (mi, mn) = (procs_s.len(), procs_r.len());
+    let g = gcd(mi as u128, mn as u128) as usize;
+    let (u, v) = (mi / g, mn / g);
+    let nv = u * v;
+    let mut graph = RatioGraph::with_capacity(nv, 2 * nv);
+    for q in 0..nv {
+        let j = rho + g * q; // a representative row of this pattern cell
+        let sender = procs_s[j % mi];
+        let receiver = procs_r[j % mn];
+        let t = inst.comm_time(i, sender, receiver);
+        graph.add_edge(q as u32, ((q + u) % nv) as u32, t, u as u32);
+        graph.add_edge(q as u32, ((q + v) % nv) as u32, t, v as u32);
+    }
+    graph
+}
+
+/// The period contribution of communication column `F_i` (max over its `g`
+/// components), with the critical component and pattern circuit.
+pub fn comm_column_period(inst: &Instance, i: usize) -> ColumnPeriod {
+    let mi = inst.mapping.replicas(i);
+    let mn = inst.mapping.replicas(i + 1);
+    let g = gcd(mi as u128, mn as u128) as usize;
+    let mut best = ColumnPeriod {
+        bottleneck: Bottleneck::Communication { file: i, residue: 0, pattern_rows: Vec::new() },
+        period: f64::NEG_INFINITY,
+    };
+    for rho in 0..g {
+        let graph = pattern_graph(inst, i, rho);
+        let sol = max_cycle_ratio(&graph)
+            .expect("pattern graph is well-formed")
+            .expect("pattern graph always has circuits");
+        let period = sol.ratio / g as f64;
+        if period > best.period {
+            best = ColumnPeriod {
+                bottleneck: Bottleneck::Communication {
+                    file: i,
+                    residue: rho,
+                    pattern_rows: sol.cycle.iter().map(|&q| (rho + g * q as usize) as u64).collect(),
+                },
+                period,
+            };
+        }
+    }
+    best
+}
+
+/// Runs the full Theorem 1 analysis: the per-data-set period of the mapping
+/// under the **overlap one-port** model, in time polynomial in the
+/// replication factors (never in `m`).
+pub fn overlap_period(inst: &Instance) -> OverlapAnalysis {
+    let n = inst.num_stages();
+    let mut columns = Vec::new();
+    // Computation columns: processor u of stage i serves every m_i-th data
+    // set; its circuit contributes comp_time / m_i.
+    for i in 0..n {
+        let m_i = inst.mapping.replicas(i);
+        for &u in inst.mapping.procs(i) {
+            columns.push(ColumnPeriod {
+                bottleneck: Bottleneck::Computation { stage: i, proc: u },
+                period: inst.comp_time(i, u) / m_i as f64,
+            });
+        }
+    }
+    // Communication columns.
+    for i in 0..n.saturating_sub(1) {
+        columns.push(comm_column_period(inst, i));
+    }
+    let best = columns
+        .iter()
+        .max_by(|a, b| a.period.partial_cmp(&b.period).expect("finite periods"))
+        .expect("at least one column")
+        .clone();
+    OverlapAnalysis { period: best.period, bottleneck: best.bottleneck, columns }
+}
+
+/// Sanity relation used in tests and reports: the overlap period is at least
+/// the maximum cycle-time.
+pub fn gap_to_mct(inst: &Instance, analysis: &OverlapAnalysis) -> f64 {
+    let (mct, _) = max_cycle_time(inst, CommModel::Overlap);
+    analysis.period - mct
+}
+
+/// Convenience: `M_ct` from per-resource cycle times (overlap model).
+pub fn overlap_mct(inst: &Instance) -> f64 {
+    cycle_times(inst)
+        .iter()
+        .map(|c| c.exec(CommModel::Overlap))
+        .fold(f64::NEG_INFINITY, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Mapping, Pipeline, Platform};
+
+    fn chain_instance(replicas: &[usize], work: f64, file: f64) -> Instance {
+        let n = replicas.len();
+        let pipeline = Pipeline::new(vec![work; n], vec![file; n - 1]).unwrap();
+        let p: usize = replicas.iter().sum();
+        let platform = Platform::uniform(p, 1.0, 1.0);
+        let mut next = 0;
+        let assignment: Vec<Vec<usize>> = replicas
+            .iter()
+            .map(|&m| {
+                let procs: Vec<usize> = (next..next + m).collect();
+                next += m;
+                procs
+            })
+            .collect();
+        Instance::new(pipeline, platform, Mapping::new(assignment).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn pattern_info_example_c() {
+        let info = pattern_info(&[5, 21, 27, 11], 1);
+        assert_eq!(info.g, 3);
+        assert_eq!(info.u, 7);
+        assert_eq!(info.v, 9);
+        assert_eq!(info.m, Some(10395));
+        assert_eq!(info.c, Some(55));
+    }
+
+    #[test]
+    fn one_to_one_is_max_resource() {
+        let inst = chain_instance(&[1, 1, 1], 4.0, 2.0);
+        let a = overlap_period(&inst);
+        // comp 4 per stage, comm 2 per link; overlap: max = 4.
+        assert!((a.period - 4.0).abs() < 1e-12);
+        assert!(matches!(a.bottleneck, Bottleneck::Computation { .. }));
+    }
+
+    #[test]
+    fn replication_divides_compute() {
+        let inst = chain_instance(&[1, 4], 8.0, 0.5);
+        let a = overlap_period(&inst);
+        // Stage 1: 8/4 = 2; stage 0: 8; comm: sender port (0.5·4)/4 = 0.5.
+        assert!((a.period - 8.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sender_port_becomes_bottleneck() {
+        // One fast source feeding 3 receivers of a heavy stage: the source's
+        // out-port serializes all transfers.
+        let inst = chain_instance(&[1, 3], 0.1, 5.0);
+        let a = overlap_period(&inst);
+        // Out-port: three transfers of 5 per 3 data sets ⇒ 5 per data set.
+        assert!((a.period - 5.0).abs() < 1e-12, "period {}", a.period);
+        assert!(matches!(a.bottleneck, Bottleneck::Communication { file: 0, .. }));
+    }
+
+    #[test]
+    fn homogeneous_coprime_fanout() {
+        // 2 senders → 3 receivers, all transfer times 6. Sender port: each
+        // sends 3 files per 6 data sets: 3 busy units per data set... i.e.
+        // (6·3)/6 = 3. Receiver port: (6·2)/6 = 2. P̂ = 3.
+        let inst = chain_instance(&[2, 3], 0.0, 6.0);
+        let a = overlap_period(&inst);
+        assert!((a.period - 3.0).abs() < 1e-12, "period {}", a.period);
+    }
+
+    #[test]
+    fn components_are_independent() {
+        // m_i = m_{i+1} = 2 (g = 2): component ρ has its single link only.
+        let mut inst = chain_instance(&[2, 2], 0.0, 1.0);
+        // link P0→P2 slow (time 9), P1→P3 fast (1); cross links unused.
+        inst.platform.set_bandwidth(0, 2, 1.0 / 9.0);
+        let a = overlap_period(&inst);
+        // Component 0: transfer 9 every 2 data sets → 4.5.
+        assert!((a.period - 4.5).abs() < 1e-12, "period {}", a.period);
+        match &a.bottleneck {
+            Bottleneck::Communication { residue, .. } => assert_eq!(*residue, 0),
+            other => panic!("wrong bottleneck {other:?}"),
+        }
+    }
+
+    #[test]
+    fn mct_is_lower_bound() {
+        let inst = chain_instance(&[3, 4], 2.0, 7.0);
+        let a = overlap_period(&inst);
+        assert!(gap_to_mct(&inst, &a) >= -1e-9);
+    }
+
+    #[test]
+    fn single_stage_no_comm() {
+        let inst = chain_instance(&[3], 9.0, 0.0);
+        let a = overlap_period(&inst);
+        assert!((a.period - 3.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,306 @@
+//! The unified period-computation API.
+//!
+//! Every method returns the **per-data-set period** `P̂` (the paper reports
+//! all its numbers in this normalization; the raw TPN critical-cycle ratio
+//! is `m·P̂` since all `m` rows complete per TPN period).
+
+use crate::cycle_time::max_cycle_time;
+use crate::model::{CommModel, Instance};
+use crate::overlap_poly::{overlap_period, Bottleneck};
+use crate::paths::instance_num_paths;
+use crate::tpn_build::{build_tpn, BuildError, BuildOptions};
+use std::fmt;
+use tpn::analysis::AnalysisError;
+
+/// How to compute the period.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Method {
+    /// Pick automatically: `M_ct` fast path for one-to-one mappings, the
+    /// Theorem 1 polynomial algorithm for the overlap model, the full TPN
+    /// for the strict model.
+    #[default]
+    Auto,
+    /// Build the full `m × (2n−1)` TPN and run Howard's iteration. Exact
+    /// for both models; cost grows with `m = lcm(m_0,…,m_{n−1})`.
+    FullTpn,
+    /// Theorem 1 polynomial algorithm. **Overlap model only.**
+    Polynomial,
+    /// Earliest-firing simulation of the full TPN, estimating the period
+    /// from the asymptotic schedule. Exact analysis cross-check.
+    TpnSimulation,
+}
+
+impl fmt::Display for Method {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Method::Auto => write!(f, "auto"),
+            Method::FullTpn => write!(f, "full-tpn"),
+            Method::Polynomial => write!(f, "polynomial"),
+            Method::TpnSimulation => write!(f, "tpn-simulation"),
+        }
+    }
+}
+
+/// Result of a period computation.
+#[derive(Debug, Clone)]
+pub struct PeriodReport {
+    /// Per-data-set period `P̂` (inverse of the throughput).
+    pub period: f64,
+    /// Maximum resource cycle-time `M_ct` (per data set) — always ≤ `period`.
+    pub mct: f64,
+    /// Communication model analyzed.
+    pub model: CommModel,
+    /// Method actually used (after `Auto` resolution).
+    pub method: Method,
+    /// Number of distinct data-set paths `m` (TPN row count).
+    pub num_paths: u128,
+    /// Human-readable description of the critical resource / circuit.
+    pub critical: String,
+}
+
+impl PeriodReport {
+    /// Throughput `ρ = 1/P̂` in data sets per time unit.
+    pub fn throughput(&self) -> f64 {
+        1.0 / self.period
+    }
+
+    /// True iff some resource is critical: the period equals `M_ct` (within
+    /// `rel_tol`). When false the mapping exhibits the paper's surprising
+    /// regime where *every* resource idles during each period.
+    pub fn has_critical_resource(&self, rel_tol: f64) -> bool {
+        self.period - self.mct <= rel_tol * self.mct.abs().max(f64::MIN_POSITIVE)
+    }
+}
+
+/// Errors from [`compute_period`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PeriodError {
+    /// TPN construction failed (too large / overflow).
+    Build(BuildError),
+    /// TPN analysis failed (deadlock cannot happen for well-formed
+    /// mappings; numeric trouble is reported).
+    Analysis(String),
+    /// [`Method::Polynomial`] requested for the strict model, which has no
+    /// known polynomial algorithm (open problem per the paper).
+    PolynomialNeedsOverlap,
+}
+
+impl fmt::Display for PeriodError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PeriodError::Build(e) => write!(f, "{e}"),
+            PeriodError::Analysis(e) => write!(f, "{e}"),
+            PeriodError::PolynomialNeedsOverlap => {
+                write!(f, "the polynomial method only applies to the overlap one-port model")
+            }
+        }
+    }
+}
+
+impl std::error::Error for PeriodError {}
+
+impl From<BuildError> for PeriodError {
+    fn from(e: BuildError) -> Self {
+        PeriodError::Build(e)
+    }
+}
+
+impl From<AnalysisError> for PeriodError {
+    fn from(e: AnalysisError) -> Self {
+        PeriodError::Analysis(e.to_string())
+    }
+}
+
+/// Computes the per-data-set period of a mapped workflow.
+pub fn compute_period(inst: &Instance, model: CommModel, method: Method) -> Result<PeriodReport, PeriodError> {
+    compute_period_with(inst, model, method, &BuildOptions { labels: false, ..Default::default() })
+}
+
+/// [`compute_period`] with explicit TPN build options (labels, size cap).
+pub fn compute_period_with(
+    inst: &Instance,
+    model: CommModel,
+    method: Method,
+    opts: &BuildOptions,
+) -> Result<PeriodReport, PeriodError> {
+    let (mct, who) = max_cycle_time(inst, model);
+    let m = instance_num_paths(inst).ok_or(BuildError::PathCountOverflow)?;
+
+    let resolved = match method {
+        Method::Auto => {
+            if inst.mapping.is_one_to_one() {
+                // No replication: the period is dictated by the critical
+                // resource (§2 of the paper; also [3]).
+                return Ok(PeriodReport {
+                    period: mct,
+                    mct,
+                    model,
+                    method: Method::Auto,
+                    num_paths: 1,
+                    critical: format!("P{} (S{})", who.proc, who.stage),
+                });
+            }
+            match model {
+                CommModel::Overlap => Method::Polynomial,
+                CommModel::Strict => Method::FullTpn,
+            }
+        }
+        m => m,
+    };
+
+    match resolved {
+        Method::Polynomial => {
+            if model != CommModel::Overlap {
+                return Err(PeriodError::PolynomialNeedsOverlap);
+            }
+            let a = overlap_period(inst);
+            let critical = match &a.bottleneck {
+                Bottleneck::Computation { stage, proc } => format!("computation S{stage} on P{proc}"),
+                Bottleneck::Communication { file, residue, .. } => {
+                    format!("transfer of F{file}, component {residue}")
+                }
+            };
+            Ok(PeriodReport {
+                period: a.period,
+                mct,
+                model,
+                method: Method::Polynomial,
+                num_paths: m,
+                critical,
+            })
+        }
+        Method::FullTpn => {
+            let built = build_tpn(inst, model, opts)?;
+            let sol = tpn::analysis::period(&built.net)?
+                .expect("mapping TPNs always contain circuits");
+            let critical = if opts.labels {
+                let names: Vec<&str> = sol
+                    .critical
+                    .iter()
+                    .take(8)
+                    .map(|&t| built.net.transition(t).label.as_str())
+                    .collect();
+                format!("cycle[{}]: {}", sol.critical.len(), names.join(" -> "))
+            } else {
+                format!("cycle of {} transitions", sol.critical.len())
+            };
+            Ok(PeriodReport {
+                period: sol.period / m as f64,
+                mct,
+                model,
+                method: Method::FullTpn,
+                num_paths: m,
+                critical,
+            })
+        }
+        Method::TpnSimulation => {
+            let built = build_tpn(inst, model, opts)?;
+            // Enough firings to leave the transient: the transient of a TEG
+            // is bounded in practice by a few multiples of the row count.
+            let k = 12 * built.rows.max(8) + 256;
+            let schedule = tpn::sim::simulate(&built.net, k);
+            // Each last-column transition fires once per local period; in a
+            // net whose round-robin structure decouples into components the
+            // components free-run at different rates, and the sustainable
+            // period is the slowest — take the max over rows.
+            let window = k / 2;
+            let lambda = (0..built.rows)
+                .map(|r| {
+                    let t = built.at(r, built.cols - 1);
+                    schedule.period_estimate(t.0 as usize, window)
+                })
+                .fold(0.0f64, f64::max);
+            Ok(PeriodReport {
+                period: lambda / m as f64,
+                mct,
+                model,
+                method: Method::TpnSimulation,
+                num_paths: m,
+                critical: "estimated from simulated schedule".to_string(),
+            })
+        }
+        Method::Auto => unreachable!("Auto resolved above"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Mapping, Pipeline, Platform};
+
+    fn inst(replicas: &[usize], work: f64, file: f64) -> Instance {
+        let n = replicas.len();
+        let pipeline = Pipeline::new(vec![work; n], vec![file; n - 1]).unwrap();
+        let p: usize = replicas.iter().sum();
+        let platform = Platform::uniform(p, 1.0, 1.0);
+        let mut next = 0;
+        let assignment: Vec<Vec<usize>> = replicas
+            .iter()
+            .map(|&m| {
+                let procs: Vec<usize> = (next..next + m).collect();
+                next += m;
+                procs
+            })
+            .collect();
+        Instance::new(pipeline, platform, Mapping::new(assignment).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn one_to_one_fast_path() {
+        let i = inst(&[1, 1], 4.0, 9.0);
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let r = compute_period(&i, model, Method::Auto).unwrap();
+            assert!(r.has_critical_resource(1e-9));
+            let expected = match model {
+                CommModel::Overlap => 9.0,       // max(4, 9)
+                CommModel::Strict => 4.0 + 9.0,  // sender: comp + send
+            };
+            assert!((r.period - expected).abs() < 1e-12, "{model}: {}", r.period);
+        }
+    }
+
+    #[test]
+    fn methods_agree_overlap() {
+        let i = inst(&[2, 3], 5.0, 4.0);
+        let poly = compute_period(&i, CommModel::Overlap, Method::Polynomial).unwrap();
+        let full = compute_period(&i, CommModel::Overlap, Method::FullTpn).unwrap();
+        let sim = compute_period(&i, CommModel::Overlap, Method::TpnSimulation).unwrap();
+        assert!((poly.period - full.period).abs() < 1e-9, "{} vs {}", poly.period, full.period);
+        assert!((poly.period - sim.period).abs() < 1e-6, "{} vs {}", poly.period, sim.period);
+    }
+
+    #[test]
+    fn strict_full_tpn_runs() {
+        let i = inst(&[2, 3], 5.0, 4.0);
+        let full = compute_period(&i, CommModel::Strict, Method::FullTpn).unwrap();
+        let sim = compute_period(&i, CommModel::Strict, Method::TpnSimulation).unwrap();
+        assert!(full.period >= full.mct - 1e-9);
+        assert!((full.period - sim.period).abs() < 1e-6, "{} vs {}", full.period, sim.period);
+    }
+
+    #[test]
+    fn polynomial_rejects_strict() {
+        let i = inst(&[2, 2], 1.0, 1.0);
+        assert!(matches!(
+            compute_period(&i, CommModel::Strict, Method::Polynomial),
+            Err(PeriodError::PolynomialNeedsOverlap)
+        ));
+    }
+
+    #[test]
+    fn strict_at_least_overlap() {
+        // The strict model serializes more: its period can never beat the
+        // overlap model on the same instance.
+        let i = inst(&[2, 3, 2], 3.0, 2.0);
+        let ov = compute_period(&i, CommModel::Overlap, Method::Auto).unwrap();
+        let st = compute_period(&i, CommModel::Strict, Method::Auto).unwrap();
+        assert!(st.period >= ov.period - 1e-9);
+    }
+
+    #[test]
+    fn throughput_is_inverse() {
+        let i = inst(&[1, 2], 4.0, 1.0);
+        let r = compute_period(&i, CommModel::Overlap, Method::Auto).unwrap();
+        assert!((r.throughput() * r.period - 1.0).abs() < 1e-12);
+    }
+}

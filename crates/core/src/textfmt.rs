@@ -1,0 +1,236 @@
+//! A plain-text instance format, so workflows can be described in files and
+//! analyzed by the `analyze` CLI without writing Rust.
+//!
+//! ```text
+//! # comment
+//! workflow v1
+//! stages   <w_0> <w_1> … <w_{n-1}>
+//! files    <δ_0> … <δ_{n-2}>
+//! speeds   <Π_0> … <Π_{p-1}>
+//! bandwidth <u> <v> <b>         # repeated; unset links default to `default`
+//! default-bandwidth <b>
+//! map <stage> <proc> [<proc>…]  # round-robin order; one line per stage
+//! ```
+//!
+//! Writing and re-reading an instance reproduces it exactly on the
+//! processors/links the mapping uses (round-trip tested).
+
+use crate::model::{Instance, Mapping, ModelError, Pipeline, Platform};
+use std::fmt::Write as _;
+
+/// Parse errors for the text format.
+#[derive(Debug, Clone, PartialEq)]
+pub enum TextError {
+    /// Missing or wrong `workflow v1` header.
+    BadHeader,
+    /// Malformed line (1-based index).
+    BadLine(usize),
+    /// A required section is missing.
+    Missing(&'static str),
+    /// Model-level validation failed after parsing.
+    Model(ModelError),
+}
+
+impl std::fmt::Display for TextError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            TextError::BadHeader => write!(f, "expected `workflow v1` header"),
+            TextError::BadLine(n) => write!(f, "malformed line {n}"),
+            TextError::Missing(s) => write!(f, "missing section `{s}`"),
+            TextError::Model(e) => write!(f, "invalid instance: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for TextError {}
+
+impl From<ModelError> for TextError {
+    fn from(e: ModelError) -> Self {
+        TextError::Model(e)
+    }
+}
+
+/// Serializes an instance to the text format (lists every used link's
+/// bandwidth explicitly; unused links are emitted only when they differ
+/// from the default).
+pub fn to_text(inst: &Instance) -> String {
+    let mut out = String::from("workflow v1\n");
+    let works: Vec<String> = inst.pipeline.works().iter().map(f64::to_string).collect();
+    let _ = writeln!(out, "stages {}", works.join(" "));
+    let files: Vec<String> = inst.pipeline.file_sizes().iter().map(f64::to_string).collect();
+    if !files.is_empty() {
+        let _ = writeln!(out, "files {}", files.join(" "));
+    }
+    let p = inst.platform.num_procs();
+    let speeds: Vec<String> = (0..p).map(|u| inst.platform.speed(u).to_string()).collect();
+    let _ = writeln!(out, "speeds {}", speeds.join(" "));
+    let _ = writeln!(out, "default-bandwidth 1");
+    for u in 0..p {
+        for v in 0..p {
+            let b = inst.platform.bandwidth(u, v);
+            if u != v && b != 1.0 {
+                let _ = writeln!(out, "bandwidth {u} {v} {b}");
+            }
+        }
+    }
+    for (i, procs) in inst.mapping.assignment().iter().enumerate() {
+        let list: Vec<String> = procs.iter().map(usize::to_string).collect();
+        let _ = writeln!(out, "map {i} {}", list.join(" "));
+    }
+    out
+}
+
+/// Parses an instance from the text format.
+pub fn from_text(text: &str) -> Result<Instance, TextError> {
+    let mut works: Option<Vec<f64>> = None;
+    let mut files: Vec<f64> = Vec::new();
+    let mut speeds: Option<Vec<f64>> = None;
+    let mut default_bw = 1.0f64;
+    let mut links: Vec<(usize, usize, f64)> = Vec::new();
+    let mut maps: Vec<(usize, Vec<usize>)> = Vec::new();
+    let mut header = false;
+
+    for (idx, raw) in text.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = raw.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        if !header {
+            if line == "workflow v1" {
+                header = true;
+                continue;
+            }
+            return Err(TextError::BadHeader);
+        }
+        let mut it = line.split_whitespace();
+        let key = it.next().ok_or(TextError::BadLine(lineno))?;
+        let nums = |it: std::str::SplitWhitespace<'_>| -> Result<Vec<f64>, TextError> {
+            it.map(|s| s.parse::<f64>().map_err(|_| TextError::BadLine(lineno))).collect()
+        };
+        match key {
+            "stages" => works = Some(nums(it)?),
+            "files" => files = nums(it)?,
+            "speeds" => speeds = Some(nums(it)?),
+            "default-bandwidth" => {
+                default_bw =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(TextError::BadLine(lineno))?;
+            }
+            "bandwidth" => {
+                let u: usize =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(TextError::BadLine(lineno))?;
+                let v: usize =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(TextError::BadLine(lineno))?;
+                let b: f64 =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(TextError::BadLine(lineno))?;
+                links.push((u, v, b));
+            }
+            "map" => {
+                let stage: usize =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(TextError::BadLine(lineno))?;
+                let procs: Result<Vec<usize>, _> =
+                    it.map(|s| s.parse::<usize>().map_err(|_| TextError::BadLine(lineno))).collect();
+                maps.push((stage, procs?));
+            }
+            _ => return Err(TextError::BadLine(lineno)),
+        }
+    }
+    if !header {
+        return Err(TextError::BadHeader);
+    }
+
+    let works = works.ok_or(TextError::Missing("stages"))?;
+    let speeds = speeds.ok_or(TextError::Missing("speeds"))?;
+    let pipeline = Pipeline::new(works, files)?;
+    let p = speeds.len();
+    let mut platform = Platform::uniform(p, 1.0, default_bw);
+    for (u, speed) in speeds.into_iter().enumerate() {
+        platform.set_speed(u, speed);
+    }
+    for (u, v, b) in links {
+        if u >= p || v >= p {
+            return Err(TextError::Model(ModelError::UnknownProcessor(u.max(v))));
+        }
+        platform.set_bandwidth(u, v, b);
+    }
+    maps.sort_by_key(|&(stage, _)| stage);
+    let mut assignment = Vec::with_capacity(maps.len());
+    for (expect, (stage, procs)) in maps.into_iter().enumerate() {
+        if stage != expect {
+            return Err(TextError::Missing("map (one line per stage, in order)"));
+        }
+        assignment.push(procs);
+    }
+    let mapping = Mapping::new(assignment)?;
+    Ok(Instance::new(pipeline, platform, mapping)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fixtures::{example_a, example_b};
+
+    #[test]
+    fn round_trip_examples() {
+        for inst in [example_a(), example_b()] {
+            let text = to_text(&inst);
+            let back = from_text(&text).unwrap();
+            // Pipelines and mappings must match exactly.
+            assert_eq!(inst.pipeline, back.pipeline);
+            assert_eq!(inst.mapping, back.mapping);
+            // Platform must match on every used time.
+            for i in 0..inst.num_stages() {
+                for &u in inst.mapping.procs(i) {
+                    assert!((inst.comp_time(i, u) - back.comp_time(i, u)).abs() < 1e-12);
+                }
+            }
+            for i in 0..inst.num_stages() - 1 {
+                for &u in inst.mapping.procs(i) {
+                    for &v in inst.mapping.procs(i + 1) {
+                        assert!((inst.comm_time(i, u, v) - back.comm_time(i, u, v)).abs() < 1e-12);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn minimal_document() {
+        let text = "workflow v1\nstages 5 10\nfiles 2\nspeeds 1 1 1\nmap 0 0\nmap 1 1 2\n";
+        let inst = from_text(text).unwrap();
+        assert_eq!(inst.num_stages(), 2);
+        assert_eq!(inst.mapping.replica_counts(), vec![1, 2]);
+        assert_eq!(inst.comp_time(1, 1), 10.0);
+    }
+
+    #[test]
+    fn comments_ignored() {
+        let text = "# top\nworkflow v1\nstages 1\n# mid\nspeeds 1\nmap 0 0\n";
+        assert!(from_text(text).is_ok());
+    }
+
+    #[test]
+    fn errors_reported() {
+        assert_eq!(from_text("nope\n"), Err(TextError::BadHeader));
+        assert_eq!(
+            from_text("workflow v1\nstages x\n"),
+            Err(TextError::BadLine(2))
+        );
+        assert_eq!(
+            from_text("workflow v1\nspeeds 1\nmap 0 0\n"),
+            Err(TextError::Missing("stages"))
+        );
+        // out-of-order map lines
+        let text = "workflow v1\nstages 1 1\nfiles 1\nspeeds 1 1\nmap 1 1\nmap 0 0\n";
+        assert!(from_text(text).is_ok(), "sorted internally");
+        let text = "workflow v1\nstages 1 1\nfiles 1\nspeeds 1 1\nmap 0 0\nmap 2 1\n";
+        assert!(matches!(from_text(text), Err(TextError::Missing(_))));
+    }
+
+    #[test]
+    fn model_errors_surface() {
+        // processor reused across stages
+        let text = "workflow v1\nstages 1 1\nfiles 1\nspeeds 1 1\nmap 0 0\nmap 1 0\n";
+        assert!(matches!(from_text(text), Err(TextError::Model(ModelError::ProcessorReused(0)))));
+    }
+}

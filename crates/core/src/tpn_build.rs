@@ -1,0 +1,360 @@
+//! §3 of the paper: the timed Petri net model of a mapping.
+//!
+//! The TPN is a grid of `m = lcm(m_0,…,m_{n−1})` rows — one per path of
+//! Proposition 1 — and `2n−1` columns alternating computations
+//! (column `2i`: stage `S_i`) and communications (column `2i+1`: file `F_i`).
+//! Dependences (places) are:
+//!
+//! 1. **Row order** (both models): within a row, each operation feeds the
+//!    next (Fig. 3a).
+//! 2. **Overlap model** (Figs. 3b–3d): per-column round-robin circuits — one
+//!    circuit per computing processor (column `2i`), per sending port
+//!    (column `2i+1`, grouped by sender) and per receiving port (column
+//!    `2i+1`, grouped by receiver). Each circuit carries one token on its
+//!    wrap-around place.
+//! 3. **Strict model** (Fig. 5a): one circuit per *processor* chaining its
+//!    receive→compute→send sequences across its rows (the send of one row
+//!    precedes the receive of the processor's next row), one token on the
+//!    wrap-around.
+//!
+//! Construction is `O(m·n)`, as stated in the paper.
+
+use crate::model::{CommModel, Instance};
+use crate::paths::instance_num_paths;
+use std::fmt;
+use tpn::net::{TimedEventGraph, TransitionId};
+
+/// Options for TPN construction.
+#[derive(Debug, Clone)]
+pub struct BuildOptions {
+    /// Attach human-readable labels to transitions and places (costs memory
+    /// on large nets; required for DOT export and Gantt labelling).
+    pub labels: bool,
+    /// Refuse to build nets with more transitions than this.
+    pub max_transitions: usize,
+}
+
+impl Default for BuildOptions {
+    fn default() -> Self {
+        BuildOptions { labels: true, max_transitions: 4_000_000 }
+    }
+}
+
+/// Errors from TPN construction.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BuildError {
+    /// `m·(2n−1)` exceeds [`BuildOptions::max_transitions`] (the strict
+    /// model has no known polynomial alternative; use the simulator).
+    TooLarge {
+        /// Number of TPN rows `m`.
+        m: u128,
+        /// Required number of transitions.
+        transitions: u128,
+        /// The configured cap.
+        cap: usize,
+    },
+    /// `lcm(m_0,…,m_{n−1})` overflows `u128`.
+    PathCountOverflow,
+}
+
+impl fmt::Display for BuildError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BuildError::TooLarge { m, transitions, cap } => write!(
+                f,
+                "TPN would need {transitions} transitions ({m} rows), above the cap of {cap}"
+            ),
+            BuildError::PathCountOverflow => write!(f, "lcm of replication factors overflows u128"),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// The built net plus the grid book-keeping needed to interpret it.
+#[derive(Debug, Clone)]
+pub struct BuiltTpn {
+    /// The timed event graph.
+    pub net: TimedEventGraph,
+    /// Number of rows `m`.
+    pub rows: usize,
+    /// Number of columns `2n−1`.
+    pub cols: usize,
+}
+
+impl BuiltTpn {
+    /// Transition at grid position (row `j`, column `c`).
+    pub fn at(&self, j: usize, c: usize) -> TransitionId {
+        debug_assert!(j < self.rows && c < self.cols);
+        TransitionId((j * self.cols + c) as u32)
+    }
+
+    /// Grid position of a transition.
+    pub fn pos(&self, t: TransitionId) -> (usize, usize) {
+        let i = t.0 as usize;
+        (i / self.cols, i % self.cols)
+    }
+
+    /// All transitions of one column (a computation stage or a file
+    /// transfer), top row first.
+    pub fn column(&self, c: usize) -> Vec<TransitionId> {
+        (0..self.rows).map(|j| self.at(j, c)).collect()
+    }
+}
+
+fn checked_dims(inst: &Instance, opts: &BuildOptions) -> Result<(usize, usize), BuildError> {
+    let m = instance_num_paths(inst).ok_or(BuildError::PathCountOverflow)?;
+    let cols = (2 * inst.num_stages() - 1) as u128;
+    let transitions = m.checked_mul(cols).ok_or(BuildError::PathCountOverflow)?;
+    if transitions > opts.max_transitions as u128 {
+        return Err(BuildError::TooLarge { m, transitions, cap: opts.max_transitions });
+    }
+    Ok((m as usize, cols as usize))
+}
+
+/// Builds the full TPN of a mapping under the given communication model.
+pub fn build_tpn(inst: &Instance, model: CommModel, opts: &BuildOptions) -> Result<BuiltTpn, BuildError> {
+    let (rows, cols) = checked_dims(inst, opts)?;
+    let n = inst.num_stages();
+    let mut net = TimedEventGraph::with_capacity(rows * cols, rows * cols * 3);
+
+    // --- transitions, row-major ---
+    for j in 0..rows {
+        for c in 0..cols {
+            let i = c / 2;
+            if c % 2 == 0 {
+                let u = inst.mapping.procs(i)[j % inst.mapping.replicas(i)];
+                let label = if opts.labels { format!("S{i}/P{u} r{j}") } else { String::new() };
+                net.add_transition(inst.comp_time(i, u), label);
+            } else {
+                let u = inst.mapping.procs(i)[j % inst.mapping.replicas(i)];
+                let v = inst.mapping.procs(i + 1)[j % inst.mapping.replicas(i + 1)];
+                let label = if opts.labels { format!("F{i}:P{u}>P{v} r{j}") } else { String::new() };
+                net.add_transition(inst.comm_time(i, u, v), label);
+            }
+        }
+    }
+    let at = |j: usize, c: usize| TransitionId((j * cols + c) as u32);
+
+    // --- constraint 1: row order (both models) ---
+    for j in 0..rows {
+        for c in 0..cols - 1 {
+            let label = if opts.labels { format!("row{j} c{c}>{}", c + 1) } else { String::new() };
+            net.add_place(at(j, c), at(j, c + 1), 0, label);
+        }
+    }
+
+    // Adds the round-robin circuit over `group` (ascending rows) in column
+    // `c`: chain places with 0 tokens, wrap-around with 1 token. A
+    // single-row group becomes a tokenized self-loop.
+    let circuit = |net: &mut TimedEventGraph, group: &[usize], c_from: usize, c_to: usize, tag: &str| {
+        for w in 0..group.len() {
+            let (a, b) = (group[w], group[(w + 1) % group.len()]);
+            let tokens = u32::from(w + 1 == group.len());
+            let label = if opts.labels { format!("{tag} r{a}>r{b}") } else { String::new() };
+            net.add_place(at(a, c_from), at(b, c_to), tokens, label);
+        }
+    };
+
+    match model {
+        CommModel::Overlap => {
+            for i in 0..n {
+                let m_i = inst.mapping.replicas(i);
+                // constraint 2: computation round-robin per processor
+                for beta in 0..m_i {
+                    let group: Vec<usize> = (beta..rows).step_by(m_i).collect();
+                    circuit(&mut net, &group, 2 * i, 2 * i, &format!("cpu S{i}#{beta}"));
+                }
+                if i + 1 < n {
+                    let m_next = inst.mapping.replicas(i + 1);
+                    // constraint 3: out-port round-robin per sender
+                    for alpha in 0..m_i {
+                        let group: Vec<usize> = (alpha..rows).step_by(m_i).collect();
+                        circuit(&mut net, &group, 2 * i + 1, 2 * i + 1, &format!("out F{i}#{alpha}"));
+                    }
+                    // constraint 4: in-port round-robin per receiver
+                    for beta in 0..m_next {
+                        let group: Vec<usize> = (beta..rows).step_by(m_next).collect();
+                        circuit(&mut net, &group, 2 * i + 1, 2 * i + 1, &format!("in F{i}#{beta}"));
+                    }
+                }
+            }
+        }
+        CommModel::Strict => {
+            for i in 0..n {
+                let m_i = inst.mapping.replicas(i);
+                // Last operation of the processor in a row, first in the next.
+                let last_col = if i + 1 == n { 2 * i } else { 2 * i + 1 };
+                let first_col = if i == 0 { 0 } else { 2 * i - 1 };
+                for beta in 0..m_i {
+                    let group: Vec<usize> = (beta..rows).step_by(m_i).collect();
+                    circuit(&mut net, &group, last_col, first_col, &format!("proc S{i}#{beta}"));
+                }
+            }
+        }
+    }
+
+    Ok(BuiltTpn { net, rows, cols })
+}
+
+/// Builds only the sub-TPN of communication `F_i` under the overlap model
+/// (the restriction of the full TPN to column `2i+1`): `m` transfer
+/// transitions with the sender and receiver round-robin circuits. This is
+/// the object of the paper's Figures 9 and 10 and of the Theorem 1
+/// decomposition.
+pub fn comm_sub_tpn(inst: &Instance, i: usize, opts: &BuildOptions) -> Result<BuiltTpn, BuildError> {
+    assert!(i + 1 < inst.num_stages(), "file F_i requires stage i+1");
+    let m = instance_num_paths(inst).ok_or(BuildError::PathCountOverflow)?;
+    if m > opts.max_transitions as u128 {
+        return Err(BuildError::TooLarge { m, transitions: m, cap: opts.max_transitions });
+    }
+    let rows = m as usize;
+    let m_i = inst.mapping.replicas(i);
+    let m_next = inst.mapping.replicas(i + 1);
+    let mut net = TimedEventGraph::with_capacity(rows, 2 * rows);
+    for j in 0..rows {
+        let u = inst.mapping.procs(i)[j % m_i];
+        let v = inst.mapping.procs(i + 1)[j % m_next];
+        let label = if opts.labels { format!("F{i}:P{u}>P{v} r{j}") } else { String::new() };
+        net.add_transition(inst.comm_time(i, u, v), label);
+    }
+    let circuit = |net: &mut TimedEventGraph, group: &[usize], tag: &str| {
+        for w in 0..group.len() {
+            let (a, b) = (group[w], group[(w + 1) % group.len()]);
+            let tokens = u32::from(w + 1 == group.len());
+            let label = if opts.labels { format!("{tag} r{a}>r{b}") } else { String::new() };
+            net.add_place(TransitionId(a as u32), TransitionId(b as u32), tokens, label);
+        }
+    };
+    for alpha in 0..m_i {
+        let group: Vec<usize> = (alpha..rows).step_by(m_i).collect();
+        circuit(&mut net, &group, &format!("out#{alpha}"));
+    }
+    for beta in 0..m_next {
+        let group: Vec<usize> = (beta..rows).step_by(m_next).collect();
+        circuit(&mut net, &group, &format!("in#{beta}"));
+    }
+    Ok(BuiltTpn { net, rows, cols: 1 })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Mapping, Pipeline, Platform};
+
+    fn abc_instance(replicas: &[usize]) -> Instance {
+        let n = replicas.len();
+        let pipeline = Pipeline::new(vec![6.0; n], vec![3.0; n.saturating_sub(1)]).unwrap();
+        let p: usize = replicas.iter().sum();
+        let platform = Platform::uniform(p, 1.0, 1.0);
+        let mut next = 0;
+        let assignment: Vec<Vec<usize>> = replicas
+            .iter()
+            .map(|&m| {
+                let v: Vec<usize> = (next..next + m).collect();
+                next += m;
+                v
+            })
+            .collect();
+        Instance::new(pipeline, platform, Mapping::new(assignment).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn grid_dimensions() {
+        let inst = abc_instance(&[1, 2, 3, 1]);
+        let built = build_tpn(&inst, CommModel::Overlap, &BuildOptions::default()).unwrap();
+        assert_eq!(built.rows, 6);
+        assert_eq!(built.cols, 7);
+        assert_eq!(built.net.num_transitions(), 42);
+    }
+
+    #[test]
+    fn place_counts_overlap() {
+        // Row places: m(2n−2). Circuits: per column, one place per row:
+        // compute columns n·m places, comm columns 2m each (out + in).
+        let inst = abc_instance(&[1, 2, 3, 1]);
+        let built = build_tpn(&inst, CommModel::Overlap, &BuildOptions::default()).unwrap();
+        let (m, n) = (6, 4);
+        let expected = m * (2 * n - 2) + n * m + (n - 1) * 2 * m;
+        assert_eq!(built.net.num_places(), expected);
+    }
+
+    #[test]
+    fn place_counts_strict() {
+        // Row places m(2n−2) + one serialization place per row per stage.
+        let inst = abc_instance(&[1, 2, 3, 1]);
+        let built = build_tpn(&inst, CommModel::Strict, &BuildOptions::default()).unwrap();
+        let (m, n) = (6, 4);
+        assert_eq!(built.net.num_places(), m * (2 * n - 2) + n * m);
+    }
+
+    #[test]
+    fn token_count_matches_circuits() {
+        // One token per circuit. Overlap: Σ m_i (cpu) + Σ_{i<n-1} (m_i +
+        // m_{i+1}) (ports). Strict: Σ m_i.
+        let inst = abc_instance(&[1, 2, 3, 1]);
+        let ov = build_tpn(&inst, CommModel::Overlap, &BuildOptions::default()).unwrap();
+        assert_eq!(ov.net.total_tokens(), (1 + 2 + 3 + 1) + (1 + 2) + (2 + 3) + (3 + 1));
+        let st = build_tpn(&inst, CommModel::Strict, &BuildOptions::default()).unwrap();
+        assert_eq!(st.net.total_tokens(), 1 + 2 + 3 + 1);
+    }
+
+    #[test]
+    fn no_sourceless_transitions() {
+        let inst = abc_instance(&[2, 3]);
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let built = build_tpn(&inst, model, &BuildOptions::default()).unwrap();
+            assert!(built.net.lint().is_empty(), "{model}: {:?}", built.net.lint());
+        }
+    }
+
+    #[test]
+    fn single_stage_pipeline() {
+        let inst = abc_instance(&[3]);
+        let built = build_tpn(&inst, CommModel::Overlap, &BuildOptions::default()).unwrap();
+        assert_eq!(built.cols, 1);
+        assert_eq!(built.rows, 3);
+        // Three processors, each a tokenized self-loop.
+        assert_eq!(built.net.num_places(), 3);
+        assert_eq!(built.net.total_tokens(), 3);
+    }
+
+    #[test]
+    fn cap_enforced() {
+        let inst = abc_instance(&[4, 5, 7, 9]); // m = 1260, transitions = 8820
+        let opts = BuildOptions { labels: false, max_transitions: 100 };
+        match build_tpn(&inst, CommModel::Overlap, &opts) {
+            Err(BuildError::TooLarge { m, .. }) => assert_eq!(m, 1260),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn grid_round_trip() {
+        let inst = abc_instance(&[1, 2]);
+        let built = build_tpn(&inst, CommModel::Overlap, &BuildOptions::default()).unwrap();
+        for j in 0..built.rows {
+            for c in 0..built.cols {
+                assert_eq!(built.pos(built.at(j, c)), (j, c));
+            }
+        }
+    }
+
+    #[test]
+    fn sub_tpn_shape() {
+        let inst = abc_instance(&[2, 3]);
+        let sub = comm_sub_tpn(&inst, 0, &BuildOptions::default()).unwrap();
+        assert_eq!(sub.net.num_transitions(), 6);
+        // 6 sender-circuit places + 6 receiver-circuit places.
+        assert_eq!(sub.net.num_places(), 12);
+        assert_eq!(sub.net.total_tokens(), 5); // 2 sender + 3 receiver circuits
+    }
+
+    #[test]
+    fn labels_can_be_disabled() {
+        let inst = abc_instance(&[1, 2]);
+        let opts = BuildOptions { labels: false, ..Default::default() };
+        let built = build_tpn(&inst, CommModel::Overlap, &opts).unwrap();
+        assert!(built.net.transitions().iter().all(|t| t.label.is_empty()));
+    }
+}

@@ -1,0 +1,200 @@
+//! Parallel experiment campaigns: period vs. `M_ct` on random instances.
+//!
+//! Each experiment draws an instance, computes the critical-resource bound
+//! `M_ct` and the actual period, and records whether a critical resource
+//! exists (`P̂ = M_ct`) or not (`P̂ > M_ct`, the paper's surprising regime).
+//! Work is distributed over threads with crossbeam's scoped spawns; results
+//! are merged under a `parking_lot` mutex.
+
+use crate::sampler::{sample_instance, GenConfig};
+use parking_lot::Mutex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use repwf_core::model::CommModel;
+use repwf_core::period::{compute_period_with, Method, PeriodError};
+use repwf_core::tpn_build::{BuildError, BuildOptions};
+use repwf_sim::{simulate, SimOptions};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// How one experiment was resolved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Resolution {
+    /// Exact analysis (polynomial algorithm or full TPN).
+    Exact,
+    /// The TPN exceeded the size cap; the period was estimated with the
+    /// discrete-event simulator.
+    Simulated,
+}
+
+/// Outcome of one experiment.
+#[derive(Debug, Clone)]
+pub struct ExperimentOutcome {
+    /// Seed used to draw the instance (reproducible).
+    pub seed: u64,
+    /// Critical-resource bound.
+    pub mct: f64,
+    /// Actual per-data-set period.
+    pub period: f64,
+    /// Resolution method.
+    pub resolution: Resolution,
+    /// Number of TPN rows `m` of the instance.
+    pub num_paths: u128,
+}
+
+impl ExperimentOutcome {
+    /// Relative gap `(P̂ − M_ct)/M_ct` (0 when a critical resource exists).
+    pub fn gap(&self) -> f64 {
+        ((self.period - self.mct) / self.mct).max(0.0)
+    }
+
+    /// True iff no resource is critical: the period strictly exceeds `M_ct`.
+    pub fn no_critical_resource(&self, rel_tol: f64) -> bool {
+        self.gap() > rel_tol
+    }
+}
+
+/// Aggregated campaign result.
+#[derive(Debug, Clone)]
+pub struct CampaignResult {
+    /// All outcomes (one per experiment), in seed order.
+    pub outcomes: Vec<ExperimentOutcome>,
+}
+
+impl CampaignResult {
+    /// Number of experiments without a critical resource.
+    pub fn count_no_critical(&self, rel_tol: f64) -> usize {
+        self.outcomes.iter().filter(|o| o.no_critical_resource(rel_tol)).count()
+    }
+
+    /// Maximum relative gap over all experiments.
+    pub fn max_gap(&self) -> f64 {
+        self.outcomes.iter().map(ExperimentOutcome::gap).fold(0.0, f64::max)
+    }
+
+    /// Number of experiments resolved by simulation fallback.
+    pub fn count_simulated(&self) -> usize {
+        self.outcomes.iter().filter(|o| o.resolution == Resolution::Simulated).count()
+    }
+}
+
+/// Runs one experiment (public for reuse by benches/tests).
+pub fn run_one(cfg: &GenConfig, model: CommModel, seed: u64, cap: usize) -> ExperimentOutcome {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let inst = sample_instance(cfg, &mut rng);
+    let opts = BuildOptions { labels: false, max_transitions: cap };
+    let method = match model {
+        CommModel::Overlap => Method::Polynomial,
+        CommModel::Strict => Method::FullTpn,
+    };
+    match compute_period_with(&inst, model, method, &opts) {
+        Ok(report) => ExperimentOutcome {
+            seed,
+            mct: report.mct,
+            period: report.period,
+            resolution: Resolution::Exact,
+            num_paths: report.num_paths,
+        },
+        Err(PeriodError::Build(BuildError::TooLarge { m, .. })) => {
+            // Simulator fallback: long enough to pass the transient.
+            let (mct, _) = repwf_core::cycle_time::max_cycle_time(&inst, model);
+            let data_sets = 20_000u64;
+            let sim = simulate(&inst, model, &SimOptions { data_sets, record_ops: false });
+            ExperimentOutcome {
+                seed,
+                mct,
+                period: sim.exact_period(1e-9).unwrap_or_else(|| sim.period_estimate()),
+                resolution: Resolution::Simulated,
+                num_paths: m,
+            }
+        }
+        Err(e) => panic!("experiment {seed} failed: {e}"),
+    }
+}
+
+/// Runs `count` experiments for a configuration in parallel over `threads`
+/// workers (seeds `seed_base..seed_base+count`).
+pub fn run_campaign(
+    cfg: &GenConfig,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    threads: usize,
+    cap: usize,
+) -> CampaignResult {
+    let next = AtomicU64::new(0);
+    let results: Mutex<Vec<Option<ExperimentOutcome>>> = Mutex::new(vec![None; count]);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads.max(1) {
+            scope.spawn(|_| loop {
+                let k = next.fetch_add(1, Ordering::Relaxed);
+                if k >= count as u64 {
+                    break;
+                }
+                let outcome = run_one(cfg, model, seed_base + k, cap);
+                results.lock()[k as usize] = Some(outcome);
+            });
+        }
+    })
+    .expect("campaign worker panicked");
+    let outcomes = results
+        .into_inner()
+        .into_iter()
+        .map(|o| o.expect("all experiments completed"))
+        .collect();
+    CampaignResult { outcomes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sampler::Range;
+
+    fn small_cfg() -> GenConfig {
+        GenConfig { stages: 2, procs: 7, comp: Range::constant(1.0), comm: Range::new(5.0, 10.0) }
+    }
+
+    #[test]
+    fn outcomes_respect_lower_bound() {
+        let res = run_campaign(&small_cfg(), CommModel::Overlap, 20, 100, 4, 200_000);
+        assert_eq!(res.outcomes.len(), 20);
+        for o in &res.outcomes {
+            assert!(o.period >= o.mct - 1e-9 * o.mct, "seed {}: {} < {}", o.seed, o.period, o.mct);
+        }
+    }
+
+    #[test]
+    fn deterministic_given_seeds() {
+        let a = run_campaign(&small_cfg(), CommModel::Strict, 8, 7, 4, 200_000);
+        let b = run_campaign(&small_cfg(), CommModel::Strict, 8, 7, 2, 200_000);
+        for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
+            assert_eq!(x.seed, y.seed);
+            assert!((x.period - y.period).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn gap_is_nonnegative_and_consistent() {
+        let res = run_campaign(&small_cfg(), CommModel::Strict, 10, 55, 4, 200_000);
+        let n = res.count_no_critical(1e-7);
+        assert!(n <= res.outcomes.len());
+        if n > 0 {
+            assert!(res.max_gap() > 0.0);
+        }
+    }
+
+    #[test]
+    fn simulation_fallback_engages_on_tiny_cap() {
+        let cfg = GenConfig {
+            stages: 3,
+            procs: 9,
+            comp: Range::new(5.0, 15.0),
+            comm: Range::new(5.0, 15.0),
+        };
+        // Cap of 1 transition forces the simulator for any replicated draw.
+        let res = run_campaign(&cfg, CommModel::Strict, 6, 3, 2, 1);
+        assert!(res.count_simulated() > 0);
+        for o in &res.outcomes {
+            assert!(o.period >= o.mct - 1e-6 * o.mct);
+        }
+    }
+}

@@ -1,0 +1,24 @@
+//! **repwf-gen** — random instance generation and the paper's experiment
+//! campaign (§5, Table 2).
+//!
+//! * [`sampler`] — draws random (pipeline, platform, mapping) instances with
+//!   computation/communication times uniform in configured ranges, exactly
+//!   like the paper's setup ("all relevant parameters … randomly chosen
+//!   uniformly within the ranges indicated in Table 2").
+//! * [`campaign`] — runs batches of experiments in parallel (crossbeam
+//!   scoped threads), comparing the actual period against the critical
+//!   resource cycle-time `M_ct` for both communication models.
+//! * [`table2`] — the twelve experiment families of Table 2, with the
+//!   paper's counts, and a CSV/console reporter.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod campaign;
+pub mod sampler;
+pub mod stats;
+pub mod table2;
+
+pub use campaign::{run_campaign, CampaignResult, ExperimentOutcome};
+pub use sampler::{sample_instance, GenConfig, Range};
+pub use table2::{table2_rows, Table2Row};

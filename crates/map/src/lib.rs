@@ -1,0 +1,341 @@
+//! **repwf-map** — mapping heuristics for throughput maximization.
+//!
+//! Finding the mapping that maximizes throughput is NP-hard even without
+//! replication (Benoit & Robert, JPDC 2008 — reference \[3\] of the paper);
+//! the paper computes the throughput of a *given* mapping. This crate closes
+//! the loop: it searches mapping space using `repwf-core`'s period oracle as
+//! the objective, providing
+//!
+//! * [`greedy`] — a work-proportional greedy constructor,
+//! * [`local_search`] — hill climbing over add/remove/move/swap moves,
+//! * [`optimize`] — multi-start search combining both.
+//!
+//! A subtlety worth noting (and property-tested): because replicas serve
+//! data sets in **round-robin**, adding a slow processor to a stage can
+//! *decrease* throughput — the slow replica handles the same share as the
+//! fast ones. The local search therefore also considers removing replicas.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod annealing;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
+use repwf_core::period::{compute_period, Method, PeriodError};
+
+/// Options for the mapping search.
+#[derive(Debug, Clone)]
+pub struct SearchOptions {
+    /// Communication model to optimize for.
+    pub model: CommModel,
+    /// Number of random restarts in [`optimize`].
+    pub restarts: usize,
+    /// Maximum local-search passes per restart.
+    pub max_passes: usize,
+    /// RNG seed.
+    pub seed: u64,
+}
+
+impl Default for SearchOptions {
+    fn default() -> Self {
+        SearchOptions { model: CommModel::Overlap, restarts: 4, max_passes: 40, seed: 0 }
+    }
+}
+
+/// A search outcome.
+#[derive(Debug, Clone)]
+pub struct SearchResult {
+    /// Best mapping found.
+    pub mapping: Mapping,
+    /// Its per-data-set period.
+    pub period: f64,
+    /// Number of oracle evaluations spent.
+    pub evaluations: usize,
+}
+
+/// Evaluates a candidate mapping; `None` when the mapping is invalid or the
+/// oracle fails (e.g. TPN too large for the strict model).
+pub fn evaluate(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    mapping: &Mapping,
+    model: CommModel,
+) -> Option<f64> {
+    let inst = Instance::new(pipeline.clone(), platform.clone(), mapping.clone()).ok()?;
+    match compute_period(&inst, model, Method::Auto) {
+        Ok(r) => Some(r.period),
+        Err(PeriodError::Build(_)) => {
+            // TPN too large: fall back to the simulator estimate.
+            let sim = repwf_sim::simulate(
+                &inst,
+                model,
+                &repwf_sim::SimOptions { data_sets: 4000, record_ops: false },
+            );
+            Some(sim.exact_period(1e-9).unwrap_or_else(|| sim.period_estimate()))
+        }
+        Err(_) => None,
+    }
+}
+
+/// Greedy constructor: processors (fastest first) are handed one by one to
+/// the stage with the worst current computation bottleneck
+/// `w_i / Σ_{u ∈ stage} Π_u` (a round-robin-oblivious proxy that is cheap
+/// and surprisingly strong as a seed for local search).
+pub fn greedy(pipeline: &Pipeline, platform: &Platform) -> Mapping {
+    let n = pipeline.num_stages();
+    let mut by_speed: Vec<usize> = (0..platform.num_procs()).collect();
+    by_speed.sort_by(|&a, &b| platform.speed(b).partial_cmp(&platform.speed(a)).expect("finite"));
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n];
+    let mut speed_sum = vec![0.0f64; n];
+    // First give every stage its single fastest processor (feasibility).
+    let mut it = by_speed.into_iter();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&a, &b| pipeline.work(b).partial_cmp(&pipeline.work(a)).expect("finite"));
+    for &i in &order {
+        let u = it.next().expect("p >= n checked by caller");
+        assignment[i].push(u);
+        speed_sum[i] += platform.speed(u);
+    }
+    // Then hand out the rest to the current bottleneck stage.
+    for u in it {
+        let i = (0..n)
+            .max_by(|&a, &b| {
+                (pipeline.work(a) / speed_sum[a])
+                    .partial_cmp(&(pipeline.work(b) / speed_sum[b]))
+                    .expect("finite")
+            })
+            .expect("n >= 1");
+        assignment[i].push(u);
+        speed_sum[i] += platform.speed(u);
+    }
+    Mapping::new(assignment).expect("greedy builds valid mappings")
+}
+
+/// A uniformly random feasible mapping (each stage ≥ 1 processor; remaining
+/// processors assigned to random stages or left unused with probability
+/// `p_unused`).
+pub fn random_mapping<R: Rng>(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    p_unused: f64,
+    rng: &mut R,
+) -> Mapping {
+    let n = pipeline.num_stages();
+    let p = platform.num_procs();
+    let mut procs: Vec<usize> = (0..p).collect();
+    for i in (1..p).rev() {
+        let j = rng.gen_range(0..=i);
+        procs.swap(i, j);
+    }
+    let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); n];
+    for (k, &u) in procs.iter().enumerate() {
+        if k < n {
+            assignment[k].push(u);
+        } else if rng.gen::<f64>() >= p_unused {
+            assignment[rng.gen_range(0..n)].push(u);
+        }
+    }
+    Mapping::new(assignment).expect("random mapping is valid")
+}
+
+/// Hill climbing from `start`: tries add-unused / remove / move / swap moves
+/// until a full pass yields no improvement (or `max_passes` is hit).
+pub fn local_search(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    start: Mapping,
+    opts: &SearchOptions,
+) -> SearchResult {
+    let n = pipeline.num_stages();
+    let p = platform.num_procs();
+    let mut best = start;
+    let mut evals = 0usize;
+    let mut best_period = match evaluate(pipeline, platform, &best, opts.model) {
+        Some(v) => {
+            evals += 1;
+            v
+        }
+        None => f64::INFINITY,
+    };
+
+    for _ in 0..opts.max_passes {
+        let mut improved = false;
+        let current = best.assignment().to_vec();
+        let used: Vec<bool> = {
+            let mut used = vec![false; p];
+            for procs in &current {
+                for &u in procs {
+                    used[u] = true;
+                }
+            }
+            used
+        };
+        let mut candidates: Vec<Vec<Vec<usize>>> = Vec::new();
+        // add an unused processor to any stage
+        for u in (0..p).filter(|&u| !used[u]) {
+            for i in 0..n {
+                let mut cand = current.clone();
+                cand[i].push(u);
+                candidates.push(cand);
+            }
+        }
+        // remove a replica (keep ≥ 1)
+        for i in 0..n {
+            if current[i].len() > 1 {
+                for k in 0..current[i].len() {
+                    let mut cand = current.clone();
+                    cand[i].remove(k);
+                    candidates.push(cand);
+                }
+            }
+        }
+        // move a replica to another stage
+        for i in 0..n {
+            if current[i].len() > 1 {
+                for k in 0..current[i].len() {
+                    for j in 0..n {
+                        if j != i {
+                            let mut cand = current.clone();
+                            let u = cand[i].remove(k);
+                            cand[j].push(u);
+                            candidates.push(cand);
+                        }
+                    }
+                }
+            }
+        }
+        // swap two replicas across stages
+        for i in 0..n {
+            for j in (i + 1)..n {
+                for k in 0..current[i].len() {
+                    for l in 0..current[j].len() {
+                        let mut cand = current.clone();
+                        let a = cand[i][k];
+                        let b = cand[j][l];
+                        cand[i][k] = b;
+                        cand[j][l] = a;
+                        candidates.push(cand);
+                    }
+                }
+            }
+        }
+
+        for cand in candidates {
+            let Ok(mapping) = Mapping::new(cand) else { continue };
+            let Some(period) = evaluate(pipeline, platform, &mapping, opts.model) else {
+                continue;
+            };
+            evals += 1;
+            if period < best_period - 1e-12 {
+                best_period = period;
+                best = mapping;
+                improved = true;
+            }
+        }
+        if !improved {
+            break;
+        }
+    }
+    SearchResult { mapping: best, period: best_period, evaluations: evals }
+}
+
+/// Multi-start optimization: greedy seed plus `restarts` random seeds, each
+/// refined by [`local_search`]; returns the best result.
+pub fn optimize(pipeline: &Pipeline, platform: &Platform, opts: &SearchOptions) -> SearchResult {
+    assert!(
+        platform.num_procs() >= pipeline.num_stages(),
+        "need at least one processor per stage"
+    );
+    let mut rng = StdRng::seed_from_u64(opts.seed);
+    let mut best = local_search(pipeline, platform, greedy(pipeline, platform), opts);
+    for _ in 0..opts.restarts {
+        let start = random_mapping(pipeline, platform, 0.3, &mut rng);
+        let res = local_search(pipeline, platform, start, opts);
+        if res.period < best.period {
+            let evals = best.evaluations + res.evaluations;
+            best = SearchResult { evaluations: evals, ..res };
+        } else {
+            best.evaluations += res.evaluations;
+        }
+    }
+    best
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup(works: Vec<f64>, speeds: Vec<f64>) -> (Pipeline, Platform) {
+        let n = works.len();
+        let pipeline = Pipeline::new(works, vec![0.001; n - 1]).unwrap();
+        let p = speeds.len();
+        let mut platform = Platform::uniform(p, 1.0, 1000.0);
+        for (u, s) in speeds.into_iter().enumerate() {
+            platform.set_speed(u, s);
+        }
+        (pipeline, platform)
+    }
+
+    #[test]
+    fn greedy_replicates_heavy_stage() {
+        let (pipe, plat) = setup(vec![1.0, 100.0], vec![1.0; 6]);
+        let m = greedy(&pipe, &plat);
+        assert!(m.replicas(1) > m.replicas(0), "{:?}", m.replica_counts());
+    }
+
+    #[test]
+    fn greedy_assigns_fastest_to_heaviest() {
+        let (pipe, plat) = setup(vec![10.0, 1.0], vec![1.0, 5.0]);
+        let m = greedy(&pipe, &plat);
+        assert_eq!(m.procs(0), &[1], "heaviest stage gets the fast processor");
+    }
+
+    #[test]
+    fn local_search_improves_or_equals() {
+        let (pipe, plat) = setup(vec![4.0, 9.0, 2.0], vec![1.0, 1.0, 2.0, 0.5, 1.5]);
+        let start = Mapping::new(vec![vec![0], vec![1], vec![2]]).unwrap();
+        let base = evaluate(&pipe, &plat, &start, CommModel::Overlap).unwrap();
+        let res = local_search(&pipe, &plat, start, &SearchOptions::default());
+        assert!(res.period <= base + 1e-12);
+        assert!(res.evaluations > 0);
+    }
+
+    #[test]
+    fn round_robin_slow_replica_can_hurt() {
+        // One stage, fast proc (speed 10) + very slow proc (speed 0.1):
+        // alone: period 1; with the slow replica round-robin: the slow one
+        // needs 100 per data set it serves → period max(1, 100)/2 = 50.
+        let pipeline = Pipeline::new(vec![10.0], vec![]).unwrap();
+        let mut platform = Platform::uniform(2, 10.0, 1.0);
+        platform.set_speed(1, 0.1);
+        let solo = Mapping::new(vec![vec![0]]).unwrap();
+        let both = Mapping::new(vec![vec![0, 1]]).unwrap();
+        let p_solo = evaluate(&pipeline, &platform, &solo, CommModel::Overlap).unwrap();
+        let p_both = evaluate(&pipeline, &platform, &both, CommModel::Overlap).unwrap();
+        assert!(p_both > p_solo, "adding the slow replica must hurt: {p_both} vs {p_solo}");
+        // And the local search discovers that leaving P1 unused is better.
+        let res = local_search(&pipeline, &platform, both, &SearchOptions::default());
+        assert!((res.period - p_solo).abs() < 1e-9, "search should drop the slow replica");
+    }
+
+    #[test]
+    fn optimize_beats_or_matches_naive() {
+        let (pipe, plat) = setup(vec![6.0, 6.0], vec![1.0, 1.0, 1.0, 1.0]);
+        let res = optimize(&pipe, &plat, &SearchOptions::default());
+        // Optimal: 2 replicas each → period 3 (comms negligible).
+        assert!(res.period <= 3.0 + 1e-9, "got {}", res.period);
+    }
+
+    #[test]
+    fn random_mapping_valid_under_many_seeds() {
+        let (pipe, plat) = setup(vec![1.0, 2.0, 3.0], vec![1.0; 8]);
+        let mut rng = StdRng::seed_from_u64(11);
+        for _ in 0..100 {
+            let m = random_mapping(&pipe, &plat, 0.4, &mut rng);
+            assert_eq!(m.num_stages(), 3);
+            assert!(m.replica_counts().iter().all(|&c| c >= 1));
+        }
+    }
+}

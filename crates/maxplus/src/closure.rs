@@ -1,0 +1,316 @@
+//! Kleene star, longest paths and spectral theory of max-plus matrices.
+//!
+//! For a square max-plus matrix `A` (precedence weights of a digraph):
+//!
+//! * the **Kleene star** `A* = I ⊕ A ⊕ A² ⊕ …` collects maximal path
+//!   weights of any length — it is finite iff no circuit has positive
+//!   weight;
+//! * the **eigenproblem** `A ⊗ x = λ ⊗ x` has the maximum cycle mean as
+//!   its unique eigenvalue on a strongly connected graph, with eigenvectors
+//!   read off the columns of `(A_λ)*` (`A_λ = −λ ⊗ A`) at critical
+//!   vertices;
+//! * the **critical graph** (vertices/edges on circuits of mean `λ`)
+//!   determines the *cyclicity* `σ`: the asymptotic period of the powers
+//!   `A^(k+σ) = λ^σ ⊗ A^k` and hence the cyclicity of timed-event-graph
+//!   schedules (why Example A's schedule repeats every 2 firings, etc.).
+//!
+//! References: Baccelli, Cohen, Olsder, Quadrat, *Synchronization and
+//! Linearity* (1992) — reference \[2\] of the paper; Heidergott, Olsder,
+//! van der Woude, *Max Plus at Work* (2006).
+
+use crate::graph::RatioGraph;
+use crate::karp::max_cycle_mean;
+use crate::matrix::Matrix;
+use crate::scc::tarjan_scc;
+use crate::semiring::MaxPlus;
+
+/// Errors from closure/spectral computations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ClosureError {
+    /// `A*` diverges: the graph has a circuit of positive weight.
+    PositiveCircuit,
+    /// The matrix/graph has no circuit at all (no eigenvalue).
+    Acyclic,
+}
+
+impl std::fmt::Display for ClosureError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClosureError::PositiveCircuit => write!(f, "positive-weight circuit: A* diverges"),
+            ClosureError::Acyclic => write!(f, "acyclic precedence graph: no eigenvalue"),
+        }
+    }
+}
+
+impl std::error::Error for ClosureError {}
+
+/// Kleene star `A* = I ⊕ A ⊕ A² ⊕ …` by Floyd–Warshall over `(max, +)`.
+///
+/// Fails with [`ClosureError::PositiveCircuit`] when some circuit has
+/// positive weight (then arbitrarily long paths keep improving).
+pub fn kleene_star(a: &Matrix) -> Result<Matrix, ClosureError> {
+    assert_eq!(a.rows(), a.cols(), "star requires a square matrix");
+    let n = a.rows();
+    let mut d = a.clone();
+    for k in 0..n {
+        for i in 0..n {
+            let dik = d[(i, k)];
+            if dik.is_zero() {
+                continue;
+            }
+            for j in 0..n {
+                let cand = dik * d[(k, j)];
+                if d[(i, j)] < cand {
+                    d[(i, j)] = cand;
+                }
+            }
+        }
+        // Divergence check: positive diagonal after relaxing through k.
+        for i in 0..n {
+            if d[(i, i)] > MaxPlus::one() {
+                return Err(ClosureError::PositiveCircuit);
+            }
+        }
+    }
+    // A⁺ computed; A* = I ⊕ A⁺.
+    for i in 0..n {
+        if d[(i, i)] < MaxPlus::one() {
+            d[(i, i)] = MaxPlus::one();
+        }
+    }
+    Ok(d)
+}
+
+/// The spectral data of an irreducible (strongly connected) max-plus
+/// matrix.
+#[derive(Debug, Clone)]
+pub struct Spectrum {
+    /// The eigenvalue `λ` (maximum cycle mean).
+    pub eigenvalue: f64,
+    /// An eigenvector `x` with `A ⊗ x = λ ⊗ x`, normalized so its maximum
+    /// entry is `0`.
+    pub eigenvector: Vec<MaxPlus>,
+    /// Vertices lying on some critical circuit (mean = `λ`).
+    pub critical_vertices: Vec<u32>,
+    /// The cyclicity `σ` of the critical graph: gcd over critical SCCs of
+    /// the gcd of their circuit lengths.
+    pub cyclicity: u64,
+}
+
+/// Computes eigenvalue, eigenvector, critical graph and cyclicity of an
+/// irreducible matrix (every vertex on a path to/from every other).
+///
+/// Returns [`ClosureError::Acyclic`] when the precedence graph has no
+/// circuit.
+pub fn spectrum(a: &Matrix) -> Result<Spectrum, ClosureError> {
+    let n = a.rows();
+    assert_eq!(n, a.cols());
+    let g = a.precedence_graph();
+    let lambda = max_cycle_mean(&g).ok_or(ClosureError::Acyclic)?;
+
+    // A_λ: subtract λ from every finite entry. All circuits of A_λ have
+    // weight ≤ 0, critical circuits have weight exactly 0.
+    let mut al = a.clone();
+    for i in 0..n {
+        for j in 0..n {
+            if !al[(i, j)].is_zero() {
+                al[(i, j)] = MaxPlus::new(al[(i, j)].value() - lambda);
+            }
+        }
+    }
+    let star = kleene_star(&al).map_err(|_| ClosureError::PositiveCircuit)?;
+
+    // Critical vertices: (A_λ⁺)_{vv} = 0, i.e. a zero-weight circuit
+    // through v. A_λ⁺ = A_λ ⊗ A_λ*.
+    let aplus = al.mul(&star);
+    let critical: Vec<u32> =
+        (0..n).filter(|&v| aplus[(v, v)] == MaxPlus::one()).map(|v| v as u32).collect();
+    if critical.is_empty() {
+        return Err(ClosureError::Acyclic);
+    }
+
+    // Eigenvector: column of A_λ* at any critical vertex.
+    let c = critical[0] as usize;
+    let mut x: Vec<MaxPlus> = (0..n).map(|i| star[(i, c)]).collect();
+    let maxv = x.iter().map(|e| e.value()).fold(f64::NEG_INFINITY, f64::max);
+    for e in &mut x {
+        if !e.is_zero() {
+            *e = MaxPlus::new(e.value() - maxv);
+        }
+    }
+
+    // Cyclicity: restrict the precedence graph to critical edges (edges on
+    // zero-weight circuits of A_λ: w(u→v) + star(v, u) = 0), then per SCC
+    // take the gcd of circuit lengths (computable as gcd of differences of
+    // BFS levels across edges), and lcm over SCCs (Cohen et al.).
+    let mut crit_graph = RatioGraph::new(n);
+    for e in g.edges() {
+        let (u, v) = (e.from as usize, e.to as usize);
+        // Edge u→v is critical iff cost_λ(u→v) plus the best λ-shifted
+        // return path v→u is zero. star[(i, j)] holds the best path j→i,
+        // so the return path v→u is star[(u, v)].
+        let back = star[(u, v)];
+        if back.is_zero() {
+            continue;
+        }
+        if (e.cost - lambda + back.value()).abs() < 1e-9 {
+            crit_graph.add_edge(e.from, e.to, 0.0, 1);
+        }
+    }
+    let scc = tarjan_scc(&crit_graph);
+    let mut cyclicity = 1u64;
+    for members in scc.cyclic_components(&crit_graph) {
+        let (sub, _) = crit_graph.restrict(members);
+        let sigma = scc_cyclicity(&sub);
+        cyclicity = lcm(cyclicity, sigma);
+    }
+    Ok(Spectrum { eigenvalue: lambda, eigenvector: x, critical_vertices: critical, cyclicity })
+}
+
+fn gcd(mut a: u64, mut b: u64) -> u64 {
+    while b != 0 {
+        let t = a % b;
+        a = b;
+        b = t;
+    }
+    a
+}
+
+fn lcm(a: u64, b: u64) -> u64 {
+    if a == 0 || b == 0 {
+        return a.max(b);
+    }
+    a / gcd(a, b) * b
+}
+
+/// Cyclicity of one strongly connected graph: gcd of its circuit lengths,
+/// computed as the gcd of `level(u) + 1 − level(v)` over all edges for any
+/// BFS levelling.
+fn scc_cyclicity(g: &RatioGraph) -> u64 {
+    let n = g.num_vertices();
+    let (offsets, eidx) = g.adjacency();
+    let mut level = vec![i64::MIN; n];
+    let mut queue = std::collections::VecDeque::new();
+    level[0] = 0;
+    queue.push_back(0u32);
+    let mut sigma: u64 = 0;
+    while let Some(u) = queue.pop_front() {
+        let ui = u as usize;
+        for &ei in &eidx[offsets[ui] as usize..offsets[ui + 1] as usize] {
+            let v = g.edges()[ei as usize].to;
+            let vi = v as usize;
+            if level[vi] == i64::MIN {
+                level[vi] = level[ui] + 1;
+                queue.push_back(v);
+            } else {
+                let diff = (level[ui] + 1 - level[vi]).unsigned_abs();
+                sigma = gcd(sigma, diff);
+            }
+        }
+    }
+    sigma.max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn from_rows(rows: &[&[f64]]) -> Matrix {
+        Matrix::from_rows(rows)
+    }
+    const E: f64 = f64::NEG_INFINITY;
+
+    #[test]
+    fn star_of_nilpotent() {
+        // Strictly upper-triangular: A* accumulates finite path maxima.
+        let a = from_rows(&[&[E, 2.0, E], &[E, E, 3.0], &[E, E, E]]);
+        let s = kleene_star(&a).unwrap();
+        assert_eq!(s[(0, 2)], MaxPlus::new(5.0));
+        assert_eq!(s[(0, 0)], MaxPlus::one());
+        assert_eq!(s[(2, 0)], MaxPlus::zero());
+    }
+
+    #[test]
+    fn star_detects_positive_circuit() {
+        let a = from_rows(&[&[E, 1.0], &[0.5, E]]); // circuit weight 1.5 > 0
+        assert_eq!(kleene_star(&a), Err(ClosureError::PositiveCircuit));
+    }
+
+    #[test]
+    fn star_accepts_zero_circuit() {
+        let a = from_rows(&[&[E, 1.0], &[-1.0, E]]);
+        let s = kleene_star(&a).unwrap();
+        assert_eq!(s[(0, 1)], MaxPlus::new(1.0));
+        assert_eq!(s[(1, 1)], MaxPlus::one());
+    }
+
+    #[test]
+    fn spectrum_of_two_cycle() {
+        // x0(k) = 3 + x1(k−1), x1(k) = 5 + x0(k−1): λ = 4, cyclicity 2.
+        let a = from_rows(&[&[E, 3.0], &[5.0, E]]);
+        let sp = spectrum(&a).unwrap();
+        assert!((sp.eigenvalue - 4.0).abs() < 1e-12);
+        assert_eq!(sp.cyclicity, 2);
+        assert_eq!(sp.critical_vertices, vec![0, 1]);
+        // verify A ⊗ x = λ ⊗ x
+        let ax = a.apply(&sp.eigenvector);
+        for (i, v) in ax.iter().enumerate() {
+            let expect = MaxPlus::new(sp.eigenvector[i].value() + sp.eigenvalue);
+            assert!((v.value() - expect.value()).abs() < 1e-9, "row {i}");
+        }
+    }
+
+    #[test]
+    fn spectrum_with_self_loop_has_cyclicity_one() {
+        let a = from_rows(&[&[4.0, 3.0], &[5.0, E]]);
+        // cycles: self-loop mean 4, two-cycle mean 4 — both critical:
+        // critical graph has loops of length 1 and 2 → cyclicity 1.
+        let sp = spectrum(&a).unwrap();
+        assert!((sp.eigenvalue - 4.0).abs() < 1e-12);
+        assert_eq!(sp.cyclicity, 1);
+    }
+
+    #[test]
+    fn non_critical_vertices_excluded() {
+        // Vertex 2 hangs off the critical 2-cycle with a slow feed-in.
+        let a = from_rows(&[&[E, 3.0, E], &[5.0, E, E], &[1.0, E, 1.0]]);
+        let sp = spectrum(&a).unwrap();
+        assert!((sp.eigenvalue - 4.0).abs() < 1e-12);
+        assert!(!sp.critical_vertices.contains(&2));
+    }
+
+    #[test]
+    fn powers_become_periodic_with_cyclicity() {
+        // Cohen's theorem: for k large, A^(k+σ) = λ·σ ⊗ A^k.
+        let a = from_rows(&[&[E, 3.0], &[5.0, E]]);
+        let sp = spectrum(&a).unwrap();
+        let sigma = sp.cyclicity as u32;
+        let k0 = 16u32;
+        let ak = a.pow(k0);
+        let aks = a.pow(k0 + sigma);
+        for i in 0..2 {
+            for j in 0..2 {
+                if ak[(i, j)].is_zero() {
+                    assert!(aks[(i, j)].is_zero());
+                } else {
+                    let expect = ak[(i, j)].value() + sp.eigenvalue * f64::from(sigma);
+                    assert!((aks[(i, j)].value() - expect).abs() < 1e-9, "({i},{j})");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn eigenvector_normalized() {
+        let a = from_rows(&[&[E, 3.0], &[5.0, E]]);
+        let sp = spectrum(&a).unwrap();
+        let maxv = sp.eigenvector.iter().map(|e| e.value()).fold(f64::NEG_INFINITY, f64::max);
+        assert!((maxv - 0.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acyclic_has_no_spectrum() {
+        let a = from_rows(&[&[E, 1.0], &[E, E]]);
+        assert!(matches!(spectrum(&a), Err(ClosureError::Acyclic)));
+    }
+}

@@ -1,0 +1,262 @@
+//! Lawler's parametric search for the maximum cycle ratio.
+//!
+//! For a guess `λ`, re-weight every edge as `cost − λ·tokens`: the graph has
+//! a strictly positive circuit iff the true maximum cycle ratio exceeds `λ`.
+//! Binary search on `λ`, with a Bellman–Ford longest-path pass as the
+//! positive-circuit oracle. Each time the oracle finds a circuit we snap `λ`
+//! to that circuit's *exact* ratio, so the final answer is the exact ratio
+//! of a real witness circuit, like [`crate::howard`].
+//!
+//! This is the cross-check implementation: slower than Howard's iteration
+//! but with entirely independent logic.
+
+use crate::graph::{CycleSolution, RatioGraph, RatioGraphError};
+use crate::howard::RatioResult;
+
+/// Computes the maximum cycle ratio by parametric search.
+///
+/// Semantics match [`crate::howard::max_cycle_ratio`]: `Ok(None)` for
+/// acyclic graphs, [`RatioGraphError::ZeroTokenCycle`] for deadlocks.
+pub fn max_cycle_ratio_lawler(g: &RatioGraph) -> RatioResult {
+    g.validate()?;
+    if g.num_edges() == 0 {
+        return Ok(None);
+    }
+    // A positive circuit at λ slightly below 0 with zero tokens means
+    // deadlock; detect zero-token cycles first with a token-free pass:
+    // circuit of only zero-token edges ⇔ the zero-token subgraph is cyclic.
+    if let Some(cycle) = zero_token_cycle(g) {
+        return Err(RatioGraphError::ZeroTokenCycle { cycle });
+    }
+
+    let cost_sum: f64 = g.edges().iter().map(|e| e.cost.abs()).sum::<f64>().max(1.0);
+    let mut lo = -cost_sum; // below any cycle ratio
+    let mut hi = cost_sum; // above any cycle ratio (tokens ≥ 1 per cycle)
+    let mut best: Option<CycleSolution> = None;
+
+    // First probe at `lo` decides whether any circuit exists at all.
+    match positive_cycle(g, lo) {
+        None => return Ok(None),
+        Some(cycle) => {
+            let sol = exact_solution(g, &cycle)?;
+            lo = sol.ratio;
+            best = pick_best(best, sol);
+        }
+    }
+
+    let eps = cost_sum * 1e-13;
+    while hi - lo > eps {
+        let mid = 0.5 * (lo + hi);
+        match positive_cycle(g, mid) {
+            Some(cycle) => {
+                let sol = exact_solution(g, &cycle)?;
+                // The witness has ratio > mid; snap the lower bound to it.
+                lo = sol.ratio.max(mid);
+                best = pick_best(best, sol);
+            }
+            None => hi = mid,
+        }
+    }
+    Ok(best)
+}
+
+fn pick_best(best: Option<CycleSolution>, sol: CycleSolution) -> Option<CycleSolution> {
+    match best {
+        Some(b) if b.ratio >= sol.ratio => Some(b),
+        _ => Some(sol),
+    }
+}
+
+/// Exact ratio of a circuit found by the oracle. The circuit is given as the
+/// edge-index sequence.
+fn exact_solution(g: &RatioGraph, cycle_edges: &[u32]) -> Result<CycleSolution, RatioGraphError> {
+    let mut cost = 0.0;
+    let mut tokens = 0u64;
+    let mut cycle = Vec::with_capacity(cycle_edges.len());
+    for &ei in cycle_edges {
+        let e = &g.edges()[ei as usize];
+        cost += e.cost;
+        tokens += u64::from(e.tokens);
+        cycle.push(e.from);
+    }
+    if tokens == 0 {
+        return Err(RatioGraphError::ZeroTokenCycle { cycle });
+    }
+    Ok(CycleSolution { ratio: cost / tokens as f64, cycle, cost, tokens })
+}
+
+/// Bellman–Ford longest-path positive-circuit oracle for weights
+/// `cost − λ·tokens`. Returns the edge indices of a positive circuit, if any.
+fn positive_cycle(g: &RatioGraph, lambda: f64) -> Option<Vec<u32>> {
+    let n = g.num_vertices();
+    let edges = g.edges();
+    let mut dist = vec![0.0f64; n]; // multi-source: all vertices at 0
+    let mut pred_edge: Vec<u32> = vec![u32::MAX; n];
+
+    let mut updated_vertex: Option<u32> = None;
+    for round in 0..=n {
+        let mut any = false;
+        for (i, e) in edges.iter().enumerate() {
+            let w = e.cost - lambda * f64::from(e.tokens);
+            let cand = dist[e.from as usize] + w;
+            if cand > dist[e.to as usize] + 1e-15 {
+                dist[e.to as usize] = cand;
+                pred_edge[e.to as usize] = i as u32;
+                any = true;
+                if round == n {
+                    updated_vertex = Some(e.to);
+                    break;
+                }
+            }
+        }
+        if !any {
+            return None;
+        }
+    }
+
+    // A relaxation in round n ⇒ positive circuit reachable via predecessors.
+    let mut v = updated_vertex?;
+    // Walk back n steps to guarantee we are inside the circuit.
+    for _ in 0..n {
+        v = edges[pred_edge[v as usize] as usize].from;
+    }
+    let start = v;
+    let mut cycle_edges = Vec::new();
+    loop {
+        let ei = pred_edge[v as usize];
+        cycle_edges.push(ei);
+        v = edges[ei as usize].from;
+        if v == start {
+            break;
+        }
+    }
+    cycle_edges.reverse();
+    Some(cycle_edges)
+}
+
+/// Finds a circuit made of zero-token edges only (DFS cycle detection on the
+/// zero-token subgraph), or `None`.
+fn zero_token_cycle(g: &RatioGraph) -> Option<Vec<u32>> {
+    let n = g.num_vertices();
+    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+    for e in g.edges() {
+        if e.tokens == 0 {
+            adj[e.from as usize].push(e.to);
+        }
+    }
+    // Iterative coloring DFS: 0 white, 1 grey, 2 black.
+    let mut color = vec![0u8; n];
+    let mut parent: Vec<u32> = vec![u32::MAX; n];
+    for root in 0..n as u32 {
+        if color[root as usize] != 0 {
+            continue;
+        }
+        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
+        color[root as usize] = 1;
+        while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
+            if *pos < adj[v as usize].len() {
+                let w = adj[v as usize][*pos];
+                *pos += 1;
+                match color[w as usize] {
+                    0 => {
+                        color[w as usize] = 1;
+                        parent[w as usize] = v;
+                        stack.push((w, 0));
+                    }
+                    1 => {
+                        // Grey: found a cycle w → … → v → w.
+                        let mut cycle = vec![w];
+                        let mut u = v;
+                        while u != w {
+                            cycle.push(u);
+                            u = parent[u as usize];
+                        }
+                        cycle.reverse();
+                        return Some(cycle);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v as usize] = 2;
+                stack.pop();
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::howard::max_cycle_ratio;
+
+    fn assert_agrees(g: &RatioGraph) {
+        let h = max_cycle_ratio(g).unwrap();
+        let l = max_cycle_ratio_lawler(g).unwrap();
+        match (h, l) {
+            (None, None) => {}
+            (Some(a), Some(b)) => {
+                assert!(
+                    (a.ratio - b.ratio).abs() <= 1e-9 * a.ratio.abs().max(1.0),
+                    "howard {} vs lawler {}",
+                    a.ratio,
+                    b.ratio
+                )
+            }
+            other => panic!("disagreement: {other:?}"),
+        }
+    }
+
+    #[test]
+    fn agrees_on_simple_cycle() {
+        let mut g = RatioGraph::new(2);
+        g.add_edge(0, 1, 3.0, 1);
+        g.add_edge(1, 0, 5.0, 1);
+        assert_agrees(&g);
+        let sol = max_cycle_ratio_lawler(&g).unwrap().unwrap();
+        assert!((sol.ratio - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn acyclic_none() {
+        let mut g = RatioGraph::new(3);
+        g.add_edge(0, 1, 10.0, 1);
+        g.add_edge(1, 2, 10.0, 2);
+        assert_eq!(max_cycle_ratio_lawler(&g).unwrap(), None);
+    }
+
+    #[test]
+    fn deadlock_detected() {
+        let mut g = RatioGraph::new(3);
+        g.add_edge(0, 1, 1.0, 0);
+        g.add_edge(1, 2, 1.0, 0);
+        g.add_edge(2, 0, 1.0, 0);
+        assert!(matches!(
+            max_cycle_ratio_lawler(&g),
+            Err(RatioGraphError::ZeroTokenCycle { .. })
+        ));
+    }
+
+    #[test]
+    fn agrees_on_mixed_graph() {
+        let mut g = RatioGraph::new(4);
+        g.add_edge(0, 1, 4.0, 1);
+        g.add_edge(1, 0, 6.0, 0);
+        g.add_edge(1, 2, 5.0, 1);
+        g.add_edge(2, 3, 2.5, 0);
+        g.add_edge(3, 0, 3.0, 2);
+        g.add_edge(3, 3, 1.0, 1);
+        assert_agrees(&g);
+    }
+
+    #[test]
+    fn zero_token_edges_inside_ok_cycles() {
+        // zero-token edges exist but every circuit has a token
+        let mut g = RatioGraph::new(3);
+        g.add_edge(0, 1, 2.0, 0);
+        g.add_edge(1, 2, 2.0, 0);
+        g.add_edge(2, 0, 2.0, 1);
+        let sol = max_cycle_ratio_lawler(&g).unwrap().unwrap();
+        assert!((sol.ratio - 6.0).abs() < 1e-12);
+    }
+}

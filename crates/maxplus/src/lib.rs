@@ -1,0 +1,61 @@
+//! Max-plus algebra and cycle-ratio algorithms.
+//!
+//! This crate provides the algorithmic substrate used to analyze timed event
+//! graphs (a.k.a. timed Petri nets with the event-graph property): the
+//! steady-state period of such a system equals the **maximum cycle ratio**
+//!
+//! ```text
+//! λ* = max over circuits C of (Σ_e cost(e)) / (Σ_e tokens(e))
+//! ```
+//!
+//! over a doubly-weighted digraph in which every edge carries a real *cost*
+//! (a transition firing time) and an integer *token count*.
+//!
+//! # Contents
+//!
+//! * [`semiring`] — the `(max, +)` scalar [`semiring::MaxPlus`] and its
+//!   algebraic operations.
+//! * [`matrix`] — dense max-plus matrices, products, powers and the matrix
+//!   view of a digraph.
+//! * [`graph`] — the doubly-weighted digraph [`graph::RatioGraph`] shared by
+//!   all cycle algorithms.
+//! * [`scc`] — iterative Tarjan strongly-connected components.
+//! * [`howard`] — Howard's policy iteration for the maximum cycle ratio
+//!   (primary algorithm; exact, returns a witness cycle).
+//! * [`lawler`] — Lawler's parametric binary search (cross-check).
+//! * [`karp`] — Karp's maximum cycle *mean* algorithm (token-uniform graphs).
+//! * [`bruteforce`] — exhaustive simple-cycle enumeration for validation on
+//!   tiny graphs.
+//!
+//! # Example
+//!
+//! ```
+//! use maxplus::graph::RatioGraph;
+//! use maxplus::howard::max_cycle_ratio;
+//!
+//! // Two-node system: each node hands work to the other; the round trip
+//! // costs 3.0 + 5.0 and recycles 2 tokens, so the period is 4.0.
+//! let mut g = RatioGraph::new(2);
+//! g.add_edge(0, 1, 3.0, 1);
+//! g.add_edge(1, 0, 5.0, 1);
+//! let sol = max_cycle_ratio(&g).unwrap().expect("graph has a cycle");
+//! assert!((sol.ratio - 4.0).abs() < 1e-12);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bruteforce;
+pub mod closure;
+pub mod graph;
+pub mod howard;
+pub mod karp;
+pub mod lawler;
+pub mod matrix;
+pub mod residuation;
+pub mod scc;
+pub mod semiring;
+
+pub use graph::{CycleSolution, RatioGraph, RatioGraphError};
+pub use howard::max_cycle_ratio;
+pub use semiring::MaxPlus;

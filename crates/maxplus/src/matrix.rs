@@ -1,0 +1,224 @@
+//! Dense max-plus matrices.
+//!
+//! A timed event graph with unit-token places has dynamics
+//! `x(k) = A ⊗ x(k−1)` over the max-plus semiring; its asymptotic growth
+//! rate (the period) is the max-plus eigenvalue of `A`, i.e. the maximum
+//! cycle mean of the precedence graph of `A`. This module provides the
+//! matrix view plus the bridge to the graph algorithms, and is also used by
+//! the TPN simulator tests to validate firing recurrences.
+
+use crate::graph::RatioGraph;
+use crate::karp::max_cycle_mean;
+use crate::semiring::MaxPlus;
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// A dense square-or-rectangular matrix over [`MaxPlus`].
+#[derive(Clone, PartialEq)]
+pub struct Matrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<MaxPlus>,
+}
+
+impl Matrix {
+    /// All-`ε` matrix (the additive identity).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Matrix { rows, cols, data: vec![MaxPlus::zero(); rows * cols] }
+    }
+
+    /// Max-plus identity: `e` on the diagonal, `ε` elsewhere.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Matrix::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = MaxPlus::one();
+        }
+        m
+    }
+
+    /// Builds from a row-major array of `f64` (use `f64::NEG_INFINITY` for `ε`).
+    pub fn from_rows(rows: &[&[f64]]) -> Self {
+        let r = rows.len();
+        let c = rows.first().map_or(0, |row| row.len());
+        let mut m = Matrix::zeros(r, c);
+        for (i, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), c, "ragged rows");
+            for (j, &v) in row.iter().enumerate() {
+                m[(i, j)] = if v == f64::NEG_INFINITY { MaxPlus::zero() } else { MaxPlus::new(v) };
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Max-plus matrix product `self ⊗ rhs`.
+    pub fn mul(&self, rhs: &Matrix) -> Matrix {
+        assert_eq!(self.cols, rhs.rows, "dimension mismatch");
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for i in 0..self.rows {
+            for k in 0..self.cols {
+                let a = self[(i, k)];
+                if a.is_zero() {
+                    continue;
+                }
+                for j in 0..rhs.cols {
+                    let cand = a * rhs[(k, j)];
+                    if out[(i, j)] < cand {
+                        out[(i, j)] = cand;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Max-plus matrix–vector product.
+    pub fn apply(&self, x: &[MaxPlus]) -> Vec<MaxPlus> {
+        assert_eq!(self.cols, x.len(), "dimension mismatch");
+        let mut out = vec![MaxPlus::zero(); self.rows];
+        for i in 0..self.rows {
+            let mut acc = MaxPlus::zero();
+            for k in 0..self.cols {
+                acc = acc + self[(i, k)] * x[k];
+            }
+            out[i] = acc;
+        }
+        out
+    }
+
+    /// Max-plus power `self^⊗k` by repeated squaring. Requires square.
+    pub fn pow(&self, mut k: u32) -> Matrix {
+        assert_eq!(self.rows, self.cols, "pow requires a square matrix");
+        let mut result = Matrix::identity(self.rows);
+        let mut base = self.clone();
+        while k > 0 {
+            if k & 1 == 1 {
+                result = result.mul(&base);
+            }
+            base = base.mul(&base);
+            k >>= 1;
+        }
+        result
+    }
+
+    /// The precedence graph of the matrix: edge `j → i` with cost `A[i][j]`
+    /// and one token per edge (matching the `x(k) = A ⊗ x(k−1)` recurrence).
+    pub fn precedence_graph(&self) -> RatioGraph {
+        assert_eq!(self.rows, self.cols);
+        let mut g = RatioGraph::new(self.rows);
+        for i in 0..self.rows {
+            for j in 0..self.cols {
+                if !self[(i, j)].is_zero() {
+                    g.add_edge(j as u32, i as u32, self[(i, j)].value(), 1);
+                }
+            }
+        }
+        g
+    }
+
+    /// Max-plus eigenvalue of an irreducible (or any) matrix: the maximum
+    /// cycle mean of the precedence graph, or `None` if the graph is acyclic
+    /// (nilpotent matrix).
+    pub fn eigenvalue(&self) -> Option<f64> {
+        max_cycle_mean(&self.precedence_graph())
+    }
+}
+
+impl Index<(usize, usize)> for Matrix {
+    type Output = MaxPlus;
+    fn index(&self, (i, j): (usize, usize)) -> &MaxPlus {
+        &self.data[i * self.cols + j]
+    }
+}
+
+impl IndexMut<(usize, usize)> for Matrix {
+    fn index_mut(&mut self, (i, j): (usize, usize)) -> &mut MaxPlus {
+        &mut self.data[i * self.cols + j]
+    }
+}
+
+impl fmt::Debug for Matrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "Matrix {}x{} [", self.rows, self.cols)?;
+        for i in 0..self.rows {
+            write!(f, "  ")?;
+            for j in 0..self.cols {
+                write!(f, "{:?} ", self[(i, j)])?;
+            }
+            writeln!(f)?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = Matrix::from_rows(&[&[1.0, 2.0], &[f64::NEG_INFINITY, 3.0]]);
+        let i = Matrix::identity(2);
+        assert_eq!(a.mul(&i), a);
+        assert_eq!(i.mul(&a), a);
+    }
+
+    #[test]
+    fn product_takes_max_over_paths() {
+        let a = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, 0.0]]);
+        let b = a.mul(&a);
+        // b[0][0] = max(1+1, 5+2) = 7
+        assert_eq!(b[(0, 0)], MaxPlus::new(7.0));
+    }
+
+    #[test]
+    fn pow_matches_repeated_mul() {
+        let a = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, f64::NEG_INFINITY]]);
+        let p3 = a.pow(3);
+        let m3 = a.mul(&a).mul(&a);
+        assert_eq!(p3, m3);
+    }
+
+    #[test]
+    fn eigenvalue_of_cycle_matrix() {
+        // x0(k) = 3 + x1(k-1); x1(k) = 5 + x0(k-1): period (3+5)/2 = 4.
+        let a = Matrix::from_rows(&[&[f64::NEG_INFINITY, 3.0], &[5.0, f64::NEG_INFINITY]]);
+        assert!((a.eigenvalue().unwrap() - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn eigenvalue_governs_growth_rate() {
+        // Power iteration: x(k) = A^k x(0); x grows by λ per step asymptotically.
+        let a = Matrix::from_rows(&[&[2.0, 7.0], &[1.0, 3.0]]);
+        let lambda = a.eigenvalue().unwrap();
+        let x0 = vec![MaxPlus::one(), MaxPlus::one()];
+        let k = 64;
+        let xk = a.pow(k).apply(&x0);
+        let growth = xk[0].value() / f64::from(k);
+        assert!((growth - lambda).abs() < 0.2, "growth {growth} vs λ {lambda}");
+    }
+
+    #[test]
+    fn nilpotent_has_no_eigenvalue() {
+        let a = Matrix::from_rows(&[&[f64::NEG_INFINITY, 1.0], &[f64::NEG_INFINITY, f64::NEG_INFINITY]]);
+        assert_eq!(a.eigenvalue(), None);
+    }
+
+    #[test]
+    fn apply_matches_mul() {
+        let a = Matrix::from_rows(&[&[1.0, 5.0], &[2.0, 0.0]]);
+        let x = vec![MaxPlus::new(1.0), MaxPlus::new(2.0)];
+        let y = a.apply(&x);
+        assert_eq!(y[0], MaxPlus::new(7.0)); // max(1+1, 5+2)
+        assert_eq!(y[1], MaxPlus::new(3.0)); // max(2+1, 0+2)
+    }
+}

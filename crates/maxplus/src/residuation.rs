@@ -1,0 +1,122 @@
+//! Residuation: the lattice-theoretic "division" of max-plus algebra.
+//!
+//! Max-plus multiplication has no inverse, but it residuates: for matrices
+//! `A` and a target `b`, the set `{x : A ⊗ x ≤ b}` has a greatest element
+//!
+//! ```text
+//! (A \ b)_j = min_i ( b_i − A_{ij} )        (min-plus product with −Aᵀ)
+//! ```
+//!
+//! Residuation answers *latest-start* questions on timed event graphs: if
+//! outputs must happen no later than `b`, `A \ b` is the latest admissible
+//! input schedule (backward scheduling / just-in-time control). It also
+//! yields the standard test `A ⊗ (A \ b) = b ⇔ b ∈ Im A`.
+
+use crate::matrix::Matrix;
+use crate::semiring::MaxPlus;
+
+/// Greatest solution `x` of `A ⊗ x ≤ b` (left residuation `A \ b`).
+///
+/// Entries of the result may be `+∞`-like only when a column of `A` is all
+/// `ε`; we represent that case by `f64::INFINITY` inside a raw vector, so
+/// the function returns plain `f64`s rather than [`MaxPlus`].
+pub fn left_residual(a: &Matrix, b: &[MaxPlus]) -> Vec<f64> {
+    assert_eq!(a.rows(), b.len(), "dimension mismatch");
+    let (rows, cols) = (a.rows(), a.cols());
+    let mut x = vec![f64::INFINITY; cols];
+    for j in 0..cols {
+        for i in 0..rows {
+            let aij = a[(i, j)];
+            if aij.is_zero() {
+                continue; // no constraint from this row
+            }
+            let bound = b[i].value() - aij.value(); // b_i − A_ij (b_i = −∞ ⇒ −∞)
+            if bound < x[j] {
+                x[j] = bound;
+            }
+        }
+    }
+    x
+}
+
+/// Checks whether `b` is achievable: `A ⊗ (A \ b) = b`.
+pub fn is_in_image(a: &Matrix, b: &[MaxPlus]) -> bool {
+    let x = left_residual(a, b);
+    let xm: Vec<MaxPlus> = x
+        .iter()
+        .map(|&v| if v.is_infinite() { MaxPlus::zero() } else { MaxPlus::new(v) })
+        .collect();
+    let ax = a.apply(&xm);
+    ax.iter().zip(b).all(|(l, r)| {
+        (l.is_zero() && r.is_zero()) || (!l.is_zero() && !r.is_zero() && (l.value() - r.value()).abs() < 1e-9)
+    })
+}
+
+/// Latest input schedule for a single max-plus layer: inputs `x` feeding
+/// outputs `y = A ⊗ x` that must satisfy `y ≤ deadline`.
+///
+/// Convenience wrapper naming the control-theoretic use case.
+pub fn latest_inputs(a: &Matrix, deadline: &[f64]) -> Vec<f64> {
+    let b: Vec<MaxPlus> = deadline.iter().map(|&d| MaxPlus::new(d)).collect();
+    left_residual(a, &b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const E: f64 = f64::NEG_INFINITY;
+
+    #[test]
+    fn residual_is_greatest_subsolution() {
+        let a = Matrix::from_rows(&[&[1.0, 3.0], &[2.0, E]]);
+        let b = vec![MaxPlus::new(10.0), MaxPlus::new(5.0)];
+        let x = left_residual(&a, &b);
+        // x0 ≤ min(10−1, 5−2) = 3; x1 ≤ 10−3 = 7.
+        assert_eq!(x, vec![3.0, 7.0]);
+        // Verify A ⊗ x ≤ b, and that increasing any entry violates it.
+        let xm: Vec<MaxPlus> = x.iter().map(|&v| MaxPlus::new(v)).collect();
+        let ax = a.apply(&xm);
+        assert!(ax[0].value() <= 10.0 + 1e-12 && ax[1].value() <= 5.0 + 1e-12);
+        let bumped = vec![MaxPlus::new(x[0] + 0.1), MaxPlus::new(x[1])];
+        let ax2 = a.apply(&bumped);
+        assert!(ax2[0].value() > 10.0 || ax2[1].value() > 5.0);
+    }
+
+    #[test]
+    fn unconstrained_column_is_infinite() {
+        let a = Matrix::from_rows(&[&[1.0, E]]);
+        let x = left_residual(&a, &[MaxPlus::new(4.0)]);
+        assert_eq!(x[0], 3.0);
+        assert_eq!(x[1], f64::INFINITY, "column 1 never affects the output");
+    }
+
+    #[test]
+    fn image_membership() {
+        let a = Matrix::from_rows(&[&[0.0, E], &[E, 0.0]]);
+        // identity: everything is in the image
+        assert!(is_in_image(&a, &[MaxPlus::new(2.0), MaxPlus::new(7.0)]));
+        // coupled rows: b must respect the coupling
+        let c = Matrix::from_rows(&[&[0.0], &[5.0]]);
+        assert!(is_in_image(&c, &[MaxPlus::new(1.0), MaxPlus::new(6.0)]));
+        assert!(!is_in_image(&c, &[MaxPlus::new(1.0), MaxPlus::new(9.0)]));
+    }
+
+    #[test]
+    fn latest_inputs_backward_schedule() {
+        // Two stages in series viewed as one layer: y = max(x0 + 4, x1 + 1).
+        let a = Matrix::from_rows(&[&[4.0, 1.0]]);
+        let x = latest_inputs(&a, &[20.0]);
+        assert_eq!(x, vec![16.0, 19.0]);
+    }
+
+    #[test]
+    fn residual_antitone_in_a() {
+        // Larger A (slower system) ⇒ earlier (smaller) latest inputs.
+        let a1 = Matrix::from_rows(&[&[2.0, 3.0]]);
+        let a2 = Matrix::from_rows(&[&[5.0, 3.0]]);
+        let x1 = latest_inputs(&a1, &[10.0]);
+        let x2 = latest_inputs(&a2, &[10.0]);
+        assert!(x2[0] < x1[0] && x2[1] <= x1[1]);
+    }
+}

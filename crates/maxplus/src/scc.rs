@@ -1,0 +1,185 @@
+//! Strongly connected components (iterative Tarjan).
+//!
+//! Cycle-ratio algorithms work per SCC: every circuit lives inside one, and
+//! restricting to components keeps policy iteration well-defined (every
+//! vertex of a non-trivial SCC has an out-edge inside it).
+
+use crate::graph::RatioGraph;
+
+/// The SCC decomposition of a [`RatioGraph`].
+#[derive(Debug, Clone)]
+pub struct SccDecomposition {
+    /// `component[v]` is the id of `v`'s SCC. Ids are in reverse topological
+    /// order of the condensation (Tarjan's numbering).
+    pub component: Vec<u32>,
+    /// Vertices of each component.
+    pub members: Vec<Vec<u32>>,
+}
+
+impl SccDecomposition {
+    /// Number of components.
+    pub fn len(&self) -> usize {
+        self.members.len()
+    }
+
+    /// True iff there are no components (empty graph).
+    pub fn is_empty(&self) -> bool {
+        self.members.is_empty()
+    }
+
+    /// Components that can contain a circuit: more than one vertex, or a
+    /// single vertex with a self-loop.
+    pub fn cyclic_components<'a>(&'a self, g: &'a RatioGraph) -> impl Iterator<Item = &'a Vec<u32>> {
+        let mut self_loop = vec![false; g.num_vertices()];
+        for e in g.edges() {
+            if e.from == e.to {
+                self_loop[e.from as usize] = true;
+            }
+        }
+        self.members.iter().filter(move |m| m.len() > 1 || (m.len() == 1 && self_loop[m[0] as usize]))
+    }
+}
+
+/// Computes the SCCs of `g` with an iterative Tarjan traversal (no recursion,
+/// safe for graphs with hundreds of thousands of vertices).
+pub fn tarjan_scc(g: &RatioGraph) -> SccDecomposition {
+    let n = g.num_vertices();
+    let (offsets, eidx) = g.adjacency();
+    const UNSET: u32 = u32::MAX;
+
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0u32; n];
+    let mut on_stack = vec![false; n];
+    let mut stack: Vec<u32> = Vec::new();
+    let mut component = vec![UNSET; n];
+    let mut members: Vec<Vec<u32>> = Vec::new();
+    let mut next_index = 0u32;
+
+    // Explicit DFS frames: (vertex, position in its out-edge list).
+    let mut frames: Vec<(u32, u32)> = Vec::new();
+
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let vi = v as usize;
+            let start = offsets[vi];
+            let end = offsets[vi + 1];
+            if start + *pos < end {
+                let e = &g.edges()[eidx[(start + *pos) as usize] as usize];
+                *pos += 1;
+                let w = e.to;
+                let wi = w as usize;
+                if index[wi] == UNSET {
+                    index[wi] = next_index;
+                    lowlink[wi] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[wi] = true;
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let pi = parent as usize;
+                    lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                }
+                if lowlink[vi] == index[vi] {
+                    let cid = members.len() as u32;
+                    let mut comp = Vec::new();
+                    loop {
+                        let w = stack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        component[w as usize] = cid;
+                        comp.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    members.push(comp);
+                }
+            }
+        }
+    }
+
+    SccDecomposition { component, members }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn graph(n: usize, edges: &[(u32, u32)]) -> RatioGraph {
+        let mut g = RatioGraph::new(n);
+        for &(a, b) in edges {
+            g.add_edge(a, b, 0.0, 0);
+        }
+        g
+    }
+
+    #[test]
+    fn single_cycle_is_one_component() {
+        let g = graph(3, &[(0, 1), (1, 2), (2, 0)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.len(), 1);
+        assert_eq!(scc.members[0].len(), 3);
+    }
+
+    #[test]
+    fn dag_gives_singletons() {
+        let g = graph(4, &[(0, 1), (1, 2), (2, 3)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.len(), 4);
+        assert!(scc.cyclic_components(&g).next().is_none());
+    }
+
+    #[test]
+    fn two_cycles_bridge() {
+        // 0↔1 and 2↔3 joined by 1→2.
+        let g = graph(4, &[(0, 1), (1, 0), (1, 2), (2, 3), (3, 2)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.len(), 2);
+        let sizes: Vec<usize> = scc.members.iter().map(Vec::len).collect();
+        assert_eq!(sizes, vec![2, 2]);
+        // components partition all vertices
+        let mut seen = [false; 4];
+        for m in &scc.members {
+            for &v in m {
+                assert!(!seen[v as usize]);
+                seen[v as usize] = true;
+            }
+        }
+        assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn self_loop_is_cyclic() {
+        let g = graph(2, &[(0, 0), (0, 1)]);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.len(), 2);
+        let cyc: Vec<_> = scc.cyclic_components(&g).collect();
+        assert_eq!(cyc.len(), 1);
+        assert_eq!(cyc[0], &vec![0]);
+    }
+
+    #[test]
+    fn deep_chain_no_stack_overflow() {
+        // 100k-vertex path plus a closing edge: one big SCC, iteratively.
+        let n = 100_000;
+        let mut edges: Vec<(u32, u32)> = (0..n - 1).map(|i| (i as u32, i as u32 + 1)).collect();
+        edges.push((n as u32 - 1, 0));
+        let g = graph(n, &edges);
+        let scc = tarjan_scc(&g);
+        assert_eq!(scc.len(), 1);
+    }
+}

