@@ -12,7 +12,7 @@
 use repwf_core::fixtures::example_b;
 use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
 use repwf_core::period::{compute_period, Method};
-use repwf_sim::stochastic::{estimate_period, Noise};
+use repwf_sim::stochastic::{estimate_period_par, Noise};
 
 fn balanced() -> Instance {
     // comp0 = comp1 = out-port = 6 per data set: maximally coupled.
@@ -35,7 +35,9 @@ fn sweep(name: &str, inst: &Instance, model: CommModel) {
         Noise::Degraded { p: 0.20, slow: 3.0 },
     ];
     for noise in laws {
-        let est = estimate_period(inst, model, noise, 8000, 12, 2009);
+        // Replications fan out on the work-stealing pool; seeds are
+        // per-replication, so results match the sequential run exactly.
+        let est = estimate_period_par(inst, model, noise, 8000, 12, 2009, repwf_par::max_threads());
         println!(
             "{:<34} {:>12.4} {:>10.4} {:>9.2}%",
             format!("{noise:?}"),

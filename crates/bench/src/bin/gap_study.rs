@@ -18,7 +18,7 @@ use repwf_gen::sampler::{GenConfig, Range};
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut per_size = 400usize;
-    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut threads = repwf_par::max_threads();
     let mut k = 1;
     while k < args.len() {
         match args[k].as_str() {
@@ -48,11 +48,11 @@ fn main() {
             comm: Range::new(5.0, 10.0),
         };
         let res = run_campaign(&cfg, CommModel::Strict, per_size, 777, threads, 400_000);
-        let no_crit = res.count_no_critical(1e-7);
+        let no_crit = res.count_no_critical(repwf_gen::campaign::GAP_REL_TOL);
         let gaps: Vec<f64> = res
             .outcomes
             .iter()
-            .filter(|o| o.no_critical_resource(1e-7))
+            .filter(|o| o.no_critical_resource(repwf_gen::campaign::GAP_REL_TOL))
             .map(|o| o.gap() * 100.0)
             .collect();
         let mean_gap = if gaps.is_empty() { 0.0 } else { gaps.iter().sum::<f64>() / gaps.len() as f64 };

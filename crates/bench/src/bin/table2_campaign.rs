@@ -10,12 +10,13 @@
 //! instances whose TPN exceeds the size cap fall back to the discrete-event
 //! simulator and are counted in the `simulated` column.
 
-use repwf_gen::table2::{format_results, run_row, table2_rows, to_csv};
+use repwf_gen::table2::{format_results, run_row_with, table2_rows, to_csv};
+use std::io::Write as _;
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
     let mut scale = 0.1f64;
-    let mut threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let mut threads = repwf_par::max_threads();
     let mut csv_path: Option<String> = None;
     let mut seed = 20090301u64; // RR-2009-08 submission date flavour
     let mut k = 1;
@@ -47,9 +48,25 @@ fn main() {
     let mut results = Vec::new();
     for (i, row) in rows.iter().enumerate() {
         let t0 = std::time::Instant::now();
-        let res = run_row(row, scale, seed + 10_000_000 * i as u64, threads, 400_000);
+        let res = run_row_with(
+            row,
+            scale,
+            seed + 10_000_000 * i as u64,
+            threads,
+            400_000,
+            Some(&|p: repwf_gen::Progress| {
+                let _ = write!(
+                    std::io::stderr().lock(),
+                    "\rrow {}/{}: {}/{}",
+                    i + 1,
+                    rows.len(),
+                    p.done,
+                    p.total
+                );
+            }),
+        );
         eprintln!(
-            "row {}/{}: {} experiments in {:.1}s ({} no-critical, {} simulated)",
+            "\rrow {}/{}: {} experiments in {:.1}s ({} no-critical, {} simulated)",
             i + 1,
             rows.len(),
             res.total,

@@ -1,0 +1,177 @@
+//! `repwf campaign` — random-experiment campaign on the work-stealing
+//! engine.
+//!
+//! The JSON output deliberately excludes `--threads`: results are
+//! bit-identical at every thread count, and scripted consumers may diff
+//! runs across machines.
+
+use crate::json::Json;
+use crate::opts::{model_name, parse_model, parse_range, parse_threads, Opts};
+use repwf_gen::campaign::{run_campaign_with, Resolution, GAP_REL_TOL};
+use repwf_gen::{GenConfig, Range};
+use std::io::Write as _;
+
+const HELP: &str = "\
+repwf campaign — run random experiments comparing the period against M_ct
+
+OPTIONS:
+  --stages N         pipeline stages (default: 2)
+  --procs P          processors, all mapped (default: 7)
+  --comp LO..HI|V    computation-time range (default: 1)
+  --comm LO..HI|V    communication-time range (default: 5..10)
+  --count N          number of experiments (default: 100)
+  --seed S           base seed; experiment k uses S+k (default: 2009)
+  --threads K        worker threads (default: hardware)
+  --cap N            TPN transition cap before simulator fallback (default: 400000)
+  --model M          overlap | strict (default: strict)
+  --csv PATH         write per-experiment outcomes as CSV
+  --hist             print an ASCII histogram of the positive gaps
+  --json             structured output (identical at any --threads)
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &[
+            "--stages", "--procs", "--comp", "--comm", "--count", "--seed", "--threads",
+            "--cap", "--model", "--csv",
+        ],
+        &["--json", "--hist", "--help"],
+    )?;
+    if opts.has("--help") {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let stages = opts.get_or("--stages", 2usize)?;
+    let procs = opts.get_or("--procs", 7usize)?;
+    if stages == 0 || procs < stages {
+        return Err(format!("need 1 <= stages <= procs (got {stages} stages, {procs} procs)"));
+    }
+    let comp = parse_range(opts.get("--comp").unwrap_or("1"))?;
+    let comm = parse_range(opts.get("--comm").unwrap_or("5..10"))?;
+    let count = opts.get_or("--count", 100usize)?;
+    let seed = opts.get_or("--seed", 2009u64)?;
+    let threads = parse_threads(&opts)?;
+    let cap = opts.get_or("--cap", 400_000usize)?;
+    // Strict is the model where the paper actually found gaps.
+    let model = if opts.get("--model").is_some() {
+        parse_model(&opts)?
+    } else {
+        repwf_core::model::CommModel::Strict
+    };
+
+    let cfg = GenConfig { stages, procs, comp, comm };
+    let res = run_campaign_with(
+        &cfg,
+        model,
+        count,
+        seed,
+        threads,
+        cap,
+        Some(&|p| {
+            let mut err = std::io::stderr().lock();
+            let _ = write!(
+                err,
+                "\r{}/{} experiments  (no-critical {}, simulated {})",
+                p.done, p.total, p.no_critical, p.simulated
+            );
+            if p.done == p.total {
+                let _ = writeln!(err);
+            }
+        }),
+    );
+
+    if let Some(path) = opts.get("--csv") {
+        std::fs::write(path, repwf_gen::stats::outcomes_csv(&res))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("CSV written to {path}");
+    }
+
+    let no_critical = res.count_no_critical(GAP_REL_TOL);
+    let max_gap_pct = res.max_gap() * 100.0;
+    let simulated = res.count_simulated();
+
+    if opts.has("--json") {
+        let outcomes: Vec<Json> = res
+            .outcomes
+            .iter()
+            .map(|o| {
+                Json::Obj(vec![
+                    ("seed", Json::UInt(u128::from(o.seed))),
+                    ("num_paths", Json::UInt(o.num_paths)),
+                    ("mct", Json::Num(o.mct)),
+                    ("period", Json::Num(o.period)),
+                    ("gap", Json::Num(o.gap())),
+                    (
+                        "resolution",
+                        Json::str(match o.resolution {
+                            Resolution::Exact => "exact",
+                            Resolution::Simulated => "simulated",
+                        }),
+                    ),
+                ])
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("model", Json::str(model_name(model))),
+            (
+                "config",
+                Json::Obj(vec![
+                    ("stages", Json::UInt(stages as u128)),
+                    ("procs", Json::UInt(procs as u128)),
+                    ("comp", range_json(comp)),
+                    ("comm", range_json(comm)),
+                ]),
+            ),
+            ("count", Json::UInt(count as u128)),
+            ("seed", Json::UInt(u128::from(seed))),
+            ("cap", Json::UInt(cap as u128)),
+            ("no_critical", Json::UInt(no_critical as u128)),
+            ("max_gap_pct", Json::Num(max_gap_pct)),
+            ("simulated", Json::UInt(simulated as u128)),
+            ("outcomes", Json::Arr(outcomes)),
+        ]);
+        print!("{}", doc.to_string_pretty());
+    } else {
+        println!(
+            "{model_name} model, {stages} stages on {procs} procs, comp {} comm {}",
+            range_text(comp),
+            range_text(comm),
+            model_name = model_name(model),
+        );
+        println!("experiments        : {count} (seeds {seed}..{})", seed + count as u64);
+        println!(
+            "no critical resource: {no_critical} ({:.2}%)",
+            100.0 * no_critical as f64 / count.max(1) as f64
+        );
+        println!("max gap             : {max_gap_pct:.3}%");
+        println!("simulator fallback  : {simulated}");
+        if opts.has("--hist") {
+            let gaps: Vec<f64> = res
+                .outcomes
+                .iter()
+                .filter(|o| o.no_critical_resource(GAP_REL_TOL))
+                .map(|o| o.gap() * 100.0)
+                .collect();
+            if gaps.is_empty() {
+                println!("\n(no positive gaps to plot)");
+            } else {
+                println!("\ngap distribution (% over M_ct):");
+                print!("{}", repwf_gen::stats::histogram(&gaps, 10, 50));
+            }
+        }
+    }
+    Ok(())
+}
+
+fn range_json(r: Range) -> Json {
+    Json::Obj(vec![("lo", Json::Num(r.lo)), ("hi", Json::Num(r.hi))])
+}
+
+fn range_text(r: Range) -> String {
+    if r.lo == r.hi {
+        format!("{}", r.lo)
+    } else {
+        format!("{}..{}", r.lo, r.hi)
+    }
+}

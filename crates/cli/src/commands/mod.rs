@@ -1,0 +1,8 @@
+//! One module per `repwf` subcommand.
+
+pub mod campaign;
+pub mod dot;
+pub mod gantt;
+pub mod period;
+pub mod simulate;
+pub mod table2;

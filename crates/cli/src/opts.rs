@@ -1,0 +1,142 @@
+//! Tiny dependency-free option parsing shared by the subcommands.
+
+use repwf_core::fixtures::{example_a, example_b, example_c};
+use repwf_core::model::{CommModel, Instance};
+use repwf_core::period::Method;
+use repwf_gen::Range;
+use std::str::FromStr;
+
+/// Parsed command-line tokens: `--name value` pairs, `--switch`es and
+/// positional arguments, validated against the declared sets.
+pub struct Opts {
+    positional: Vec<String>,
+    pairs: Vec<(String, String)>,
+    switches: Vec<String>,
+}
+
+impl Opts {
+    /// Parses `args`, accepting only the declared option names.
+    pub fn parse(args: &[String], valued: &[&str], switches: &[&str]) -> Result<Opts, String> {
+        let mut out =
+            Opts { positional: Vec::new(), pairs: Vec::new(), switches: Vec::new() };
+        let mut k = 0;
+        while k < args.len() {
+            let token = args[k].as_str();
+            if valued.contains(&token) {
+                let value = args
+                    .get(k + 1)
+                    .ok_or_else(|| format!("option {token} needs a value"))?;
+                out.pairs.push((token.to_string(), value.clone()));
+                k += 2;
+            } else if switches.contains(&token) {
+                out.switches.push(token.to_string());
+                k += 1;
+            } else if token.starts_with('-') && token != "-" {
+                return Err(format!("unknown option {token}"));
+            } else {
+                out.positional.push(token.to_string());
+                k += 1;
+            }
+        }
+        Ok(out)
+    }
+
+    /// Positional arguments, in order.
+    pub fn positional(&self) -> &[String] {
+        &self.positional
+    }
+
+    /// Last value given for `name`.
+    pub fn get(&self, name: &str) -> Option<&str> {
+        self.pairs.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    /// Whether switch `name` was given.
+    pub fn has(&self, name: &str) -> bool {
+        self.switches.iter().any(|n| n == name)
+    }
+
+    /// Parses the value of `name`, or returns `default` when absent.
+    pub fn get_or<T: FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.get(name) {
+            None => Ok(default),
+            Some(raw) => {
+                raw.parse().map_err(|_| format!("invalid value for {name}: {raw:?}"))
+            }
+        }
+    }
+}
+
+/// Loads the instance selected by `--example` / `--file` (default:
+/// Example A).
+pub fn load_instance(opts: &Opts) -> Result<Instance, String> {
+    if let Some(path) = opts.get("--file") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        return repwf_core::textfmt::from_text(&text)
+            .map_err(|e| format!("cannot parse {path}: {e}"));
+    }
+    match opts.get("--example").unwrap_or("a") {
+        "a" => Ok(example_a()),
+        "b" => Ok(example_b()),
+        "c" => Ok(example_c()),
+        other => Err(format!("unknown example {other:?} (expected a, b or c)")),
+    }
+}
+
+/// Parses `--model` (default: overlap).
+pub fn parse_model(opts: &Opts) -> Result<CommModel, String> {
+    match opts.get("--model").unwrap_or("overlap") {
+        "overlap" => Ok(CommModel::Overlap),
+        "strict" => Ok(CommModel::Strict),
+        other => Err(format!("unknown model {other:?} (expected overlap or strict)")),
+    }
+}
+
+/// Human-readable short name of a model.
+pub fn model_name(model: CommModel) -> &'static str {
+    match model {
+        CommModel::Overlap => "overlap",
+        CommModel::Strict => "strict",
+    }
+}
+
+/// Parses `--method` (default: auto).
+pub fn parse_method(opts: &Opts) -> Result<Method, String> {
+    match opts.get("--method").unwrap_or("auto") {
+        "auto" => Ok(Method::Auto),
+        "polynomial" => Ok(Method::Polynomial),
+        "full-tpn" => Ok(Method::FullTpn),
+        "tpn-simulation" => Ok(Method::TpnSimulation),
+        other => Err(format!(
+            "unknown method {other:?} (expected auto, polynomial, full-tpn or tpn-simulation)"
+        )),
+    }
+}
+
+/// Parses a time range: `lo..hi` or a single constant `v`.
+pub fn parse_range(raw: &str) -> Result<Range, String> {
+    if let Some((lo, hi)) = raw.split_once("..") {
+        let lo: f64 = lo.parse().map_err(|_| format!("invalid range bound {lo:?}"))?;
+        let hi: f64 = hi.parse().map_err(|_| format!("invalid range bound {hi:?}"))?;
+        if !(lo > 0.0 && hi >= lo) {
+            return Err(format!("range {raw:?} must satisfy 0 < lo <= hi"));
+        }
+        Ok(Range::new(lo, hi))
+    } else {
+        let v: f64 = raw.parse().map_err(|_| format!("invalid range {raw:?}"))?;
+        if v <= 0.0 {
+            return Err(format!("range constant {raw:?} must be positive"));
+        }
+        Ok(Range::constant(v))
+    }
+}
+
+/// `--threads` with the hardware default.
+pub fn parse_threads(opts: &Opts) -> Result<usize, String> {
+    let threads = opts.get_or("--threads", repwf_par::max_threads())?;
+    if threads == 0 {
+        return Err("--threads must be at least 1".to_string());
+    }
+    Ok(threads)
+}

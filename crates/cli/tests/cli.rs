@@ -1,0 +1,72 @@
+//! End-to-end tests of the `repwf` binary: paper-fixture agreement and
+//! thread-count determinism (the PR's acceptance criteria).
+
+use std::process::Command;
+
+fn repwf(args: &[&str]) -> (String, String, bool) {
+    let out = Command::new(env!("CARGO_BIN_EXE_repwf"))
+        .args(args)
+        .output()
+        .expect("spawn repwf");
+    (
+        String::from_utf8(out.stdout).expect("utf8 stdout"),
+        String::from_utf8(out.stderr).expect("utf8 stderr"),
+        out.status.success(),
+    )
+}
+
+/// Extracts the first `"key": <number>` field of a JSON dump.
+fn json_num(doc: &str, key: &str) -> f64 {
+    let tag = format!("\"{key}\": ");
+    let at = doc.find(&tag).unwrap_or_else(|| panic!("no {key} in:\n{doc}"));
+    let rest = &doc[at + tag.len()..];
+    let end = rest.find([',', '\n', '}']).expect("number terminator");
+    rest[..end].trim().parse().unwrap_or_else(|e| panic!("bad number for {key}: {e}"))
+}
+
+#[test]
+fn period_matches_paper_example_a() {
+    // Overlap one-port: period 189, critical resource = out-port of P0.
+    let (doc, _, ok) = repwf(&["period", "--example", "a", "--model", "overlap", "--json"]);
+    assert!(ok);
+    assert!((json_num(&doc, "period") - 189.0).abs() < 1e-6, "{doc}");
+    assert!(doc.contains("\"has_critical_resource\": true"), "{doc}");
+
+    // Strict one-port: M_ct = 1295/6 ≈ 215.83 strictly below P̂ ≈ 230.7.
+    let (doc, _, ok) = repwf(&["period", "--example", "a", "--model", "strict", "--json"]);
+    assert!(ok);
+    assert!((json_num(&doc, "mct") - 1295.0 / 6.0).abs() < 1e-6, "{doc}");
+    assert!((json_num(&doc, "period") - 230.7).abs() < 0.06, "{doc}");
+    assert!(doc.contains("\"has_critical_resource\": false"), "{doc}");
+}
+
+#[test]
+fn simulate_agrees_with_analysis_on_example_a() {
+    let (doc, _, ok) =
+        repwf(&["simulate", "--example", "a", "--model", "overlap", "--json"]);
+    assert!(ok);
+    assert!((json_num(&doc, "period") - 189.0).abs() < 1e-3, "{doc}");
+}
+
+#[test]
+fn campaign_json_is_identical_at_any_thread_count() {
+    let base = [
+        "campaign", "--stages", "2", "--procs", "6", "--comm", "5..10", "--count", "16",
+        "--seed", "77", "--model", "strict", "--json",
+    ];
+    let (one, _, ok1) = repwf(&[&base[..], &["--threads", "1"]].concat());
+    assert!(ok1);
+    let many = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4);
+    let many = many.to_string();
+    let (n, _, okn) = repwf(&[&base[..], &["--threads", &many]].concat());
+    assert!(okn);
+    assert_eq!(one, n, "campaign output must not depend on --threads");
+    assert!(one.contains("\"outcomes\""));
+}
+
+#[test]
+fn unknown_command_fails_with_usage() {
+    let (_, err, ok) = repwf(&["frobnicate"]);
+    assert!(!ok);
+    assert!(err.contains("unknown command"), "{err}");
+}

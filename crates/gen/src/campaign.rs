@@ -1,20 +1,37 @@
-//! Parallel experiment campaigns: period vs. `M_ct` on random instances.
+//! The parallel experiment campaign engine: period vs. `M_ct` on random
+//! instances.
 //!
 //! Each experiment draws an instance, computes the critical-resource bound
 //! `M_ct` and the actual period, and records whether a critical resource
 //! exists (`P̂ = M_ct`) or not (`P̂ > M_ct`, the paper's surprising regime).
-//! Work is distributed over threads with crossbeam's scoped spawns; results
-//! are merged under a `parking_lot` mutex.
+//!
+//! # Engine
+//!
+//! Experiments run on the [`repwf_par`] **work-stealing** executor (this
+//! replaced the original static crossbeam thread loop, whose fixed
+//! partition stalled whole workers on simulator-fallback experiments).
+//! Three properties are guaranteed:
+//!
+//! * **Determinism at any thread count** — experiment `k` derives *all* of
+//!   its randomness from `StdRng::seed_from_u64(seed_base + k)`, and
+//!   results are returned in seed order, so a campaign's
+//!   [`CampaignResult`] is bit-identical for `threads = 1` and
+//!   `threads = N` (tested below and in the `repwf` CLI).
+//! * **Streaming aggregation** — running counts (`done`, `no_critical`,
+//!   `simulated`, `max_gap`) are folded in as experiments complete, so a
+//!   progress consumer never scans the outcome vector.
+//! * **Progress callbacks** — [`run_campaign_with`] reports a
+//!   [`Progress`] snapshot after every finished experiment (from worker
+//!   threads: callbacks must be `Sync`).
 
 use crate::sampler::{sample_instance, GenConfig};
-use parking_lot::Mutex;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use repwf_core::model::CommModel;
 use repwf_core::period::{compute_period_with, Method, PeriodError};
 use repwf_core::tpn_build::{BuildError, BuildOptions};
 use repwf_sim::{simulate, SimOptions};
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
 
 /// How one experiment was resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -27,7 +44,7 @@ pub enum Resolution {
 }
 
 /// Outcome of one experiment.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ExperimentOutcome {
     /// Seed used to draw the instance (reproducible).
     pub seed: u64,
@@ -54,7 +71,7 @@ impl ExperimentOutcome {
 }
 
 /// Aggregated campaign result.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CampaignResult {
     /// All outcomes (one per experiment), in seed order.
     pub outcomes: Vec<ExperimentOutcome>,
@@ -76,6 +93,28 @@ impl CampaignResult {
         self.outcomes.iter().filter(|o| o.resolution == Resolution::Simulated).count()
     }
 }
+
+/// Relative-gap tolerance below which an experiment counts as having a
+/// critical resource (shared by the streaming aggregates and Table 2).
+pub const GAP_REL_TOL: f64 = 1e-7;
+
+/// Streaming snapshot passed to progress callbacks after every experiment.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Progress {
+    /// Experiments finished so far.
+    pub done: usize,
+    /// Campaign size.
+    pub total: usize,
+    /// Finished experiments without a critical resource (at [`GAP_REL_TOL`]).
+    pub no_critical: usize,
+    /// Finished experiments resolved by the simulator fallback.
+    pub simulated: usize,
+    /// Maximum relative gap seen so far.
+    pub max_gap: f64,
+}
+
+/// Progress callback type: invoked from worker threads.
+pub type ProgressFn<'a> = &'a (dyn Fn(Progress) + Sync);
 
 /// Runs one experiment (public for reuse by benches/tests).
 pub fn run_one(cfg: &GenConfig, model: CommModel, seed: u64, cap: usize) -> ExperimentOutcome {
@@ -111,7 +150,7 @@ pub fn run_one(cfg: &GenConfig, model: CommModel, seed: u64, cap: usize) -> Expe
     }
 }
 
-/// Runs `count` experiments for a configuration in parallel over `threads`
+/// Runs `count` experiments for a configuration over `threads` work-stealing
 /// workers (seeds `seed_base..seed_base+count`).
 pub fn run_campaign(
     cfg: &GenConfig,
@@ -121,26 +160,41 @@ pub fn run_campaign(
     threads: usize,
     cap: usize,
 ) -> CampaignResult {
-    let next = AtomicU64::new(0);
-    let results: Mutex<Vec<Option<ExperimentOutcome>>> = Mutex::new(vec![None; count]);
-    crossbeam::scope(|scope| {
-        for _ in 0..threads.max(1) {
-            scope.spawn(|_| loop {
-                let k = next.fetch_add(1, Ordering::Relaxed);
-                if k >= count as u64 {
-                    break;
-                }
-                let outcome = run_one(cfg, model, seed_base + k, cap);
-                results.lock()[k as usize] = Some(outcome);
-            });
+    run_campaign_with(cfg, model, count, seed_base, threads, cap, None)
+}
+
+/// [`run_campaign`] with an optional streaming progress callback.
+pub fn run_campaign_with(
+    cfg: &GenConfig,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    threads: usize,
+    cap: usize,
+    progress: Option<ProgressFn<'_>>,
+) -> CampaignResult {
+    let agg = Mutex::new(Progress {
+        done: 0,
+        total: count,
+        no_critical: 0,
+        simulated: 0,
+        max_gap: 0.0,
+    });
+    let outcomes = repwf_par::par_map(threads, count, |k| {
+        let outcome = run_one(cfg, model, seed_base + k as u64, cap);
+        if let Some(callback) = progress {
+            let snapshot = {
+                let mut a = agg.lock().expect("progress aggregate poisoned");
+                a.done += 1;
+                a.no_critical += usize::from(outcome.no_critical_resource(GAP_REL_TOL));
+                a.simulated += usize::from(outcome.resolution == Resolution::Simulated);
+                a.max_gap = a.max_gap.max(outcome.gap());
+                *a
+            };
+            callback(snapshot);
         }
-    })
-    .expect("campaign worker panicked");
-    let outcomes = results
-        .into_inner()
-        .into_iter()
-        .map(|o| o.expect("all experiments completed"))
-        .collect();
+        outcome
+    });
     CampaignResult { outcomes }
 }
 
@@ -148,6 +202,7 @@ pub fn run_campaign(
 mod tests {
     use super::*;
     use crate::sampler::Range;
+    use std::sync::Mutex;
 
     fn small_cfg() -> GenConfig {
         GenConfig { stages: 2, procs: 7, comp: Range::constant(1.0), comm: Range::new(5.0, 10.0) }
@@ -169,6 +224,18 @@ mod tests {
         for (x, y) in a.outcomes.iter().zip(&b.outcomes) {
             assert_eq!(x.seed, y.seed);
             assert!((x.period - y.period).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn bit_identical_across_thread_counts() {
+        // Stronger than the tolerance check above: the whole result must be
+        // byte-for-byte equal for every thread count (the work-stealing
+        // schedule must never leak into the numbers).
+        let reference = run_campaign(&small_cfg(), CommModel::Strict, 24, 900, 1, 200_000);
+        for threads in [2, 3, 4, 16] {
+            let other = run_campaign(&small_cfg(), CommModel::Strict, 24, 900, threads, 200_000);
+            assert_eq!(reference, other, "threads={threads}");
         }
     }
 
@@ -196,5 +263,27 @@ mod tests {
         for o in &res.outcomes {
             assert!(o.period >= o.mct - 1e-6 * o.mct);
         }
+    }
+
+    #[test]
+    fn progress_streams_to_completion() {
+        let seen: Mutex<Vec<Progress>> = Mutex::new(Vec::new());
+        let res = run_campaign_with(
+            &small_cfg(),
+            CommModel::Overlap,
+            12,
+            500,
+            3,
+            200_000,
+            Some(&|p| seen.lock().unwrap().push(p)),
+        );
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 12, "one snapshot per experiment");
+        let last = seen.iter().max_by_key(|p| p.done).unwrap();
+        assert_eq!(last.done, 12);
+        assert_eq!(last.total, 12);
+        assert_eq!(last.no_critical, res.count_no_critical(GAP_REL_TOL));
+        assert_eq!(last.simulated, res.count_simulated());
+        assert!((last.max_gap - res.max_gap()).abs() < 1e-15);
     }
 }

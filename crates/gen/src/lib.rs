@@ -1,15 +1,55 @@
 //! **repwf-gen** — random instance generation and the paper's experiment
 //! campaign (§5, Table 2).
 //!
-//! * [`sampler`] — draws random (pipeline, platform, mapping) instances with
-//!   computation/communication times uniform in configured ranges, exactly
-//!   like the paper's setup ("all relevant parameters … randomly chosen
-//!   uniformly within the ranges indicated in Table 2").
-//! * [`campaign`] — runs batches of experiments in parallel (crossbeam
-//!   scoped threads), comparing the actual period against the critical
-//!   resource cycle-time `M_ct` for both communication models.
-//! * [`table2`] — the twelve experiment families of Table 2, with the
-//!   paper's counts, and a CSV/console reporter.
+//! The paper's experimental section draws thousands of random (pipeline,
+//! platform, mapping) triples and asks one question per draw: *does some
+//! resource's cycle-time dictate the period* (`P̂ = M_ct`), or does the
+//! round-robin interference of replicated stages push the period strictly
+//! above every resource's load (`P̂ > M_ct`)? This crate reproduces that
+//! pipeline end to end:
+//!
+//! * [`sampler`] — draws random instances with computation/communication
+//!   times uniform in configured ranges, exactly like the paper's setup
+//!   ("all relevant parameters … randomly chosen uniformly within the
+//!   ranges indicated in Table 2"). The `w/Π` model cannot produce
+//!   independently-uniform per-pair times, so a shape-preserving
+//!   speed/size decomposition is used (see [`sampler::Range`]).
+//! * [`campaign`] — the parallel experiment engine. Experiments run on the
+//!   [`repwf_par`] **work-stealing** executor; each experiment is seeded
+//!   from its own index, so campaign results are **bit-identical at every
+//!   thread count**. Progress callbacks stream running aggregates
+//!   ([`campaign::Progress`]) as experiments finish, and strict-model
+//!   instances whose TPN exceeds the size cap transparently fall back to
+//!   the discrete-event simulator ([`campaign::Resolution::Simulated`]).
+//! * [`table2`] — the twelve experiment families of Table 2 with the
+//!   paper's counts (5152 experiments total), runnable at any scale, with
+//!   console/CSV reporters.
+//! * [`stats`] — quantiles, ASCII histograms and per-experiment CSV dumps
+//!   for campaign post-processing.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use repwf_core::model::CommModel;
+//! use repwf_gen::{run_campaign, GenConfig, Range};
+//!
+//! // 40 experiments from the paper's hardest family: 2 stages over 7
+//! // processors, unit computations, communications uniform in [5, 10].
+//! let cfg = GenConfig {
+//!     stages: 2,
+//!     procs: 7,
+//!     comp: Range::constant(1.0),
+//!     comm: Range::new(5.0, 10.0),
+//! };
+//! let res = run_campaign(&cfg, CommModel::Strict, 40, 1, 4, 200_000);
+//! assert_eq!(res.outcomes.len(), 40);
+//! // Some draws exhibit the paper's headline regime: no critical resource.
+//! let surprising = res.count_no_critical(1e-7);
+//! assert!(surprising <= 40);
+//! ```
+//!
+//! The `repwf` CLI (`crates/cli`) exposes this engine as
+//! `repwf campaign` / `repwf table2`.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
@@ -19,6 +59,6 @@ pub mod sampler;
 pub mod stats;
 pub mod table2;
 
-pub use campaign::{run_campaign, CampaignResult, ExperimentOutcome};
+pub use campaign::{run_campaign, run_campaign_with, CampaignResult, ExperimentOutcome, Progress};
 pub use sampler::{sample_instance, GenConfig, Range};
 pub use table2::{table2_rows, Table2Row};

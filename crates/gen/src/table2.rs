@@ -6,7 +6,7 @@
 //! experiment count evenly between the two sizes, matching the paper's
 //! grand total of 5152 experiments.
 
-use crate::campaign::{run_campaign, CampaignResult};
+use crate::campaign::{run_campaign_with, CampaignResult, ProgressFn, GAP_REL_TOL};
 use crate::sampler::{GenConfig, Range};
 use repwf_core::model::CommModel;
 use std::fmt::Write as _;
@@ -92,12 +92,35 @@ pub struct RowResult {
 /// Runs one row at a `scale` fraction of the paper's count (≥ 1 experiment
 /// per size), distributing seeds deterministically.
 pub fn run_row(row: &Table2Row, scale: f64, seed_base: u64, threads: usize, cap: usize) -> RowResult {
+    run_row_with(row, scale, seed_base, threads, cap, None)
+}
+
+/// [`run_row`] with a streaming progress callback (one [`Progress`]
+/// snapshot per finished experiment, per size sub-campaign).
+///
+/// [`Progress`]: crate::campaign::Progress
+pub fn run_row_with(
+    row: &Table2Row,
+    scale: f64,
+    seed_base: u64,
+    threads: usize,
+    cap: usize,
+    progress: Option<ProgressFn<'_>>,
+) -> RowResult {
     let mut outcomes: Option<CampaignResult> = None;
     let mut total = 0usize;
     let per_size = ((row.paper_count as f64 * scale / row.sizes.len() as f64).round() as usize).max(1);
     for (k, &(stages, procs)) in row.sizes.iter().enumerate() {
         let cfg = GenConfig { stages, procs, comp: row.comp, comm: row.comm };
-        let res = run_campaign(&cfg, row.model, per_size, seed_base + 1_000_000 * k as u64, threads, cap);
+        let res = run_campaign_with(
+            &cfg,
+            row.model,
+            per_size,
+            seed_base + 1_000_000 * k as u64,
+            threads,
+            cap,
+            progress,
+        );
         total += res.outcomes.len();
         outcomes = Some(match outcomes {
             None => res,
@@ -111,7 +134,7 @@ pub fn run_row(row: &Table2Row, scale: f64, seed_base: u64, threads: usize, cap:
     RowResult {
         row: row.clone(),
         total,
-        no_critical: res.count_no_critical(1e-7),
+        no_critical: res.count_no_critical(GAP_REL_TOL),
         max_gap_pct: res.max_gap() * 100.0,
         simulated: res.count_simulated(),
     }

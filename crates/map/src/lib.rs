@@ -8,12 +8,35 @@
 //!
 //! * [`greedy`] — a work-proportional greedy constructor,
 //! * [`local_search`] — hill climbing over add/remove/move/swap moves,
-//! * [`optimize`] — multi-start search combining both.
+//! * [`optimize`] — multi-start search combining both,
+//! * [`annealing`] — simulated annealing over the same move set, for
+//!   instances where hill climbing stalls in local optima.
+//!
+//! The oracle is [`evaluate`]: it validates a candidate, calls
+//! `repwf_core::period::compute_period`, and transparently falls back to
+//! the `repwf-sim` discrete-event simulator when the strict-model TPN
+//! exceeds the size cap — so the search never dead-ends on large `lcm`
+//! replication patterns.
 //!
 //! A subtlety worth noting (and property-tested): because replicas serve
 //! data sets in **round-robin**, adding a slow processor to a stage can
 //! *decrease* throughput — the slow replica handles the same share as the
 //! fast ones. The local search therefore also considers removing replicas.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use repwf_core::model::{CommModel, Pipeline, Platform};
+//! use repwf_map::{optimize, SearchOptions};
+//!
+//! // A skewed two-stage pipeline on four unit-speed processors: the
+//! // optimum replicates the heavy stage three-fold.
+//! let pipeline = Pipeline::new(vec![2.0, 9.0], vec![0.001]).unwrap();
+//! let platform = Platform::uniform(4, 1.0, 1000.0);
+//! let result = optimize(&pipeline, &platform, &SearchOptions::default());
+//! assert_eq!(result.mapping.replicas(1), 3);
+//! assert!((result.period - 3.0).abs() < 1e-9);
+//! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

@@ -1,0 +1,257 @@
+//! **repwf-par** — a small work-stealing parallel-map executor.
+//!
+//! The experiment campaigns of `repwf-gen` are embarrassingly parallel but
+//! heavily *imbalanced*: one experiment may solve in microseconds with the
+//! polynomial algorithm while its neighbour falls back to a 20 000-data-set
+//! simulation. A static partition of the seed space therefore leaves cores
+//! idle; this crate provides the work-stealing `par_map` that replaced the
+//! original hand-rolled scoped-thread loops.
+//!
+//! # Design
+//!
+//! * Each worker owns a deque of *index ranges*. Work starts evenly
+//!   partitioned; a worker takes single indices from the **back** of its own
+//!   deque and, when empty, steals **half of the front range** of a victim —
+//!   the classic split-task scheme (cf. rayon / Bobpp's deterministic
+//!   partitioning), implemented here with `std` mutexes because tasks are
+//!   coarse (µs–ms each).
+//! * Results are keyed by index: the output `Vec` is in input order and
+//!   **bit-identical for every thread count**, provided the mapped closure
+//!   derives all randomness from its index (the campaign engine seeds one
+//!   RNG per experiment).
+//! * No `unsafe`, no dependencies; scoped threads keep borrows alive.
+//!
+//! ```
+//! let squares = repwf_par::par_map(4, 100, |i| i * i);
+//! assert_eq!(squares[7], 49);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+/// A half-open index range `[start, end)` owned by a worker deque.
+type Span = (usize, usize);
+
+/// Number of hardware threads (fallback 4 when undetectable).
+pub fn max_threads() -> usize {
+    std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4)
+}
+
+/// Applies `f` to every index in `0..n` on `threads` workers with work
+/// stealing, returning the results in index order.
+///
+/// The result is independent of `threads` and of the stealing schedule as
+/// long as `f` itself is a pure function of its index.
+pub fn par_map<T, F>(threads: usize, n: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(n.max(1));
+    if threads == 1 {
+        return (0..n).map(f).collect();
+    }
+
+    // Even initial partition: worker w starts with one contiguous span.
+    let mut deques: Vec<Mutex<VecDeque<Span>>> = Vec::with_capacity(threads);
+    let (chunk, rem) = (n / threads, n % threads);
+    let mut start = 0;
+    for w in 0..threads {
+        let len = chunk + usize::from(w < rem);
+        let mut deque = VecDeque::with_capacity(4);
+        if len > 0 {
+            deque.push_back((start, start + len));
+        }
+        deques.push(Mutex::new(deque));
+        start += len;
+    }
+    debug_assert_eq!(start, n);
+
+    // First panic payload of any worker; re-raised on the caller's thread.
+    let panic: Mutex<Option<Box<dyn std::any::Any + Send>>> = Mutex::new(None);
+    let aborted = AtomicBool::new(false);
+    let deques = &deques;
+    let panic = &panic;
+    let aborted = &aborted;
+    let f = &f;
+
+    let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|w| scope.spawn(move || worker(w, threads, deques, panic, aborted, n, f)))
+            .collect();
+        handles.into_iter().map(|h| h.join().expect("par_map worker died")).collect()
+    });
+
+    if let Some(payload) = panic.lock().expect("panic slot poisoned").take() {
+        resume_unwind(payload);
+    }
+    let mut out: Vec<Option<T>> = (0..n).map(|_| None).collect();
+    for part in parts {
+        for (i, v) in part {
+            debug_assert!(out[i].is_none(), "index {i} computed twice");
+            out[i] = Some(v);
+        }
+    }
+    out.into_iter().map(|o| o.expect("all indices computed")).collect()
+}
+
+fn worker<T, F>(
+    me: usize,
+    threads: usize,
+    deques: &[Mutex<VecDeque<Span>>],
+    panic: &Mutex<Option<Box<dyn std::any::Any + Send>>>,
+    aborted: &AtomicBool,
+    n: usize,
+    f: &F,
+) -> Vec<(usize, T)>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let mut local: Vec<(usize, T)> = Vec::with_capacity(n / threads + 2);
+    // Termination needs no idle spinning: remainder spans are re-queued
+    // under the same lock acquisition that pops them, and only a deque's
+    // owner pushes into it, so work never hides outside every deque for
+    // longer than a thief's own re-queue. When both pop and steal come up
+    // empty the visible work is gone and this worker can leave; whoever
+    // holds the last spans drains them before leaving too.
+    while !aborted.load(Ordering::Acquire) {
+        let Some(i) = pop_own(&deques[me]).or_else(|| steal(me, threads, deques)) else {
+            break;
+        };
+        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+            Ok(v) => local.push((i, v)),
+            Err(payload) => {
+                panic.lock().expect("panic slot poisoned").get_or_insert(payload);
+                aborted.store(true, Ordering::Release);
+                break;
+            }
+        }
+    }
+    local
+}
+
+/// Takes one index from the back of the worker's own deque.
+fn pop_own(deque: &Mutex<VecDeque<Span>>) -> Option<usize> {
+    let mut q = deque.lock().expect("deque poisoned");
+    let (a, b) = q.pop_back()?;
+    if a + 1 < b {
+        q.push_back((a + 1, b));
+    }
+    Some(a)
+}
+
+/// Steals half of the front span of the first non-empty victim; the stolen
+/// remainder goes to the thief's own deque.
+fn steal(me: usize, threads: usize, deques: &[Mutex<VecDeque<Span>>]) -> Option<usize> {
+    for k in 1..threads {
+        let victim = (me + k) % threads;
+        let stolen = {
+            let mut q = deques[victim].lock().expect("deque poisoned");
+            match q.pop_front() {
+                Some((a, b)) if b - a > 1 => {
+                    let mid = a + (b - a) / 2;
+                    q.push_front((mid, b)); // victim keeps the back half
+                    Some((a, mid))
+                }
+                other => other,
+            }
+        };
+        if let Some((a, b)) = stolen {
+            if a + 1 < b {
+                deques[me].lock().expect("deque poisoned").push_back((a + 1, b));
+            }
+            return Some(a);
+        }
+    }
+    None
+}
+
+/// [`par_map`] with a completion callback: `progress(done)` fires after
+/// every finished item with the running completion count (monotone but
+/// unordered — items finish in schedule order, not index order).
+pub fn par_map_progress<T, F, P>(threads: usize, n: usize, f: F, progress: P) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+    P: Fn(usize) + Sync,
+{
+    let done = AtomicUsize::new(0);
+    par_map(threads, n, |i| {
+        let v = f(i);
+        progress(done.fetch_add(1, Ordering::AcqRel) + 1);
+        v
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn matches_serial_map() {
+        let serial: Vec<usize> = (0..1000).map(|i| i * 3 + 1).collect();
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(par_map(threads, 1000, |i| i * 3 + 1), serial, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn empty_and_tiny_inputs() {
+        assert_eq!(par_map(8, 0, |i| i), Vec::<usize>::new());
+        assert_eq!(par_map(8, 1, |i| i + 5), vec![5]);
+        assert_eq!(par_map(1, 3, |i| i), vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn imbalanced_work_completes() {
+        // Front-loaded work forces stealing from the first worker's span.
+        let out = par_map(4, 64, |i| {
+            if i < 8 {
+                let mut acc = 0u64;
+                for k in 0..200_000u64 {
+                    acc = acc.wrapping_add(k ^ i as u64);
+                }
+                acc & 1
+            } else {
+                i as u64 & 1
+            }
+        });
+        assert_eq!(out.len(), 64);
+    }
+
+    #[test]
+    fn progress_reaches_total() {
+        let peak = AtomicUsize::new(0);
+        let n = 257;
+        par_map_progress(3, n, |i| i, |done| {
+            peak.fetch_max(done, Ordering::Relaxed);
+        });
+        assert_eq!(peak.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn more_threads_than_items() {
+        assert_eq!(par_map(32, 5, |i| i * i), vec![0, 1, 4, 9, 16]);
+    }
+
+    #[test]
+    fn closure_panic_propagates() {
+        // A panicking task must fail the whole par_map loudly (not hang).
+        let caught = std::panic::catch_unwind(|| {
+            par_map(4, 100, |i| {
+                assert!(i != 57, "boom at {i}");
+                i
+            })
+        });
+        let payload = caught.expect_err("panic must propagate to the caller");
+        let message = payload.downcast_ref::<String>().expect("panic message");
+        assert!(message.contains("boom at 57"), "{message}");
+    }
+}

@@ -138,7 +138,8 @@ pub fn simulate_noisy(
 }
 
 /// Estimates the expected steady-state period under `noise` over
-/// `replications` independent runs.
+/// `replications` independent runs (sequentially; see
+/// [`estimate_period_par`] for the multi-core variant).
 pub fn estimate_period(
     inst: &Instance,
     model: CommModel,
@@ -147,12 +148,26 @@ pub fn estimate_period(
     replications: usize,
     seed: u64,
 ) -> StochasticEstimate {
-    let samples: Vec<f64> = (0..replications)
-        .map(|k| {
-            let opts = SimOptions { data_sets, record_ops: false };
-            simulate_noisy(inst, model, noise, &opts, seed + k as u64).period_estimate()
-        })
-        .collect();
+    estimate_period_par(inst, model, noise, data_sets, replications, seed, 1)
+}
+
+/// [`estimate_period`] over `threads` work-stealing workers.
+///
+/// Replication `k` uses seed `seed + k` regardless of scheduling, so the
+/// estimate is bit-identical at every thread count.
+pub fn estimate_period_par(
+    inst: &Instance,
+    model: CommModel,
+    noise: Noise,
+    data_sets: u64,
+    replications: usize,
+    seed: u64,
+    threads: usize,
+) -> StochasticEstimate {
+    let samples: Vec<f64> = repwf_par::par_map(threads, replications, |k| {
+        let opts = SimOptions { data_sets, record_ops: false };
+        simulate_noisy(inst, model, noise, &opts, seed + k as u64).period_estimate()
+    });
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let var = if samples.len() > 1 {
         samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64

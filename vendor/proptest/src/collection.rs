@@ -1,0 +1,44 @@
+//! Collection strategies.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use core::ops::Range;
+use rand::Rng;
+
+/// Strategy for `Vec`s with a length drawn from `size` and elements from
+/// `element`.
+pub fn vec<S: Strategy>(element: S, size: Range<usize>) -> VecStrategy<S> {
+    VecStrategy { element, size }
+}
+
+/// Strategy returned by [`vec()`].
+pub struct VecStrategy<S> {
+    element: S,
+    size: Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let len = rng.gen_range(self.size.start..self.size.end);
+        (0..len).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn vec_respects_size_and_elements() {
+        let mut rng = new_rng("vec");
+        let s = vec(0u32..7, 1..20);
+        for _ in 0..100 {
+            let v = s.generate(&mut rng);
+            assert!((1..20).contains(&v.len()));
+            assert!(v.iter().all(|&x| x < 7));
+        }
+    }
+}

@@ -1,0 +1,175 @@
+//! Value-generation strategies (no shrinking).
+
+use crate::test_runner::TestRng;
+use rand::Rng;
+
+/// A recipe for generating values of `Self::Value`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Generates one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps generated values through `f`.
+    fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Strategy returned by [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+    type Value = U;
+
+    fn generate(&self, rng: &mut TestRng) -> U {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+macro_rules! numeric_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for core::ops::Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.start..self.end)
+            }
+        }
+        impl Strategy for core::ops::RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(*self.start()..=*self.end())
+            }
+        }
+    )*};
+}
+
+numeric_range_strategy!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        #[allow(non_snake_case)]
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, G)
+}
+
+/// `&str` regexes generate matching strings. Only the tiny dialect the
+/// workspace uses is supported: one character class with `a-b` ranges and
+/// literals, followed by an optional `{lo,hi}` / `{n}` repetition (a bare
+/// class means exactly one character).
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, lo, hi) = parse_simple_regex(self)
+            .unwrap_or_else(|| panic!("unsupported regex strategy: {self:?}"));
+        let len = rng.gen_range(lo..=hi);
+        (0..len).map(|_| alphabet[rng.gen_range(0..alphabet.len())]).collect()
+    }
+}
+
+fn parse_simple_regex(pattern: &str) -> Option<(Vec<char>, usize, usize)> {
+    let rest = pattern.strip_prefix('[')?;
+    let close = rest.find(']')?;
+    let class: Vec<char> = rest[..close].chars().collect();
+    let mut alphabet = Vec::new();
+    let mut k = 0;
+    while k < class.len() {
+        if k + 2 < class.len() && class[k + 1] == '-' {
+            let (a, b) = (class[k] as u32, class[k + 2] as u32);
+            if a > b {
+                return None;
+            }
+            alphabet.extend((a..=b).filter_map(char::from_u32));
+            k += 3;
+        } else {
+            alphabet.push(class[k]);
+            k += 1;
+        }
+    }
+    if alphabet.is_empty() {
+        return None;
+    }
+    let suffix = &rest[close + 1..];
+    if suffix.is_empty() {
+        return Some((alphabet, 1, 1));
+    }
+    let counts = suffix.strip_prefix('{')?.strip_suffix('}')?;
+    let (lo, hi) = match counts.split_once(',') {
+        Some((lo, hi)) => (lo.trim().parse().ok()?, hi.trim().parse().ok()?),
+        None => {
+            let n = counts.trim().parse().ok()?;
+            (n, n)
+        }
+    };
+    Some((alphabet, lo, hi))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::test_runner::new_rng;
+
+    #[test]
+    fn ranges_and_tuples_generate_in_bounds() {
+        let mut rng = new_rng("ranges_and_tuples");
+        let s = (2usize..5, 0.5f64..1.5, 1u32..=3);
+        for _ in 0..200 {
+            let (a, b, c) = s.generate(&mut rng);
+            assert!((2..5).contains(&a));
+            assert!((0.5..1.5).contains(&b));
+            assert!((1..=3).contains(&c));
+        }
+    }
+
+    #[test]
+    fn prop_map_applies() {
+        let mut rng = new_rng("prop_map");
+        let s = (1u32..5).prop_map(|v| v * 10);
+        for _ in 0..50 {
+            let v = s.generate(&mut rng);
+            assert!((10..50).contains(&v) && v % 10 == 0);
+        }
+    }
+
+    #[test]
+    fn printable_ascii_regex() {
+        let mut rng = new_rng("regex");
+        let s = "[ -~]{0,12}";
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() <= 12);
+            assert!(v.chars().all(|c| (' '..='~').contains(&c)), "{v:?}");
+        }
+    }
+
+    #[test]
+    fn fixed_count_regex() {
+        let mut rng = new_rng("regex_fixed");
+        let v = "[a-c]{4}".generate(&mut rng);
+        assert_eq!(v.len(), 4);
+        assert!(v.chars().all(|c| ('a'..='c').contains(&c)));
+    }
+}
