@@ -1,0 +1,368 @@
+//! `repwf bench` — the tracked benchmark suite of the period engine.
+//!
+//! Times the three hot kernels of the reproduction — single-instance
+//! period solves (cold / engine-reused / warm-started), the parallel
+//! campaign, and annealing over mapping space — and writes the results to
+//! `BENCH_period.json` so the perf trajectory of the repository is
+//! recorded in-tree and CI can compare runs against the committed
+//! baseline.
+//!
+//! Two kinds of numbers are reported:
+//!
+//! * `benchmarks` — absolute wall-clock timings (µs/solve, experiments/s),
+//!   best-of-chunks to shrug off scheduler noise. Machine-dependent;
+//!   informational, for tracking trends on a fixed box.
+//! * `indices` — **dimensionless speedup ratios** (engine vs. cold, warm
+//!   vs. cold, N-thread vs. 1-thread campaign). Mostly machine-independent;
+//!   these are what `--check` gates on, so a laptop baseline does not fail
+//!   a CI runner on raw clock speed.
+
+use crate::json::{parse, Json, JsonValue};
+use crate::opts::Opts;
+use repwf_core::engine::PeriodEngine;
+use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
+use repwf_core::period::{compute_period_with, Method};
+use repwf_core::tpn_build::BuildOptions;
+use repwf_gen::campaign::run_campaign;
+use repwf_gen::{GenConfig, Range};
+use repwf_map::annealing::{anneal, AnnealOptions};
+use repwf_map::greedy;
+use std::time::{Duration, Instant};
+
+const HELP: &str = "\
+repwf bench — run the tracked benchmark suite and emit BENCH_period.json
+
+OPTIONS:
+  --quick            small workloads (CI smoke; same schema, fewer iters)
+  --out PATH         where to write the JSON report (default: BENCH_period.json)
+  --threads K        parallel-campaign worker threads (default: min(8, hardware))
+  --seed S           campaign/annealing base seed (default: 2009)
+  --check BASELINE   compare speedup indices against a committed baseline
+                     and fail on regression
+  --tolerance F      allowed relative index regression for --check (default: 0.30)
+  --json             also print the report to stdout
+";
+
+/// One timed kernel: `elements` abstract work items per iteration.
+struct BenchLine {
+    name: &'static str,
+    iters: usize,
+    elements: u64,
+    total: Duration,
+    /// Best observed per-iteration time (seconds) over the timing chunks —
+    /// the statistic `per_iter_us`, `throughput` and the speedup indices
+    /// are derived from. "Best of N chunks" is robust against noisy-
+    /// neighbor spikes on shared CI runners, where a mean over one short
+    /// window is not.
+    best_per_iter_s: f64,
+}
+
+impl BenchLine {
+    fn per_iter_us(&self) -> f64 {
+        self.best_per_iter_s * 1e6
+    }
+
+    fn throughput(&self) -> f64 {
+        self.elements as f64 / self.best_per_iter_s.max(1e-12)
+    }
+}
+
+/// Times `iters` runs of `f` in up to 5 chunks (after one warm-up call,
+/// which pays the arena growth we want to exclude) and keeps the best
+/// chunk's per-iteration time.
+fn time_kernel<F: FnMut()>(
+    name: &'static str,
+    iters: usize,
+    elements: u64,
+    mut f: F,
+) -> BenchLine {
+    f(); // warm-up
+    let chunks = iters.clamp(1, 5);
+    let mut total = Duration::ZERO;
+    let mut best_per_iter_s = f64::INFINITY;
+    let mut done = 0usize;
+    for c in 0..chunks {
+        let k = iters / chunks + usize::from(c < iters % chunks);
+        if k == 0 {
+            continue;
+        }
+        let start = Instant::now();
+        for _ in 0..k {
+            f();
+        }
+        let d = start.elapsed();
+        total += d;
+        best_per_iter_s = best_per_iter_s.min(d.as_secs_f64() / k as f64);
+        done += k;
+    }
+    BenchLine { name, iters: done, elements, total, best_per_iter_s }
+}
+
+/// The single-instance workload: 3 stages replicated 4/5/3 on 12
+/// heterogeneous processors — `m = lcm(4,5,3) = 60` TPN rows, 300
+/// transitions under the strict model. Large enough that the solve
+/// dominates, small enough for thousands of iterations.
+fn bench_instance() -> Instance {
+    let pipeline = Pipeline::new(vec![5.0, 7.0, 3.0], vec![2.0, 2.0]).unwrap();
+    let mut platform = Platform::uniform(12, 1.0, 1.0);
+    for u in 0..12 {
+        platform.set_speed(u, 1.0 + 0.07 * u as f64);
+    }
+    let mapping = Mapping::new(vec![
+        (0..4).collect(),
+        (4..9).collect(),
+        (9..12).collect(),
+    ])
+    .unwrap();
+    Instance::new(pipeline, platform, mapping).unwrap()
+}
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let opts = Opts::parse(
+        args,
+        &["--out", "--threads", "--seed", "--check", "--tolerance"],
+        &["--quick", "--json", "--help"],
+    )?;
+    if opts.has("--help") {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let quick = opts.has("--quick");
+    let out_path = opts.get("--out").unwrap_or("BENCH_period.json").to_string();
+    let hw = repwf_par::max_threads();
+    let threads = opts.get_or("--threads", hw.min(8))?;
+    let seed = opts.get_or("--seed", 2009u64)?;
+    let tolerance: f64 = opts.get_or("--tolerance", 0.30)?;
+
+    let mut lines: Vec<BenchLine> = Vec::new();
+
+    // --- kernel 1: single-instance period solves (strict, full TPN) ---
+    let inst = bench_instance();
+    let build_opts = BuildOptions { labels: false, ..BuildOptions::default() };
+    let period_iters = if quick { 200 } else { 1000 };
+
+    let reference = compute_period_with(&inst, CommModel::Strict, Method::FullTpn, &build_opts)
+        .map_err(|e| format!("bench instance failed to solve: {e}"))?;
+    lines.push(time_kernel("period_full_tpn_cold", period_iters, 1, || {
+        let r = compute_period_with(&inst, CommModel::Strict, Method::FullTpn, &build_opts)
+            .expect("solves");
+        assert_eq!(r.period.to_bits(), reference.period.to_bits());
+    }));
+
+    let mut engine = PeriodEngine::new();
+    lines.push(time_kernel("period_full_tpn_engine", period_iters, 1, || {
+        let r = engine.compute(&inst, CommModel::Strict, Method::FullTpn).expect("solves");
+        assert_eq!(r.period.to_bits(), reference.period.to_bits());
+    }));
+
+    let mut warm_engine = PeriodEngine::new().warm_start(true);
+    lines.push(time_kernel("period_full_tpn_warm", period_iters, 1, || {
+        let r = warm_engine.compute(&inst, CommModel::Strict, Method::FullTpn).expect("solves");
+        assert_eq!(r.period.to_bits(), reference.period.to_bits());
+    }));
+
+    // --- kernel 2: the campaign (strict model, the paper's gap regime) ---
+    let cfg = GenConfig {
+        stages: 2,
+        procs: 7,
+        comp: Range::constant(1.0),
+        comm: Range::new(5.0, 10.0),
+    };
+    let campaign_count = if quick { 96 } else { 512 };
+    let campaign_reps = if quick { 3 } else { 5 };
+    let cap = 400_000;
+    let t1 = time_kernel("campaign_strict_1t", campaign_reps, campaign_count as u64, || {
+        let res = run_campaign(&cfg, CommModel::Strict, campaign_count, seed, 1, cap);
+        assert_eq!(res.outcomes.len(), campaign_count);
+    });
+    let tn = time_kernel("campaign_strict_nt", campaign_reps, campaign_count as u64, || {
+        let res = run_campaign(&cfg, CommModel::Strict, campaign_count, seed, threads, cap);
+        assert_eq!(res.outcomes.len(), campaign_count);
+    });
+    let campaign_speedup = tn.throughput() / t1.throughput();
+    lines.push(t1);
+    lines.push(tn);
+
+    // --- kernel 3: annealing over mapping space (warm-engine oracle) ---
+    let pipeline = Pipeline::new(vec![8.0, 24.0, 8.0], vec![0.5, 0.5]).unwrap();
+    let mut platform = Platform::uniform(9, 1.0, 10.0);
+    for u in 0..9 {
+        platform.set_speed(u, 1.0 + 0.1 * u as f64);
+    }
+    let anneal_steps = if quick { 200 } else { 1200 };
+    let anneal_opts = AnnealOptions {
+        model: CommModel::Strict,
+        steps: anneal_steps,
+        seed,
+        ..AnnealOptions::default()
+    };
+    let start_mapping = greedy(&pipeline, &platform);
+    let mut anneal_evals = 0u64;
+    let anneal_line = time_kernel("anneal_strict", 2, 1, || {
+        let res = anneal(&pipeline, &platform, start_mapping.clone(), &anneal_opts);
+        anneal_evals = res.evaluations as u64;
+        assert!(res.period.is_finite());
+    });
+    let anneal_line = BenchLine { elements: anneal_evals.max(1), ..anneal_line };
+    lines.push(anneal_line);
+
+    // --- dimensionless indices (what --check gates on) ---
+    let per_iter = |name: &str| {
+        lines
+            .iter()
+            .find(|l| l.name == name)
+            .map(BenchLine::per_iter_us)
+            .expect("kernel ran")
+    };
+    let indices: Vec<(&'static str, f64)> = vec![
+        ("engine_reuse_speedup", per_iter("period_full_tpn_cold") / per_iter("period_full_tpn_engine")),
+        ("warm_start_speedup", per_iter("period_full_tpn_cold") / per_iter("period_full_tpn_warm")),
+        ("campaign_parallel_speedup", campaign_speedup),
+    ];
+
+    // --- report ---
+    let doc = Json::Obj(vec![
+        ("schema", Json::str("repwf-bench/v1")),
+        ("quick", Json::Bool(quick)),
+        ("threads", Json::UInt(threads as u128)),
+        ("seed", Json::UInt(u128::from(seed))),
+        (
+            "benchmarks",
+            Json::Arr(
+                lines
+                    .iter()
+                    .map(|l| {
+                        Json::Obj(vec![
+                            ("name", Json::str(l.name)),
+                            ("iters", Json::UInt(l.iters as u128)),
+                            ("elements", Json::UInt(u128::from(l.elements))),
+                            ("total_s", Json::Num(l.total.as_secs_f64())),
+                            ("per_iter_us", Json::Num(l.per_iter_us())),
+                            ("throughput_per_s", Json::Num(l.throughput())),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        (
+            "indices",
+            Json::Arr(
+                indices
+                    .iter()
+                    .map(|&(name, value)| {
+                        Json::Obj(vec![("name", Json::str(name)), ("value", Json::Num(value))])
+                    })
+                    .collect(),
+            ),
+        ),
+    ]);
+    let rendered = doc.to_string_pretty();
+    std::fs::write(&out_path, &rendered)
+        .map_err(|e| format!("cannot write {out_path}: {e}"))?;
+
+    // Human summary on stderr (stdout stays clean for --json consumers).
+    eprintln!("benchmarks ({}):", if quick { "quick" } else { "full" });
+    for l in &lines {
+        eprintln!(
+            "  {:24} {:>10.1} us/iter  {:>12.1} elem/s",
+            l.name,
+            l.per_iter_us(),
+            l.throughput()
+        );
+    }
+    for (name, value) in &indices {
+        eprintln!("  {name:24} {value:>10.3}x");
+    }
+    eprintln!("report written to {out_path}");
+
+    if opts.has("--json") {
+        print!("{rendered}");
+    }
+
+    if let Some(baseline_path) = opts.get("--check") {
+        check_against_baseline(baseline_path, &indices, tolerance, quick, threads)?;
+        eprintln!(
+            "check against {baseline_path}: OK (tolerance {:.0}%)",
+            tolerance * 100.0
+        );
+    }
+    Ok(())
+}
+
+/// Compares the dimensionless indices of this run against a committed
+/// baseline report; errors when any index regressed by more than
+/// `tolerance` (relative). A baseline index with no counterpart in the
+/// current run is an error (a renamed index must not turn the gate into a
+/// vacuous pass), and mismatched `quick`/`threads` settings are warned
+/// about (the comparison still runs — the indices are dimensionless, but
+/// workload sizes affect their noise).
+fn check_against_baseline(
+    baseline_path: &str,
+    indices: &[(&'static str, f64)],
+    tolerance: f64,
+    quick: bool,
+    threads: usize,
+) -> Result<(), String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let baseline =
+        parse(&text).map_err(|e| format!("baseline {baseline_path} does not parse: {e}"))?;
+    if baseline.get("schema").and_then(JsonValue::as_str) != Some("repwf-bench/v1") {
+        return Err(format!("baseline {baseline_path} has an unknown schema"));
+    }
+    if baseline.get("quick") != Some(&JsonValue::Bool(quick)) {
+        eprintln!(
+            "warning: baseline {baseline_path} was recorded with quick={}, this run has quick={quick}",
+            matches!(baseline.get("quick"), Some(JsonValue::Bool(true)))
+        );
+    }
+    if let Some(base_threads) = baseline.get("threads").and_then(JsonValue::as_f64) {
+        if base_threads as usize != threads {
+            eprintln!(
+                "warning: baseline {baseline_path} used {base_threads} campaign threads, this run uses {threads}"
+            );
+        }
+    }
+    let baseline_indices = baseline
+        .get("indices")
+        .and_then(JsonValue::as_arr)
+        .ok_or_else(|| format!("baseline {baseline_path} has no indices array"))?;
+
+    let mut regressions = Vec::new();
+    let mut compared = 0usize;
+    for entry in baseline_indices {
+        let name = entry
+            .get("name")
+            .and_then(JsonValue::as_str)
+            .ok_or_else(|| format!("baseline {baseline_path}: index entry without a name"))?;
+        let old = entry
+            .get("value")
+            .and_then(JsonValue::as_f64)
+            .ok_or_else(|| format!("baseline {baseline_path}: index {name} has no value"))?;
+        let Some(&(_, new)) = indices.iter().find(|(n, _)| *n == name) else {
+            return Err(format!(
+                "baseline index {name} is not produced by this bench build — \
+                 regenerate {baseline_path} (the gate must not pass vacuously)"
+            ));
+        };
+        compared += 1;
+        if new < old * (1.0 - tolerance) {
+            regressions.push(format!(
+                "{name}: {new:.3}x vs baseline {old:.3}x ({:+.1}%)",
+                100.0 * (new - old) / old
+            ));
+        }
+    }
+    if compared == 0 {
+        return Err(format!("baseline {baseline_path} contains no comparable indices"));
+    }
+    if regressions.is_empty() {
+        Ok(())
+    } else {
+        Err(format!(
+            "performance regression beyond {:.0}% tolerance:\n  {}",
+            tolerance * 100.0,
+            regressions.join("\n  ")
+        ))
+    }
+}

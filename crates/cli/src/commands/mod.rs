@@ -1,5 +1,6 @@
 //! One module per `repwf` subcommand.
 
+pub mod bench;
 pub mod campaign;
 pub mod dot;
 pub mod gantt;

@@ -114,9 +114,244 @@ fn write_escaped(out: &mut String, s: &str) {
     out.push('"');
 }
 
+/// A parsed JSON value (owned keys, unlike the writer-side [`Json`] whose
+/// object keys are static). Used by `repwf bench --check` to read committed
+/// baselines back in.
+#[derive(Debug, Clone, PartialEq)]
+pub enum JsonValue {
+    /// `null`
+    Null,
+    /// `true` / `false`
+    Bool(bool),
+    /// Any JSON number.
+    Num(f64),
+    /// String.
+    Str(String),
+    /// Array.
+    Arr(Vec<JsonValue>),
+    /// Object, in document order.
+    Obj(Vec<(String, JsonValue)>),
+}
+
+impl JsonValue {
+    /// Member of an object by key.
+    pub fn get(&self, key: &str) -> Option<&JsonValue> {
+        match self {
+            JsonValue::Obj(fields) => fields.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// Numeric value, if this is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            JsonValue::Num(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// String value, if this is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            JsonValue::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// Array items, if this is an array.
+    pub fn as_arr(&self) -> Option<&[JsonValue]> {
+        match self {
+            JsonValue::Arr(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+/// Parses a JSON document (strict enough for round-tripping this crate's
+/// own output; errors carry a byte offset).
+pub fn parse(text: &str) -> Result<JsonValue, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let value = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing content at byte {pos}"));
+    }
+    Ok(value)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        None => Err("unexpected end of input".to_string()),
+        Some(b'{') => {
+            *pos += 1;
+            let mut fields = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b'}') {
+                *pos += 1;
+                return Ok(JsonValue::Obj(fields));
+            }
+            loop {
+                skip_ws(b, pos);
+                let JsonValue::Str(key) = parse_value(b, pos)? else {
+                    return Err(format!("object key must be a string at byte {pos}"));
+                };
+                skip_ws(b, pos);
+                if b.get(*pos) != Some(&b':') {
+                    return Err(format!("expected ':' at byte {pos}"));
+                }
+                *pos += 1;
+                fields.push((key, parse_value(b, pos)?));
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b'}') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Obj(fields));
+                    }
+                    _ => return Err(format!("expected ',' or '}}' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'[') => {
+            *pos += 1;
+            let mut items = Vec::new();
+            skip_ws(b, pos);
+            if b.get(*pos) == Some(&b']') {
+                *pos += 1;
+                return Ok(JsonValue::Arr(items));
+            }
+            loop {
+                items.push(parse_value(b, pos)?);
+                skip_ws(b, pos);
+                match b.get(*pos) {
+                    Some(b',') => *pos += 1,
+                    Some(b']') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Arr(items));
+                    }
+                    _ => return Err(format!("expected ',' or ']' at byte {pos}")),
+                }
+            }
+        }
+        Some(b'"') => {
+            *pos += 1;
+            let mut out = String::new();
+            loop {
+                match b.get(*pos) {
+                    None => return Err("unterminated string".to_string()),
+                    Some(b'"') => {
+                        *pos += 1;
+                        return Ok(JsonValue::Str(out));
+                    }
+                    Some(b'\\') => {
+                        *pos += 1;
+                        match b.get(*pos) {
+                            Some(b'"') => out.push('"'),
+                            Some(b'\\') => out.push('\\'),
+                            Some(b'/') => out.push('/'),
+                            Some(b'n') => out.push('\n'),
+                            Some(b'r') => out.push('\r'),
+                            Some(b't') => out.push('\t'),
+                            Some(b'u') => {
+                                let hex = b
+                                    .get(*pos + 1..*pos + 5)
+                                    .ok_or("truncated \\u escape")?;
+                                let code = u32::from_str_radix(
+                                    std::str::from_utf8(hex).map_err(|e| e.to_string())?,
+                                    16,
+                                )
+                                .map_err(|e| e.to_string())?;
+                                out.push(
+                                    char::from_u32(code)
+                                        .ok_or_else(|| format!("bad \\u escape {code:#x}"))?,
+                                );
+                                *pos += 4;
+                            }
+                            other => return Err(format!("bad escape {other:?}")),
+                        }
+                        *pos += 1;
+                    }
+                    Some(_) => {
+                        // Consume one UTF-8 scalar (multi-byte safe).
+                        let rest = std::str::from_utf8(&b[*pos..]).map_err(|e| e.to_string())?;
+                        let c = rest.chars().next().expect("non-empty");
+                        out.push(c);
+                        *pos += c.len_utf8();
+                    }
+                }
+            }
+        }
+        Some(b't') if b[*pos..].starts_with(b"true") => {
+            *pos += 4;
+            Ok(JsonValue::Bool(true))
+        }
+        Some(b'f') if b[*pos..].starts_with(b"false") => {
+            *pos += 5;
+            Ok(JsonValue::Bool(false))
+        }
+        Some(b'n') if b[*pos..].starts_with(b"null") => {
+            *pos += 4;
+            Ok(JsonValue::Null)
+        }
+        Some(_) => {
+            let start = *pos;
+            while *pos < b.len()
+                && matches!(b[*pos], b'0'..=b'9' | b'-' | b'+' | b'.' | b'e' | b'E')
+            {
+                *pos += 1;
+            }
+            let raw = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            raw.parse::<f64>()
+                .map(JsonValue::Num)
+                .map_err(|_| format!("invalid number {raw:?} at byte {start}"))
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn parse_round_trips_writer_output() {
+        let doc = Json::Obj(vec![
+            ("name", Json::str("bench \"x\"\n")),
+            ("value", Json::Num(1.25)),
+            ("count", Json::UInt(42)),
+            ("flag", Json::Bool(true)),
+            ("missing", Json::Null),
+            ("xs", Json::Arr(vec![Json::Num(-3.5), Json::Num(1e-9)])),
+            ("empty_arr", Json::Arr(vec![])),
+            ("empty_obj", Json::Obj(vec![])),
+        ]);
+        let parsed = parse(&doc.to_string_pretty()).unwrap();
+        assert_eq!(parsed.get("name").unwrap().as_str().unwrap(), "bench \"x\"\n");
+        assert_eq!(parsed.get("value").unwrap().as_f64().unwrap(), 1.25);
+        assert_eq!(parsed.get("count").unwrap().as_f64().unwrap(), 42.0);
+        assert_eq!(parsed.get("flag").unwrap(), &JsonValue::Bool(true));
+        assert_eq!(parsed.get("missing").unwrap(), &JsonValue::Null);
+        let xs = parsed.get("xs").unwrap().as_arr().unwrap();
+        assert_eq!(xs[0].as_f64().unwrap(), -3.5);
+        assert_eq!(xs[1].as_f64().unwrap(), 1e-9);
+        assert_eq!(parsed.get("empty_arr").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!(parse("{").is_err());
+        assert!(parse("[1, 2,]").is_err());
+        assert!(parse("{\"a\" 1}").is_err());
+        assert!(parse("123 456").is_err());
+        assert!(parse("\"unterminated").is_err());
+    }
 
     #[test]
     fn renders_nested_documents() {

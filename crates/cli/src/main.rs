@@ -8,6 +8,7 @@
 //! repwf simulate  [--example a|b|c | --file F] [--model M] [--data-sets N] [--json]
 //! repwf campaign  --stages N --procs P [--comp LO..HI] [--comm LO..HI]
 //!                 [--count N] [--seed S] [--threads K] [--model M] [--json]
+//! repwf bench     [--quick] [--out F] [--threads K] [--check BASELINE] [--json]
 //! repwf table2    [--scale F | --full] [--threads K] [--seed S] [--csv F] [--json]
 //! repwf gantt     <a-strict|a-overlap|b-overlap> [--periods K] [--svg F]
 //! repwf dot       <overlap|strict|overlap-critical|strict-critical|subtpn-a-f1|subtpn-b-f0> [-o F]
@@ -32,6 +33,7 @@ COMMANDS:
   simulate   estimate the period with the discrete-event simulator
   campaign   run a random-experiment campaign (period vs. M_ct)
   table2     reproduce the paper's Table 2 experiment families
+  bench      run the tracked benchmark suite (emits BENCH_period.json)
   gantt      render the paper's Gantt figures (ASCII / SVG)
   dot        emit a TPN figure as Graphviz DOT
   help       show this message
@@ -56,6 +58,7 @@ fn main() -> ExitCode {
         "period" => commands::period::run(rest),
         "simulate" => commands::simulate::run(rest),
         "campaign" => commands::campaign::run(rest),
+        "bench" => commands::bench::run(rest),
         "table2" => commands::table2::run(rest),
         "gantt" => commands::gantt::run(rest),
         "dot" => commands::dot::run(rest),

@@ -65,6 +65,65 @@ fn campaign_json_is_identical_at_any_thread_count() {
 }
 
 #[test]
+fn bench_emits_parseable_report_and_check_passes_against_self() {
+    let dir = std::env::temp_dir().join(format!("repwf-bench-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let out = dir.join("BENCH_period.json");
+    let out_s = out.to_str().unwrap();
+
+    let (_, err, ok) = repwf(&["bench", "--quick", "--out", out_s]);
+    assert!(ok, "{err}");
+    let doc = std::fs::read_to_string(&out).expect("report written");
+    assert!(doc.contains("\"schema\": \"repwf-bench/v1\""), "{doc}");
+    for name in [
+        "period_full_tpn_cold",
+        "period_full_tpn_engine",
+        "period_full_tpn_warm",
+        "campaign_strict_1t",
+        "campaign_strict_nt",
+        "anneal_strict",
+        "engine_reuse_speedup",
+        "warm_start_speedup",
+        "campaign_parallel_speedup",
+    ] {
+        assert!(doc.contains(name), "missing {name} in:\n{doc}");
+    }
+
+    // A fresh run checked against the report we just wrote must pass (the
+    // machine did not change under us; tolerance absorbs the noise).
+    let out2 = dir.join("BENCH_again.json");
+    let (_, err, ok) = repwf(&[
+        "bench", "--quick", "--out", out2.to_str().unwrap(), "--check", out_s,
+        "--tolerance", "0.9",
+    ]);
+    assert!(ok, "{err}");
+    assert!(err.contains("check against"), "{err}");
+
+    // A doctored baseline with an unreachable index must fail the check.
+    let doctored = doc.replace(
+        "\"name\": \"warm_start_speedup\",",
+        "\"name\": \"warm_start_speedup\", \"ignored\": 1,",
+    );
+    let inflated = dir.join("BENCH_inflated.json");
+    // Rewrite the warm_start_speedup value to an absurd 10000x.
+    let mut lines: Vec<String> = doctored.lines().map(String::from).collect();
+    for i in 0..lines.len() {
+        if lines[i].contains("warm_start_speedup") {
+            lines[i + 1] = "      \"value\": 10000.0".to_string();
+        }
+    }
+    std::fs::write(&inflated, lines.join("\n")).unwrap();
+    let (_, err, ok) = repwf(&[
+        "bench", "--quick", "--out", out2.to_str().unwrap(), "--check",
+        inflated.to_str().unwrap(),
+    ]);
+    assert!(!ok, "doctored baseline must fail the check");
+    assert!(err.contains("regression"), "{err}");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn unknown_command_fails_with_usage() {
     let (_, err, ok) = repwf(&["frobnicate"]);
     assert!(!ok);

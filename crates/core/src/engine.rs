@@ -1,0 +1,303 @@
+//! The zero-allocation period engine.
+//!
+//! Every headline experiment of the paper — the Table 2 campaigns, the gap
+//! studies, annealing over mapping space — reduces to evaluating the
+//! max-plus period of thousands of slightly-different event graphs. The
+//! free-function API ([`crate::period::compute_period`]) pays full
+//! construction cost each time: a fresh TPN (transitions, places, labels),
+//! a fresh cycle-ratio graph, fresh Tarjan/Howard scratch. A
+//! [`PeriodEngine`] owns all of that as arenas:
+//!
+//! * the **TPN build arena** — one [`TimedEventGraph`] cleared and rebuilt
+//!   in place per call ([`crate::tpn_build::build_tpn_into`]);
+//! * the **solver scratch** — a [`tpn::analysis::PeriodScratch`] holding
+//!   the ratio-graph edge buffer and the `maxplus::Workspace` (CSR
+//!   adjacency, SCC arrays, Howard policy/value vectors);
+//!
+//! so a `compute` call is allocation-free once the buffers have grown to
+//! the largest instance seen (modulo labels, if enabled, and the witness
+//! description in the report).
+//!
+//! # Warm starts
+//!
+//! With [`PeriodEngine::warm_start`] enabled, Howard's policy iteration is
+//! seeded with the converged policy of the *previous* solve whenever the
+//! graph shape matches — which is exactly what happens when a mapping
+//! search evaluates neighbor mappings of the same shape, where typically
+//! only edge costs change. Warm starts change the search path, not the
+//! reported period (recomputed exactly from the witness circuit; on
+//! eps-level ties between distinct critical circuits — measure zero for
+//! generic costs — the reported witness, and hence the last bits of the
+//! ratio, may come from the other member of the tie).
+//!
+//! Warm starts are deliberately **off by default**: the campaign engine
+//! keeps one engine per worker thread, and with warm starts the *witness
+//! circuit* (not the period) could depend on which experiment a worker ran
+//! previously, i.e. on the work-stealing schedule. Cold-per-call engines
+//! keep every output a pure function of the experiment seed, preserving
+//! the bit-identical-at-any-thread-count guarantee. Sequential searches
+//! (`repwf_map::local_search`, `repwf_map::annealing`) enable warm starts.
+
+use crate::cycle_time::max_cycle_time;
+use crate::model::{CommModel, Instance};
+use crate::overlap_poly::{overlap_period, Bottleneck};
+use crate::paths::instance_num_paths;
+use crate::period::{Method, PeriodError, PeriodReport};
+use crate::tpn_build::{build_tpn_into, grid_transition, BuildError, BuildOptions};
+use tpn::analysis::PeriodScratch;
+use tpn::net::TimedEventGraph;
+
+/// Reusable period solver: owns the TPN build arena and the max-plus
+/// workspace, and optionally warm-starts Howard's iteration across calls.
+///
+/// ```
+/// use repwf_core::engine::PeriodEngine;
+/// use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
+/// use repwf_core::period::Method;
+///
+/// let pipeline = Pipeline::new(vec![10.0, 20.0], vec![4.0]).unwrap();
+/// let platform = Platform::uniform(3, 1.0, 1.0);
+/// let mapping = Mapping::new(vec![vec![0], vec![1, 2]]).unwrap();
+/// let inst = Instance::new(pipeline, platform, mapping).unwrap();
+///
+/// let mut engine = PeriodEngine::new();
+/// for _ in 0..3 {
+///     // Repeated evaluations reuse every internal buffer.
+///     let r = engine.compute(&inst, CommModel::Strict, Method::FullTpn).unwrap();
+///     assert!(r.period >= r.mct - 1e-9);
+/// }
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct PeriodEngine {
+    opts: BuildOptions,
+    warm: bool,
+    net: TimedEventGraph,
+    scratch: PeriodScratch,
+}
+
+impl PeriodEngine {
+    /// An engine with the hot-path defaults: no labels, default size cap,
+    /// cold starts.
+    pub fn new() -> Self {
+        PeriodEngine {
+            opts: BuildOptions { labels: false, ..BuildOptions::default() },
+            ..PeriodEngine::default()
+        }
+    }
+
+    /// An engine with explicit TPN build options (labels, size cap).
+    pub fn with_options(opts: BuildOptions) -> Self {
+        PeriodEngine { opts, ..PeriodEngine::default() }
+    }
+
+    /// Enables/disables warm-started policy iteration (builder-style).
+    /// See the module docs for when this is safe to turn on.
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.warm = on;
+        self
+    }
+
+    /// The TPN build options this engine applies.
+    pub fn options(&self) -> &BuildOptions {
+        &self.opts
+    }
+
+    /// Forgets the warm-start policy of the previous solve (the next call
+    /// behaves like a cold one even when warm starts are enabled).
+    pub fn reset_warm_start(&mut self) {
+        self.scratch.clear_warm_start();
+    }
+
+    /// Computes the per-data-set period of a mapped workflow, reusing the
+    /// engine's arenas. Results are identical to
+    /// [`crate::period::compute_period_with`] with the same options.
+    pub fn compute(
+        &mut self,
+        inst: &Instance,
+        model: CommModel,
+        method: Method,
+    ) -> Result<PeriodReport, PeriodError> {
+        let (mct, who) = max_cycle_time(inst, model);
+        let m = instance_num_paths(inst).ok_or(BuildError::PathCountOverflow)?;
+
+        let resolved = match method {
+            Method::Auto => {
+                if inst.mapping.is_one_to_one() {
+                    // No replication: the period is dictated by the critical
+                    // resource (§2 of the paper; also [3]).
+                    return Ok(PeriodReport {
+                        period: mct,
+                        mct,
+                        model,
+                        method: Method::Auto,
+                        num_paths: 1,
+                        critical: format!("P{} (S{})", who.proc, who.stage),
+                    });
+                }
+                match model {
+                    CommModel::Overlap => Method::Polynomial,
+                    CommModel::Strict => Method::FullTpn,
+                }
+            }
+            m => m,
+        };
+
+        match resolved {
+            Method::Polynomial => {
+                if model != CommModel::Overlap {
+                    return Err(PeriodError::PolynomialNeedsOverlap);
+                }
+                let a = overlap_period(inst);
+                let critical = match &a.bottleneck {
+                    Bottleneck::Computation { stage, proc } => {
+                        format!("computation S{stage} on P{proc}")
+                    }
+                    Bottleneck::Communication { file, residue, .. } => {
+                        format!("transfer of F{file}, component {residue}")
+                    }
+                };
+                Ok(PeriodReport {
+                    period: a.period,
+                    mct,
+                    model,
+                    method: Method::Polynomial,
+                    num_paths: m,
+                    critical,
+                })
+            }
+            Method::FullTpn => {
+                build_tpn_into(inst, model, &self.opts, &mut self.net)?;
+                let sol = tpn::analysis::period_with(&self.net, &mut self.scratch, self.warm)?
+                    .expect("mapping TPNs always contain circuits");
+                let critical = if self.opts.labels {
+                    let names: Vec<&str> = sol
+                        .critical
+                        .iter()
+                        .take(8)
+                        .map(|&t| self.net.transition(t).label.as_str())
+                        .collect();
+                    format!("cycle[{}]: {}", sol.critical.len(), names.join(" -> "))
+                } else {
+                    format!("cycle of {} transitions", sol.critical.len())
+                };
+                Ok(PeriodReport {
+                    period: sol.period / m as f64,
+                    mct,
+                    model,
+                    method: Method::FullTpn,
+                    num_paths: m,
+                    critical,
+                })
+            }
+            Method::TpnSimulation => {
+                let (rows, cols) = build_tpn_into(inst, model, &self.opts, &mut self.net)?;
+                // Enough firings to leave the transient: the transient of a
+                // TEG is bounded in practice by a few multiples of the row
+                // count.
+                let k = 12 * rows.max(8) + 256;
+                let schedule = tpn::sim::simulate(&self.net, k);
+                // Each last-column transition fires once per local period;
+                // in a net whose round-robin structure decouples into
+                // components the components free-run at different rates,
+                // and the sustainable period is the slowest — take the max
+                // over rows.
+                let window = k / 2;
+                let lambda = (0..rows)
+                    .map(|r| {
+                        let t = grid_transition(cols, r, cols - 1);
+                        schedule.period_estimate(t.0 as usize, window)
+                    })
+                    .fold(0.0f64, f64::max);
+                Ok(PeriodReport {
+                    period: lambda / m as f64,
+                    mct,
+                    model,
+                    method: Method::TpnSimulation,
+                    num_paths: m,
+                    critical: "estimated from simulated schedule".to_string(),
+                })
+            }
+            Method::Auto => unreachable!("Auto resolved above"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::{Mapping, Pipeline, Platform};
+    use crate::period::compute_period_with;
+
+    fn inst(replicas: &[usize], work: f64, file: f64) -> Instance {
+        let n = replicas.len();
+        let pipeline = Pipeline::new(vec![work; n], vec![file; n - 1]).unwrap();
+        let p: usize = replicas.iter().sum();
+        let platform = Platform::uniform(p, 1.0, 1.0);
+        let mut next = 0;
+        let assignment: Vec<Vec<usize>> = replicas
+            .iter()
+            .map(|&m| {
+                let procs: Vec<usize> = (next..next + m).collect();
+                next += m;
+                procs
+            })
+            .collect();
+        Instance::new(pipeline, platform, Mapping::new(assignment).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn engine_matches_free_function_bitwise() {
+        let opts = BuildOptions { labels: false, ..BuildOptions::default() };
+        let mut engine = PeriodEngine::with_options(opts.clone());
+        for replicas in [&[2usize, 3][..], &[1, 2, 2], &[3, 2]] {
+            let i = inst(replicas, 5.0, 4.0);
+            for model in [CommModel::Overlap, CommModel::Strict] {
+                for method in [Method::Auto, Method::FullTpn] {
+                    let a = compute_period_with(&i, model, method, &opts).unwrap();
+                    let b = engine.compute(&i, model, method).unwrap();
+                    assert_eq!(a.period.to_bits(), b.period.to_bits(), "{model} {method}");
+                    assert_eq!(a.mct.to_bits(), b.mct.to_bits());
+                    assert_eq!(a.num_paths, b.num_paths);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn warm_engine_is_bit_identical_to_cold() {
+        let mut cold = PeriodEngine::new();
+        let mut warm = PeriodEngine::new().warm_start(true);
+        // Same-shape instances with varying costs: the warm path actually
+        // reuses the previous policy here.
+        for k in 1..=6 {
+            let i = inst(&[2, 3], 4.0 + k as f64, 3.0 + 0.5 * k as f64);
+            let a = cold.compute(&i, CommModel::Strict, Method::FullTpn).unwrap();
+            let b = warm.compute(&i, CommModel::Strict, Method::FullTpn).unwrap();
+            assert_eq!(a.period.to_bits(), b.period.to_bits(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn engine_reports_build_errors() {
+        let i = inst(&[4, 5, 7, 9], 1.0, 1.0); // m = 1260
+        let mut engine =
+            PeriodEngine::with_options(BuildOptions { labels: false, max_transitions: 100 });
+        match engine.compute(&i, CommModel::Strict, Method::FullTpn) {
+            Err(PeriodError::Build(BuildError::TooLarge { m, .. })) => assert_eq!(m, 1260),
+            other => panic!("expected TooLarge, got {other:?}"),
+        }
+        // The engine stays usable after an error.
+        let ok = inst(&[2, 3], 5.0, 4.0);
+        assert!(engine.compute(&ok, CommModel::Strict, Method::FullTpn).is_ok());
+    }
+
+    #[test]
+    fn simulation_method_matches_free_function() {
+        let opts = BuildOptions { labels: false, ..BuildOptions::default() };
+        let i = inst(&[2, 3], 5.0, 4.0);
+        let mut engine = PeriodEngine::with_options(opts.clone());
+        let a = compute_period_with(&i, CommModel::Strict, Method::TpnSimulation, &opts).unwrap();
+        let b = engine.compute(&i, CommModel::Strict, Method::TpnSimulation).unwrap();
+        assert_eq!(a.period.to_bits(), b.period.to_bits());
+    }
+}

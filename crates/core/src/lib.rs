@@ -20,6 +20,9 @@
 //! * [`overlap_poly`] — Theorem 1: the polynomial algorithm for the
 //!   overlap one-port model (no TPN of size `m` ever materialized).
 //! * [`period`] — the unified period-computation API.
+//! * [`engine`] — the reusable, zero-allocation [`engine::PeriodEngine`]
+//!   (TPN build arena + max-plus workspace + warm-started Howard) for hot
+//!   loops that evaluate many related instances.
 //! * [`fixtures`] — the paper's Examples A, B and C.
 //!
 //! # Quickstart
@@ -44,6 +47,7 @@
 
 pub mod cycle_time;
 pub mod diagnose;
+pub mod engine;
 pub mod fixtures;
 pub mod latency;
 pub mod model;
@@ -55,5 +59,6 @@ pub mod textfmt;
 pub mod tpn_build;
 pub mod weighted;
 
+pub use engine::PeriodEngine;
 pub use model::{CommModel, Instance, Mapping, ModelError, Pipeline, Platform, ProcId, StageId};
 pub use period::{compute_period, Method, PeriodReport};

@@ -4,11 +4,8 @@
 //! all its numbers in this normalization; the raw TPN critical-cycle ratio
 //! is `m·P̂` since all `m` rows complete per TPN period).
 
-use crate::cycle_time::max_cycle_time;
 use crate::model::{CommModel, Instance};
-use crate::overlap_poly::{overlap_period, Bottleneck};
-use crate::paths::instance_num_paths;
-use crate::tpn_build::{build_tpn, BuildError, BuildOptions};
+use crate::tpn_build::{BuildError, BuildOptions};
 use std::fmt;
 use tpn::analysis::AnalysisError;
 
@@ -117,110 +114,17 @@ pub fn compute_period(inst: &Instance, model: CommModel, method: Method) -> Resu
 }
 
 /// [`compute_period`] with explicit TPN build options (labels, size cap).
+///
+/// One-shot convenience: builds a fresh [`crate::engine::PeriodEngine`]
+/// per call. Hot loops (campaigns, mapping searches) should hold an engine
+/// and reuse it — same results, no per-call allocation.
 pub fn compute_period_with(
     inst: &Instance,
     model: CommModel,
     method: Method,
     opts: &BuildOptions,
 ) -> Result<PeriodReport, PeriodError> {
-    let (mct, who) = max_cycle_time(inst, model);
-    let m = instance_num_paths(inst).ok_or(BuildError::PathCountOverflow)?;
-
-    let resolved = match method {
-        Method::Auto => {
-            if inst.mapping.is_one_to_one() {
-                // No replication: the period is dictated by the critical
-                // resource (§2 of the paper; also [3]).
-                return Ok(PeriodReport {
-                    period: mct,
-                    mct,
-                    model,
-                    method: Method::Auto,
-                    num_paths: 1,
-                    critical: format!("P{} (S{})", who.proc, who.stage),
-                });
-            }
-            match model {
-                CommModel::Overlap => Method::Polynomial,
-                CommModel::Strict => Method::FullTpn,
-            }
-        }
-        m => m,
-    };
-
-    match resolved {
-        Method::Polynomial => {
-            if model != CommModel::Overlap {
-                return Err(PeriodError::PolynomialNeedsOverlap);
-            }
-            let a = overlap_period(inst);
-            let critical = match &a.bottleneck {
-                Bottleneck::Computation { stage, proc } => format!("computation S{stage} on P{proc}"),
-                Bottleneck::Communication { file, residue, .. } => {
-                    format!("transfer of F{file}, component {residue}")
-                }
-            };
-            Ok(PeriodReport {
-                period: a.period,
-                mct,
-                model,
-                method: Method::Polynomial,
-                num_paths: m,
-                critical,
-            })
-        }
-        Method::FullTpn => {
-            let built = build_tpn(inst, model, opts)?;
-            let sol = tpn::analysis::period(&built.net)?
-                .expect("mapping TPNs always contain circuits");
-            let critical = if opts.labels {
-                let names: Vec<&str> = sol
-                    .critical
-                    .iter()
-                    .take(8)
-                    .map(|&t| built.net.transition(t).label.as_str())
-                    .collect();
-                format!("cycle[{}]: {}", sol.critical.len(), names.join(" -> "))
-            } else {
-                format!("cycle of {} transitions", sol.critical.len())
-            };
-            Ok(PeriodReport {
-                period: sol.period / m as f64,
-                mct,
-                model,
-                method: Method::FullTpn,
-                num_paths: m,
-                critical,
-            })
-        }
-        Method::TpnSimulation => {
-            let built = build_tpn(inst, model, opts)?;
-            // Enough firings to leave the transient: the transient of a TEG
-            // is bounded in practice by a few multiples of the row count.
-            let k = 12 * built.rows.max(8) + 256;
-            let schedule = tpn::sim::simulate(&built.net, k);
-            // Each last-column transition fires once per local period; in a
-            // net whose round-robin structure decouples into components the
-            // components free-run at different rates, and the sustainable
-            // period is the slowest — take the max over rows.
-            let window = k / 2;
-            let lambda = (0..built.rows)
-                .map(|r| {
-                    let t = built.at(r, built.cols - 1);
-                    schedule.period_estimate(t.0 as usize, window)
-                })
-                .fold(0.0f64, f64::max);
-            Ok(PeriodReport {
-                period: lambda / m as f64,
-                mct,
-                model,
-                method: Method::TpnSimulation,
-                num_paths: m,
-                critical: "estimated from simulated schedule".to_string(),
-            })
-        }
-        Method::Auto => unreachable!("Auto resolved above"),
-    }
+    crate::engine::PeriodEngine::with_options(opts.clone()).compute(inst, model, method)
 }
 
 #[cfg(test)]

@@ -82,11 +82,18 @@ pub struct BuiltTpn {
     pub cols: usize,
 }
 
+/// Transition id at grid position (row `j`, column `c`) of a row-major
+/// `rows × cols` TPN grid — the single place that knows the layout
+/// produced by [`build_tpn_into`].
+pub fn grid_transition(cols: usize, j: usize, c: usize) -> TransitionId {
+    TransitionId((j * cols + c) as u32)
+}
+
 impl BuiltTpn {
     /// Transition at grid position (row `j`, column `c`).
     pub fn at(&self, j: usize, c: usize) -> TransitionId {
         debug_assert!(j < self.rows && c < self.cols);
-        TransitionId((j * self.cols + c) as u32)
+        grid_transition(self.cols, j, c)
     }
 
     /// Grid position of a transition.
@@ -114,9 +121,25 @@ fn checked_dims(inst: &Instance, opts: &BuildOptions) -> Result<(usize, usize), 
 
 /// Builds the full TPN of a mapping under the given communication model.
 pub fn build_tpn(inst: &Instance, model: CommModel, opts: &BuildOptions) -> Result<BuiltTpn, BuildError> {
+    let mut net = TimedEventGraph::new();
+    let (rows, cols) = build_tpn_into(inst, model, opts, &mut net)?;
+    Ok(BuiltTpn { net, rows, cols })
+}
+
+/// [`build_tpn`] into a caller-owned net: clears `net` and rebuilds it in
+/// place, reusing its transition/place buffers. Returns the grid
+/// dimensions `(rows, cols)`. This is the arena primitive of
+/// [`crate::engine::PeriodEngine`], which re-evaluates thousands of
+/// mappings without re-allocating the net.
+pub fn build_tpn_into(
+    inst: &Instance,
+    model: CommModel,
+    opts: &BuildOptions,
+    net: &mut TimedEventGraph,
+) -> Result<(usize, usize), BuildError> {
     let (rows, cols) = checked_dims(inst, opts)?;
     let n = inst.num_stages();
-    let mut net = TimedEventGraph::with_capacity(rows * cols, rows * cols * 3);
+    net.clear();
 
     // --- transitions, row-major ---
     for j in 0..rows {
@@ -163,19 +186,19 @@ pub fn build_tpn(inst: &Instance, model: CommModel, opts: &BuildOptions) -> Resu
                 // constraint 2: computation round-robin per processor
                 for beta in 0..m_i {
                     let group: Vec<usize> = (beta..rows).step_by(m_i).collect();
-                    circuit(&mut net, &group, 2 * i, 2 * i, &format!("cpu S{i}#{beta}"));
+                    circuit(net, &group, 2 * i, 2 * i, &format!("cpu S{i}#{beta}"));
                 }
                 if i + 1 < n {
                     let m_next = inst.mapping.replicas(i + 1);
                     // constraint 3: out-port round-robin per sender
                     for alpha in 0..m_i {
                         let group: Vec<usize> = (alpha..rows).step_by(m_i).collect();
-                        circuit(&mut net, &group, 2 * i + 1, 2 * i + 1, &format!("out F{i}#{alpha}"));
+                        circuit(net, &group, 2 * i + 1, 2 * i + 1, &format!("out F{i}#{alpha}"));
                     }
                     // constraint 4: in-port round-robin per receiver
                     for beta in 0..m_next {
                         let group: Vec<usize> = (beta..rows).step_by(m_next).collect();
-                        circuit(&mut net, &group, 2 * i + 1, 2 * i + 1, &format!("in F{i}#{beta}"));
+                        circuit(net, &group, 2 * i + 1, 2 * i + 1, &format!("in F{i}#{beta}"));
                     }
                 }
             }
@@ -188,13 +211,13 @@ pub fn build_tpn(inst: &Instance, model: CommModel, opts: &BuildOptions) -> Resu
                 let first_col = if i == 0 { 0 } else { 2 * i - 1 };
                 for beta in 0..m_i {
                     let group: Vec<usize> = (beta..rows).step_by(m_i).collect();
-                    circuit(&mut net, &group, last_col, first_col, &format!("proc S{i}#{beta}"));
+                    circuit(net, &group, last_col, first_col, &format!("proc S{i}#{beta}"));
                 }
             }
         }
     }
 
-    Ok(BuiltTpn { net, rows, cols })
+    Ok((rows, cols))
 }
 
 /// Builds only the sub-TPN of communication `F_i` under the overlap model

@@ -10,28 +10,41 @@
 //! Experiments run on the [`repwf_par`] **work-stealing** executor (this
 //! replaced the original static crossbeam thread loop, whose fixed
 //! partition stalled whole workers on simulator-fallback experiments).
-//! Three properties are guaranteed:
+//! Each worker thread owns one [`repwf_core::engine::PeriodEngine`]
+//! (created by [`repwf_par::par_map_init`]), so the TPN build arena and
+//! the Howard workspace are allocated `threads` times per campaign instead
+//! of once per experiment. Three properties are guaranteed:
 //!
 //! * **Determinism at any thread count** — experiment `k` derives *all* of
-//!   its randomness from `StdRng::seed_from_u64(seed_base + k)`, and
-//!   results are returned in seed order, so a campaign's
-//!   [`CampaignResult`] is bit-identical for `threads = 1` and
-//!   `threads = N` (tested below and in the `repwf` CLI).
-//! * **Streaming aggregation** — running counts (`done`, `no_critical`,
-//!   `simulated`, `max_gap`) are folded in as experiments complete, so a
-//!   progress consumer never scans the outcome vector.
+//!   its randomness from `StdRng::seed_from_u64(seed_base + k)`, results
+//!   are returned in seed order, and the per-worker engines run **cold**
+//!   (warm starts stay off: with them, the reported witness could depend
+//!   on which experiment a worker ran previously, i.e. on the stealing
+//!   schedule). A campaign's [`CampaignResult`] is therefore bit-identical
+//!   for `threads = 1` and `threads = N` (tested below and in the `repwf`
+//!   CLI).
+//! * **Lock-free streaming aggregation** — running counts (`done`,
+//!   `no_critical`, `simulated`, `max_gap`) are plain atomics folded in as
+//!   experiments complete; the hot path never takes a lock and a progress
+//!   consumer never scans the outcome vector. (A `Mutex<Progress>` used to
+//!   serialize every worker here; profiles of short-experiment campaigns
+//!   showed it right behind the period solve itself.)
 //! * **Progress callbacks** — [`run_campaign_with`] reports a
 //!   [`Progress`] snapshot after every finished experiment (from worker
-//!   threads: callbacks must be `Sync`).
+//!   threads: callbacks must be `Sync`). Counters in a snapshot are each
+//!   exact and monotone, but mid-campaign a snapshot may combine them at
+//!   slightly different instants; the final snapshot (`done == total`) is
+//!   exact in every field.
 
 use crate::sampler::{sample_instance, GenConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use repwf_core::engine::PeriodEngine;
 use repwf_core::model::CommModel;
-use repwf_core::period::{compute_period_with, Method, PeriodError};
+use repwf_core::period::{Method, PeriodError};
 use repwf_core::tpn_build::{BuildError, BuildOptions};
 use repwf_sim::{simulate, SimOptions};
-use std::sync::Mutex;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// How one experiment was resolved.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -80,17 +93,26 @@ pub struct CampaignResult {
 impl CampaignResult {
     /// Number of experiments without a critical resource.
     pub fn count_no_critical(&self, rel_tol: f64) -> usize {
-        self.outcomes.iter().filter(|o| o.no_critical_resource(rel_tol)).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.no_critical_resource(rel_tol))
+            .count()
     }
 
     /// Maximum relative gap over all experiments.
     pub fn max_gap(&self) -> f64 {
-        self.outcomes.iter().map(ExperimentOutcome::gap).fold(0.0, f64::max)
+        self.outcomes
+            .iter()
+            .map(ExperimentOutcome::gap)
+            .fold(0.0, f64::max)
     }
 
     /// Number of experiments resolved by simulation fallback.
     pub fn count_simulated(&self) -> usize {
-        self.outcomes.iter().filter(|o| o.resolution == Resolution::Simulated).count()
+        self.outcomes
+            .iter()
+            .filter(|o| o.resolution == Resolution::Simulated)
+            .count()
     }
 }
 
@@ -117,15 +139,39 @@ pub struct Progress {
 pub type ProgressFn<'a> = &'a (dyn Fn(Progress) + Sync);
 
 /// Runs one experiment (public for reuse by benches/tests).
+///
+/// One-shot convenience over [`run_one_with`]: allocates a fresh
+/// [`PeriodEngine`] sized by `cap`.
 pub fn run_one(cfg: &GenConfig, model: CommModel, seed: u64, cap: usize) -> ExperimentOutcome {
+    run_one_with(cfg, model, seed, &mut engine_for_cap(cap))
+}
+
+/// A cold-start engine with the campaign build options (no labels, TPN
+/// size cap `cap`).
+pub fn engine_for_cap(cap: usize) -> PeriodEngine {
+    PeriodEngine::with_options(BuildOptions {
+        labels: false,
+        max_transitions: cap,
+    })
+}
+
+/// Runs one experiment on a caller-owned engine (the size cap comes from
+/// the engine's build options). The outcome is a pure function of
+/// `(cfg, model, seed, engine options)` — the engine only contributes
+/// reusable buffers, never state that leaks into the numbers.
+pub fn run_one_with(
+    cfg: &GenConfig,
+    model: CommModel,
+    seed: u64,
+    engine: &mut PeriodEngine,
+) -> ExperimentOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     let inst = sample_instance(cfg, &mut rng);
-    let opts = BuildOptions { labels: false, max_transitions: cap };
     let method = match model {
         CommModel::Overlap => Method::Polynomial,
         CommModel::Strict => Method::FullTpn,
     };
-    match compute_period_with(&inst, model, method, &opts) {
+    match engine.compute(&inst, model, method) {
         Ok(report) => ExperimentOutcome {
             seed,
             mct: report.mct,
@@ -137,11 +183,20 @@ pub fn run_one(cfg: &GenConfig, model: CommModel, seed: u64, cap: usize) -> Expe
             // Simulator fallback: long enough to pass the transient.
             let (mct, _) = repwf_core::cycle_time::max_cycle_time(&inst, model);
             let data_sets = 20_000u64;
-            let sim = simulate(&inst, model, &SimOptions { data_sets, record_ops: false });
+            let sim = simulate(
+                &inst,
+                model,
+                &SimOptions {
+                    data_sets,
+                    record_ops: false,
+                },
+            );
             ExperimentOutcome {
                 seed,
                 mct,
-                period: sim.exact_period(1e-9).unwrap_or_else(|| sim.period_estimate()),
+                period: sim
+                    .exact_period(1e-9)
+                    .unwrap_or_else(|| sim.period_estimate()),
                 resolution: Resolution::Simulated,
                 num_paths: m,
             }
@@ -173,28 +228,45 @@ pub fn run_campaign_with(
     cap: usize,
     progress: Option<ProgressFn<'_>>,
 ) -> CampaignResult {
-    let agg = Mutex::new(Progress {
-        done: 0,
-        total: count,
-        no_critical: 0,
-        simulated: 0,
-        max_gap: 0.0,
-    });
-    let outcomes = repwf_par::par_map(threads, count, |k| {
-        let outcome = run_one(cfg, model, seed_base + k as u64, cap);
-        if let Some(callback) = progress {
-            let snapshot = {
-                let mut a = agg.lock().expect("progress aggregate poisoned");
-                a.done += 1;
-                a.no_critical += usize::from(outcome.no_critical_resource(GAP_REL_TOL));
-                a.simulated += usize::from(outcome.resolution == Resolution::Simulated);
-                a.max_gap = a.max_gap.max(outcome.gap());
-                *a
-            };
-            callback(snapshot);
-        }
-        outcome
-    });
+    // Lock-free streaming aggregates. `max_gap` is a non-negative f64; for
+    // non-negative IEEE-754 doubles the bit pattern is monotone in the
+    // value, so a `fetch_max` on the bits is a numeric max.
+    let done = AtomicUsize::new(0);
+    let no_critical = AtomicUsize::new(0);
+    let simulated = AtomicUsize::new(0);
+    let max_gap_bits = AtomicU64::new(0f64.to_bits());
+    let outcomes = repwf_par::par_map_init(
+        threads,
+        count,
+        || engine_for_cap(cap),
+        |engine, k| {
+            let outcome = run_one_with(cfg, model, seed_base + k as u64, engine);
+            if let Some(callback) = progress {
+                // Update every statistic *before* bumping `done`: the
+                // worker that observes `done == total` then reads totals
+                // that include every experiment.
+                no_critical.fetch_add(
+                    usize::from(outcome.no_critical_resource(GAP_REL_TOL)),
+                    Ordering::SeqCst,
+                );
+                simulated.fetch_add(
+                    usize::from(outcome.resolution == Resolution::Simulated),
+                    Ordering::SeqCst,
+                );
+                debug_assert!(outcome.gap() >= 0.0);
+                max_gap_bits.fetch_max(outcome.gap().to_bits(), Ordering::SeqCst);
+                let d = done.fetch_add(1, Ordering::SeqCst) + 1;
+                callback(Progress {
+                    done: d,
+                    total: count,
+                    no_critical: no_critical.load(Ordering::SeqCst),
+                    simulated: simulated.load(Ordering::SeqCst),
+                    max_gap: f64::from_bits(max_gap_bits.load(Ordering::SeqCst)),
+                });
+            }
+            outcome
+        },
+    );
     CampaignResult { outcomes }
 }
 
@@ -205,7 +277,12 @@ mod tests {
     use std::sync::Mutex;
 
     fn small_cfg() -> GenConfig {
-        GenConfig { stages: 2, procs: 7, comp: Range::constant(1.0), comm: Range::new(5.0, 10.0) }
+        GenConfig {
+            stages: 2,
+            procs: 7,
+            comp: Range::constant(1.0),
+            comm: Range::new(5.0, 10.0),
+        }
     }
 
     #[test]
@@ -213,7 +290,27 @@ mod tests {
         let res = run_campaign(&small_cfg(), CommModel::Overlap, 20, 100, 4, 200_000);
         assert_eq!(res.outcomes.len(), 20);
         for o in &res.outcomes {
-            assert!(o.period >= o.mct - 1e-9 * o.mct, "seed {}: {} < {}", o.seed, o.period, o.mct);
+            assert!(
+                o.period >= o.mct - 1e-9 * o.mct,
+                "seed {}: {} < {}",
+                o.seed,
+                o.period,
+                o.mct
+            );
+        }
+    }
+
+    #[test]
+    fn reused_engine_matches_fresh_engines() {
+        // The per-worker engine only contributes buffers: running many
+        // seeds through one engine must reproduce fresh-engine runs bit
+        // for bit.
+        let cfg = small_cfg();
+        let mut engine = engine_for_cap(200_000);
+        for seed in 300..316 {
+            let reused = run_one_with(&cfg, CommModel::Strict, seed, &mut engine);
+            let fresh = run_one(&cfg, CommModel::Strict, seed, 200_000);
+            assert_eq!(reused, fresh, "seed {seed}");
         }
     }
 

@@ -8,9 +8,10 @@
 //! the classical tradeoff of the literature the paper builds on
 //! (Subhlok & Vondran, SPAA'96).
 
-use crate::{evaluate, random_mapping, SearchOptions, SearchResult};
+use crate::{evaluate_with, random_mapping, SearchOptions, SearchResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use repwf_core::engine::PeriodEngine;
 use repwf_core::latency::latency_report;
 use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
 
@@ -122,12 +123,16 @@ pub fn anneal(
 ) -> SearchResult {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut evals = 0usize;
-    let eval = |m: &Mapping, evals: &mut usize| -> Option<f64> {
+    // One warm-started engine across all proposal evaluations: annealing
+    // mostly proposes same-shape cost perturbations (swaps), the best case
+    // for warm-started policy iteration.
+    let mut engine = PeriodEngine::new().warm_start(true);
+    let mut eval = |m: &Mapping, evals: &mut usize| -> Option<f64> {
         if !latency_ok(pipeline, platform, m, opts.max_latency) {
             return None;
         }
         *evals += 1;
-        evaluate(pipeline, platform, m, opts.model)
+        evaluate_with(pipeline, platform, m, opts.model, &mut engine)
     };
     let mut current = start;
     let mut current_p = eval(&current, &mut evals).unwrap_or(f64::INFINITY);

@@ -12,11 +12,15 @@
 //! * [`annealing`] — simulated annealing over the same move set, for
 //!   instances where hill climbing stalls in local optima.
 //!
-//! The oracle is [`evaluate`]: it validates a candidate, calls
-//! `repwf_core::period::compute_period`, and transparently falls back to
-//! the `repwf-sim` discrete-event simulator when the strict-model TPN
-//! exceeds the size cap — so the search never dead-ends on large `lcm`
-//! replication patterns.
+//! The oracle is [`evaluate`] / [`evaluate_with`]: it validates a
+//! candidate, asks a `repwf_core::engine::PeriodEngine` for the period,
+//! and transparently falls back to the `repwf-sim` discrete-event
+//! simulator when the strict-model TPN exceeds the size cap — so the
+//! search never dead-ends on large `lcm` replication patterns. The search
+//! loops ([`local_search`], [`annealing::anneal`]) hold one
+//! **warm-started** engine for their whole run: neighbor mappings of the
+//! same shape re-solve from the previous Howard policy, and every TPN /
+//! solver buffer is reused across the thousands of oracle calls.
 //!
 //! A subtlety worth noting (and property-tested): because replicas serve
 //! data sets in **round-robin**, adding a slow processor to a stage can
@@ -45,8 +49,9 @@ pub mod annealing;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use repwf_core::engine::PeriodEngine;
 use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
-use repwf_core::period::{compute_period, Method, PeriodError};
+use repwf_core::period::{Method, PeriodError};
 
 /// Options for the mapping search.
 #[derive(Debug, Clone)]
@@ -80,14 +85,30 @@ pub struct SearchResult {
 
 /// Evaluates a candidate mapping; `None` when the mapping is invalid or the
 /// oracle fails (e.g. TPN too large for the strict model).
+///
+/// One-shot convenience over [`evaluate_with`]: allocates a fresh engine
+/// per call. The search loops keep a warm engine instead.
 pub fn evaluate(
     pipeline: &Pipeline,
     platform: &Platform,
     mapping: &Mapping,
     model: CommModel,
 ) -> Option<f64> {
+    evaluate_with(pipeline, platform, mapping, model, &mut PeriodEngine::new())
+}
+
+/// [`evaluate`] on a caller-owned [`PeriodEngine`]: repeated candidate
+/// evaluations reuse the engine's TPN arena and Howard workspace (and its
+/// warm-start policy, when enabled).
+pub fn evaluate_with(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    mapping: &Mapping,
+    model: CommModel,
+    engine: &mut PeriodEngine,
+) -> Option<f64> {
     let inst = Instance::new(pipeline.clone(), platform.clone(), mapping.clone()).ok()?;
-    match compute_period(&inst, model, Method::Auto) {
+    match engine.compute(&inst, model, Method::Auto) {
         Ok(r) => Some(r.period),
         Err(PeriodError::Build(_)) => {
             // TPN too large: fall back to the simulator estimate.
@@ -173,9 +194,12 @@ pub fn local_search(
 ) -> SearchResult {
     let n = pipeline.num_stages();
     let p = platform.num_procs();
+    // One warm-started engine for the whole climb: same-shape neighbor
+    // mappings re-solve from the previous Howard policy.
+    let mut engine = PeriodEngine::new().warm_start(true);
     let mut best = start;
     let mut evals = 0usize;
-    let mut best_period = match evaluate(pipeline, platform, &best, opts.model) {
+    let mut best_period = match evaluate_with(pipeline, platform, &best, opts.model, &mut engine) {
         Some(v) => {
             evals += 1;
             v
@@ -247,7 +271,8 @@ pub fn local_search(
 
         for cand in candidates {
             let Ok(mapping) = Mapping::new(cand) else { continue };
-            let Some(period) = evaluate(pipeline, platform, &mapping, opts.model) else {
+            let Some(period) = evaluate_with(pipeline, platform, &mapping, opts.model, &mut engine)
+            else {
                 continue;
             };
             evals += 1;
@@ -341,6 +366,25 @@ mod tests {
         // And the local search discovers that leaving P1 unused is better.
         let res = local_search(&pipeline, &platform, both, &SearchOptions::default());
         assert!((res.period - p_solo).abs() < 1e-9, "search should drop the slow replica");
+    }
+
+    #[test]
+    fn warm_engine_oracle_matches_fresh_oracle_bitwise() {
+        // Strict model so the oracle really goes through the TPN + Howard
+        // path: a warm engine fed a stream of candidate mappings must agree
+        // bit-for-bit with fresh cold evaluations.
+        let (pipe, plat) = setup(vec![4.0, 9.0], vec![1.0, 1.0, 2.0, 0.5, 1.5]);
+        let mut engine = PeriodEngine::new().warm_start(true);
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..12 {
+            let m = random_mapping(&pipe, &plat, 0.3, &mut rng);
+            let warm = evaluate_with(&pipe, &plat, &m, CommModel::Strict, &mut engine);
+            let cold = evaluate(&pipe, &plat, &m, CommModel::Strict);
+            match (warm, cold) {
+                (Some(a), Some(b)) => assert_eq!(a.to_bits(), b.to_bits()),
+                (a, b) => assert_eq!(a, b),
+            }
+        }
     }
 
     #[test]

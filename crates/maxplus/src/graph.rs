@@ -100,6 +100,14 @@ impl RatioGraph {
         self.n
     }
 
+    /// Resets the graph to `n` vertices and no edges, **keeping the edge
+    /// buffer's capacity** — the arena primitive behind
+    /// `tpn::analysis::ratio_graph_into` and the period engine's reuse.
+    pub fn reset(&mut self, n: usize) {
+        self.n = n;
+        self.edges.clear();
+    }
+
     /// Number of edges.
     pub fn num_edges(&self) -> usize {
         self.edges.len()

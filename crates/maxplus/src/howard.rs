@@ -14,9 +14,17 @@
 //! Both improvement tests use a small relative tolerance; the returned ratio
 //! is always recomputed *exactly* from the witness circuit, so tolerances
 //! only affect how long the search runs, not the reported value.
+//!
+//! The solver itself lives in [`crate::workspace`]: it runs per SCC on a
+//! shared CSR adjacency and borrows every scratch vector from a
+//! caller-owned [`Workspace`], which makes repeated solves allocation-free
+//! and enables warm-started iteration
+//! ([`Workspace::max_cycle_ratio_warm`]). This module keeps the simple
+//! one-shot entry point.
 
-use crate::graph::{CycleSolution, RatioGraph, RatioGraphError};
-use crate::scc::tarjan_scc;
+use crate::graph::RatioGraph;
+use crate::graph::{CycleSolution, RatioGraphError};
+use crate::workspace::Workspace;
 
 /// Result alias for cycle-ratio computations.
 pub type RatioResult = Result<Option<CycleSolution>, RatioGraphError>;
@@ -26,218 +34,12 @@ pub type RatioResult = Result<Option<CycleSolution>, RatioGraphError>;
 /// Returns `Ok(None)` when the graph has no circuit at all, and
 /// [`RatioGraphError::ZeroTokenCycle`] when a circuit with zero total tokens
 /// exists (a deadlocked event graph has no finite period).
+///
+/// One-shot convenience: allocates a fresh [`Workspace`] per call. Hot
+/// loops (campaigns, mapping searches) should hold a [`Workspace`] — or a
+/// `repwf_core::engine::PeriodEngine` — and reuse it instead.
 pub fn max_cycle_ratio(g: &RatioGraph) -> RatioResult {
-    g.validate()?;
-    let scc = tarjan_scc(g);
-    let mut best: Option<CycleSolution> = None;
-    for members in scc.cyclic_components(g) {
-        let (sub, _) = g.restrict(members);
-        let sol = howard_scc(&sub)?;
-        // Map witness back to original ids.
-        let cycle: Vec<u32> = sol.cycle.iter().map(|&v| members[v as usize]).collect();
-        let sol = CycleSolution { cycle, ..sol };
-        if best.as_ref().is_none_or(|b| sol.ratio > b.ratio) {
-            best = Some(sol);
-        }
-    }
-    Ok(best)
-}
-
-/// Howard's iteration on one strongly connected subgraph in which every
-/// vertex has at least one out-edge (guaranteed by SCC restriction).
-fn howard_scc(g: &RatioGraph) -> Result<CycleSolution, RatioGraphError> {
-    let n = g.num_vertices();
-    let (offsets, eidx) = g.adjacency();
-    let edges = g.edges();
-    let scale: f64 = edges.iter().map(|e| e.cost.abs()).fold(1.0, f64::max);
-    let eps = scale * 1e-12;
-
-    // Policy: one out-edge (index into `edges`) per vertex. Start from the
-    // max-cost edge, a decent initial guess.
-    let mut policy: Vec<u32> = (0..n)
-        .map(|v| {
-            let outs = &eidx[offsets[v] as usize..offsets[v + 1] as usize];
-            *outs
-                .iter()
-                .max_by(|&&a, &&b| {
-                    edges[a as usize]
-                        .cost
-                        .partial_cmp(&edges[b as usize].cost)
-                        .expect("finite costs")
-                })
-                .expect("SCC vertex must have an out-edge")
-        })
-        .collect();
-
-    let mut lambda = vec![f64::NEG_INFINITY; n];
-    let mut potential = vec![0.0f64; n];
-
-    // Generous bound: each iteration strictly improves (λ, x); policies are
-    // finite. The bound guards against floating-point livelock.
-    let max_iters = 64 + 8 * n + g.num_edges();
-    for _ in 0..max_iters {
-        evaluate_policy(g, &policy, &mut lambda, &mut potential)?;
-
-        // Phase 1: improve by cycle-ratio value.
-        let mut changed = false;
-        for v in 0..n {
-            let mut best_e = policy[v];
-            let mut best_l = lambda[edges[best_e as usize].to as usize];
-            for &ei in &eidx[offsets[v] as usize..offsets[v + 1] as usize] {
-                let l = lambda[edges[ei as usize].to as usize];
-                if l > best_l + eps {
-                    best_l = l;
-                    best_e = ei;
-                }
-            }
-            if best_e != policy[v] {
-                policy[v] = best_e;
-                changed = true;
-            }
-        }
-        if changed {
-            continue;
-        }
-
-        // Phase 2: improve by potential among edges of (near-)equal value.
-        for v in 0..n {
-            let cur = policy[v] as usize;
-            let cur_val =
-                edges[cur].cost - lambda[v] * f64::from(edges[cur].tokens) + potential[edges[cur].to as usize];
-            let mut best_e = policy[v];
-            let mut best_val = cur_val;
-            for &ei in &eidx[offsets[v] as usize..offsets[v + 1] as usize] {
-                let e = &edges[ei as usize];
-                if lambda[e.to as usize] < lambda[v] - eps {
-                    continue;
-                }
-                let val = e.cost - lambda[v] * f64::from(e.tokens) + potential[e.to as usize];
-                if val > best_val + eps {
-                    best_val = val;
-                    best_e = ei;
-                }
-            }
-            if best_e != policy[v] {
-                policy[v] = best_e;
-                changed = true;
-            }
-        }
-        if !changed {
-            return extract_witness(g, &policy, &lambda);
-        }
-    }
-    Err(RatioGraphError::NoConvergence)
-}
-
-/// Evaluates a policy: for every vertex, the ratio of the policy cycle it
-/// reaches (`lambda`) and a potential (`potential`) solving
-/// `x[v] = cost − λ·tokens + x[π(v)]` along policy edges, rooted at an
-/// arbitrary vertex of each policy cycle.
-fn evaluate_policy(
-    g: &RatioGraph,
-    policy: &[u32],
-    lambda: &mut [f64],
-    potential: &mut [f64],
-) -> Result<(), RatioGraphError> {
-    let n = g.num_vertices();
-    let edges = g.edges();
-    // 0 = unvisited, 1 = on current walk, 2 = finished.
-    let mut state = vec![0u8; n];
-    let mut walk_pos = vec![0u32; n];
-    let mut path: Vec<u32> = Vec::new();
-
-    for start in 0..n as u32 {
-        if state[start as usize] != 0 {
-            continue;
-        }
-        path.clear();
-        let mut u = start;
-        while state[u as usize] == 0 {
-            state[u as usize] = 1;
-            walk_pos[u as usize] = path.len() as u32;
-            path.push(u);
-            u = edges[policy[u as usize] as usize].to;
-        }
-
-        let settle_from = if state[u as usize] == 1 {
-            // New policy cycle: path[pos..] are its vertices in order.
-            let pos = walk_pos[u as usize] as usize;
-            let cycle = &path[pos..];
-            let mut cost = 0.0;
-            let mut tokens: u64 = 0;
-            for &v in cycle {
-                let e = &edges[policy[v as usize] as usize];
-                cost += e.cost;
-                tokens += u64::from(e.tokens);
-            }
-            if tokens == 0 {
-                return Err(RatioGraphError::ZeroTokenCycle { cycle: cycle.to_vec() });
-            }
-            let lam = cost / tokens as f64;
-            // Root the potential at the cycle entry point `u = cycle[0]`.
-            lambda[u as usize] = lam;
-            potential[u as usize] = 0.0;
-            for i in (1..cycle.len()).rev() {
-                let v = cycle[i] as usize;
-                let e = &edges[policy[v] as usize];
-                lambda[v] = lam;
-                potential[v] = e.cost - lam * f64::from(e.tokens) + potential[e.to as usize];
-                state[v] = 2;
-            }
-            state[u as usize] = 2;
-            pos
-        } else {
-            // Reached an already-settled vertex; the whole path hangs off it.
-            path.len()
-        };
-
-        // Settle the tail of the walk (path[..settle_from]) backwards.
-        for i in (0..settle_from).rev() {
-            let v = path[i] as usize;
-            let e = &edges[policy[v] as usize];
-            lambda[v] = lambda[e.to as usize];
-            potential[v] = e.cost - lambda[v] * f64::from(e.tokens) + potential[e.to as usize];
-            state[v] = 2;
-        }
-    }
-    Ok(())
-}
-
-/// Extracts the critical circuit of the converged policy: follow the policy
-/// from the vertex with maximal λ until a vertex repeats.
-fn extract_witness(
-    g: &RatioGraph,
-    policy: &[u32],
-    lambda: &[f64],
-) -> Result<CycleSolution, RatioGraphError> {
-    let edges = g.edges();
-    let n = g.num_vertices();
-    let start = (0..n)
-        .max_by(|&a, &b| lambda[a].partial_cmp(&lambda[b]).expect("finite lambda"))
-        .expect("non-empty SCC");
-    let mut seen = vec![false; n];
-    let mut u = start as u32;
-    while !seen[u as usize] {
-        seen[u as usize] = true;
-        u = edges[policy[u as usize] as usize].to;
-    }
-    // `u` is on the cycle; walk it once more to collect it.
-    let mut cycle = Vec::new();
-    let mut cost = 0.0;
-    let mut tokens: u64 = 0;
-    let first = u;
-    loop {
-        cycle.push(u);
-        let e = &edges[policy[u as usize] as usize];
-        cost += e.cost;
-        tokens += u64::from(e.tokens);
-        u = e.to;
-        if u == first {
-            break;
-        }
-    }
-    debug_assert!(tokens > 0, "converged policy cycle must carry tokens");
-    Ok(CycleSolution { ratio: cost / tokens as f64, cycle, cost, tokens })
+    Workspace::new().max_cycle_ratio(g)
 }
 
 #[cfg(test)]
@@ -333,5 +135,17 @@ mod tests {
         let sol = max_cycle_ratio(&g).unwrap().unwrap();
         assert!((sol.cost / sol.tokens as f64 - sol.ratio).abs() < 1e-12);
         assert!((sol.ratio - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn witness_uses_global_vertex_ids() {
+        // The deadlock witness must be reported in the caller's vertex ids
+        // even when the cycle lives in a later component.
+        let mut g = RatioGraph::new(5);
+        g.add_edge(0, 1, 1.0, 1); // acyclic prefix
+        g.add_edge(3, 4, 1.0, 1);
+        g.add_edge(4, 3, 2.0, 1);
+        let sol = max_cycle_ratio(&g).unwrap().unwrap();
+        assert!(sol.cycle.contains(&3) && sol.cycle.contains(&4));
     }
 }

@@ -9,64 +9,34 @@
 //! chains; zero-token edges are contracted through their acyclic subgraph).
 //! [`max_cycle_ratio_karp`] packages the reduction; it matches Howard and
 //! Lawler on every valid input and serves as a third independent oracle.
+//!
+//! # Memory bound
+//!
+//! Karp's recurrence `D_k(v) = max over edges (u,v) of D_{k−1}(u) + cost`
+//! only ever consults the previous row, but the final formula
+//! `λ* = max_v min_k (D_n(v) − D_k(v)) / (n − k)` consults **every** row —
+//! which is why textbook implementations (and this crate, before the
+//! zero-allocation engine rework) keep the full `(n+1) × n` table: **O(V²)**
+//! doubles, 128 MB for a 4 000-vertex SCC and unusable beyond that. The
+//! implementation in [`crate::workspace`] instead runs the DP twice over
+//! two rolling rows — pass A computes `D_n`, pass B replays rows `0..n−1`
+//! folding the running minimum — trading 2× time for **O(V)** memory. The
+//! `large_scc_runs_in_linear_memory` test below pins this bound on an
+//! instance whose dense table would be ~128 MB.
 
 use crate::graph::{CycleSolution, RatioGraph};
 #[cfg(test)]
 use crate::graph::RatioGraphError;
 use crate::howard::RatioResult;
-use crate::scc::tarjan_scc;
+use crate::workspace::Workspace;
 
 /// Maximum cycle mean (`Σcost / #edges`) of `g`, ignoring token counts.
 ///
-/// Returns `None` for acyclic graphs. `O(V·E)` time, `O(V²)` memory; intended
-/// for the small pattern graphs of the overlap-model decomposition and for
-/// validation.
+/// Returns `None` for acyclic graphs. `O(V·E)` time, **`O(V)` memory**
+/// (rolling rows; see the module docs). One-shot convenience over
+/// [`Workspace::max_cycle_mean`].
 pub fn max_cycle_mean(g: &RatioGraph) -> Option<f64> {
-    g.validate().ok()?;
-    let scc = tarjan_scc(g);
-    let mut best: Option<f64> = None;
-    for members in scc.cyclic_components(g) {
-        let (sub, _) = g.restrict(members);
-        let m = karp_scc(&sub);
-        best = Some(best.map_or(m, |b: f64| b.max(m)));
-    }
-    best
-}
-
-/// Karp on one SCC: `λ* = max_v min_k (D_n(v) − D_k(v)) / (n − k)` where
-/// `D_k(v)` is the maximum cost of a length-`k` edge progression ending at
-/// `v` from a fixed source.
-fn karp_scc(g: &RatioGraph) -> f64 {
-    let n = g.num_vertices();
-    let edges = g.edges();
-    // D[k][v], k = 0..=n; source = vertex 0 of the SCC.
-    let mut d = vec![vec![f64::NEG_INFINITY; n]; n + 1];
-    d[0][0] = 0.0;
-    for k in 1..=n {
-        for e in edges {
-            let prev = d[k - 1][e.from as usize];
-            if prev > f64::NEG_INFINITY {
-                let cand = prev + e.cost;
-                if cand > d[k][e.to as usize] {
-                    d[k][e.to as usize] = cand;
-                }
-            }
-        }
-    }
-    let mut best = f64::NEG_INFINITY;
-    for v in 0..n {
-        if d[n][v] == f64::NEG_INFINITY {
-            continue;
-        }
-        let mut inner = f64::INFINITY;
-        for (k, dk) in d.iter().enumerate().take(n) {
-            if dk[v] > f64::NEG_INFINITY {
-                inner = inner.min((d[n][v] - dk[v]) / (n - k) as f64);
-            }
-        }
-        best = best.max(inner);
-    }
-    best
+    Workspace::new().max_cycle_mean(g)
 }
 
 /// Maximum cycle **ratio** via Karp, using the token-expansion reduction.
@@ -285,6 +255,44 @@ mod tests {
             max_cycle_ratio_karp(&g),
             Err(RatioGraphError::ZeroTokenCycle { .. })
         ));
+    }
+
+    #[test]
+    fn large_scc_runs_in_linear_memory() {
+        // Regression for the O(V²) row table: one 4 000-vertex SCC. The
+        // dense `(n+1) × n` table would allocate ~128 MB here; the rolling
+        // rows keep it at a few O(V) vectors. Ring costs 0,1,…,n−1 plus a
+        // heavy shortcut loop 0→1→0 of mean (0 + 500)/2.
+        let n: usize = 4_000;
+        let mut g = RatioGraph::new(n);
+        for v in 0..n as u32 {
+            g.add_edge(v, (v + 1) % n as u32, f64::from(v), 1);
+        }
+        g.add_edge(1, 0, 500.0, 1);
+        let ring_mean = (0..n).map(|v| v as f64).sum::<f64>() / n as f64;
+        let loop_mean = (0.0 + 500.0) / 2.0;
+        let expect = ring_mean.max(loop_mean);
+        let mut ws = Workspace::new();
+        let m = ws.max_cycle_mean(&g).unwrap();
+        assert!((m - expect).abs() < 1e-9 * expect, "{m} vs {expect}");
+        // Reuse on the same workspace (no fresh allocations) agrees bitwise.
+        let again = ws.max_cycle_mean(&g).unwrap();
+        assert_eq!(m.to_bits(), again.to_bits());
+    }
+
+    #[test]
+    fn rolling_rows_match_on_multi_scc_graphs() {
+        // Two separate SCCs plus a bridge: per-component rolling rows must
+        // reproduce the per-component dense result (means 2 and 7).
+        let mut g = RatioGraph::new(5);
+        g.add_edge(0, 1, 1.0, 1);
+        g.add_edge(1, 0, 3.0, 1);
+        g.add_edge(1, 2, 100.0, 1); // bridge (no circuit)
+        g.add_edge(2, 3, 5.0, 1);
+        g.add_edge(3, 4, 7.0, 1);
+        g.add_edge(4, 2, 9.0, 1);
+        let m = max_cycle_mean(&g).unwrap();
+        assert!((m - 7.0).abs() < 1e-12);
     }
 
     #[test]

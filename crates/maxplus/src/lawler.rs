@@ -8,181 +8,25 @@
 //! of a real witness circuit, like [`crate::howard`].
 //!
 //! This is the cross-check implementation: slower than Howard's iteration
-//! but with entirely independent logic.
+//! but with entirely independent logic. The solver lives in
+//! [`crate::workspace`], borrowing its Bellman–Ford distance/predecessor
+//! arrays and the zero-token-subgraph DFS state from a caller-owned
+//! [`Workspace`] so repeated cross-checks do not allocate.
 
-use crate::graph::{CycleSolution, RatioGraph, RatioGraphError};
+use crate::graph::RatioGraph;
 use crate::howard::RatioResult;
+use crate::workspace::Workspace;
+#[cfg(test)]
+use crate::graph::RatioGraphError;
 
 /// Computes the maximum cycle ratio by parametric search.
 ///
 /// Semantics match [`crate::howard::max_cycle_ratio`]: `Ok(None)` for
-/// acyclic graphs, [`RatioGraphError::ZeroTokenCycle`] for deadlocks.
+/// acyclic graphs, `RatioGraphError::ZeroTokenCycle` for deadlocks.
+///
+/// One-shot convenience over [`Workspace::max_cycle_ratio_lawler`].
 pub fn max_cycle_ratio_lawler(g: &RatioGraph) -> RatioResult {
-    g.validate()?;
-    if g.num_edges() == 0 {
-        return Ok(None);
-    }
-    // A positive circuit at λ slightly below 0 with zero tokens means
-    // deadlock; detect zero-token cycles first with a token-free pass:
-    // circuit of only zero-token edges ⇔ the zero-token subgraph is cyclic.
-    if let Some(cycle) = zero_token_cycle(g) {
-        return Err(RatioGraphError::ZeroTokenCycle { cycle });
-    }
-
-    let cost_sum: f64 = g.edges().iter().map(|e| e.cost.abs()).sum::<f64>().max(1.0);
-    let mut lo = -cost_sum; // below any cycle ratio
-    let mut hi = cost_sum; // above any cycle ratio (tokens ≥ 1 per cycle)
-    let mut best: Option<CycleSolution> = None;
-
-    // First probe at `lo` decides whether any circuit exists at all.
-    match positive_cycle(g, lo) {
-        None => return Ok(None),
-        Some(cycle) => {
-            let sol = exact_solution(g, &cycle)?;
-            lo = sol.ratio;
-            best = pick_best(best, sol);
-        }
-    }
-
-    let eps = cost_sum * 1e-13;
-    while hi - lo > eps {
-        let mid = 0.5 * (lo + hi);
-        match positive_cycle(g, mid) {
-            Some(cycle) => {
-                let sol = exact_solution(g, &cycle)?;
-                // The witness has ratio > mid; snap the lower bound to it.
-                lo = sol.ratio.max(mid);
-                best = pick_best(best, sol);
-            }
-            None => hi = mid,
-        }
-    }
-    Ok(best)
-}
-
-fn pick_best(best: Option<CycleSolution>, sol: CycleSolution) -> Option<CycleSolution> {
-    match best {
-        Some(b) if b.ratio >= sol.ratio => Some(b),
-        _ => Some(sol),
-    }
-}
-
-/// Exact ratio of a circuit found by the oracle. The circuit is given as the
-/// edge-index sequence.
-fn exact_solution(g: &RatioGraph, cycle_edges: &[u32]) -> Result<CycleSolution, RatioGraphError> {
-    let mut cost = 0.0;
-    let mut tokens = 0u64;
-    let mut cycle = Vec::with_capacity(cycle_edges.len());
-    for &ei in cycle_edges {
-        let e = &g.edges()[ei as usize];
-        cost += e.cost;
-        tokens += u64::from(e.tokens);
-        cycle.push(e.from);
-    }
-    if tokens == 0 {
-        return Err(RatioGraphError::ZeroTokenCycle { cycle });
-    }
-    Ok(CycleSolution { ratio: cost / tokens as f64, cycle, cost, tokens })
-}
-
-/// Bellman–Ford longest-path positive-circuit oracle for weights
-/// `cost − λ·tokens`. Returns the edge indices of a positive circuit, if any.
-fn positive_cycle(g: &RatioGraph, lambda: f64) -> Option<Vec<u32>> {
-    let n = g.num_vertices();
-    let edges = g.edges();
-    let mut dist = vec![0.0f64; n]; // multi-source: all vertices at 0
-    let mut pred_edge: Vec<u32> = vec![u32::MAX; n];
-
-    let mut updated_vertex: Option<u32> = None;
-    for round in 0..=n {
-        let mut any = false;
-        for (i, e) in edges.iter().enumerate() {
-            let w = e.cost - lambda * f64::from(e.tokens);
-            let cand = dist[e.from as usize] + w;
-            if cand > dist[e.to as usize] + 1e-15 {
-                dist[e.to as usize] = cand;
-                pred_edge[e.to as usize] = i as u32;
-                any = true;
-                if round == n {
-                    updated_vertex = Some(e.to);
-                    break;
-                }
-            }
-        }
-        if !any {
-            return None;
-        }
-    }
-
-    // A relaxation in round n ⇒ positive circuit reachable via predecessors.
-    let mut v = updated_vertex?;
-    // Walk back n steps to guarantee we are inside the circuit.
-    for _ in 0..n {
-        v = edges[pred_edge[v as usize] as usize].from;
-    }
-    let start = v;
-    let mut cycle_edges = Vec::new();
-    loop {
-        let ei = pred_edge[v as usize];
-        cycle_edges.push(ei);
-        v = edges[ei as usize].from;
-        if v == start {
-            break;
-        }
-    }
-    cycle_edges.reverse();
-    Some(cycle_edges)
-}
-
-/// Finds a circuit made of zero-token edges only (DFS cycle detection on the
-/// zero-token subgraph), or `None`.
-fn zero_token_cycle(g: &RatioGraph) -> Option<Vec<u32>> {
-    let n = g.num_vertices();
-    let mut adj: Vec<Vec<u32>> = vec![Vec::new(); n];
-    for e in g.edges() {
-        if e.tokens == 0 {
-            adj[e.from as usize].push(e.to);
-        }
-    }
-    // Iterative coloring DFS: 0 white, 1 grey, 2 black.
-    let mut color = vec![0u8; n];
-    let mut parent: Vec<u32> = vec![u32::MAX; n];
-    for root in 0..n as u32 {
-        if color[root as usize] != 0 {
-            continue;
-        }
-        let mut stack: Vec<(u32, usize)> = vec![(root, 0)];
-        color[root as usize] = 1;
-        while let Some(&mut (v, ref mut pos)) = stack.last_mut() {
-            if *pos < adj[v as usize].len() {
-                let w = adj[v as usize][*pos];
-                *pos += 1;
-                match color[w as usize] {
-                    0 => {
-                        color[w as usize] = 1;
-                        parent[w as usize] = v;
-                        stack.push((w, 0));
-                    }
-                    1 => {
-                        // Grey: found a cycle w → … → v → w.
-                        let mut cycle = vec![w];
-                        let mut u = v;
-                        while u != w {
-                            cycle.push(u);
-                            u = parent[u as usize];
-                        }
-                        cycle.reverse();
-                        return Some(cycle);
-                    }
-                    _ => {}
-                }
-            } else {
-                color[v as usize] = 2;
-                stack.pop();
-            }
-        }
-    }
-    None
+    Workspace::new().max_cycle_ratio_lawler(g)
 }
 
 #[cfg(test)]

@@ -20,6 +20,9 @@
 //! * [`graph`] — the doubly-weighted digraph [`graph::RatioGraph`] shared by
 //!   all cycle algorithms.
 //! * [`scc`] — iterative Tarjan strongly-connected components.
+//! * [`workspace`] — reusable [`workspace::Workspace`] arenas (CSR
+//!   adjacency, SCC/Howard/Karp/Lawler scratch) making repeated solves
+//!   allocation-free, with warm-started policy iteration.
 //! * [`howard`] — Howard's policy iteration for the maximum cycle ratio
 //!   (primary algorithm; exact, returns a witness cycle).
 //! * [`lawler`] — Lawler's parametric binary search (cross-check).
@@ -55,7 +58,9 @@ pub mod matrix;
 pub mod residuation;
 pub mod scc;
 pub mod semiring;
+pub mod workspace;
 
 pub use graph::{CycleSolution, RatioGraph, RatioGraphError};
 pub use howard::max_cycle_ratio;
 pub use semiring::MaxPlus;
+pub use workspace::Workspace;

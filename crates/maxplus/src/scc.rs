@@ -3,8 +3,15 @@
 //! Cycle-ratio algorithms work per SCC: every circuit lives inside one, and
 //! restricting to components keeps policy iteration well-defined (every
 //! vertex of a non-trivial SCC has an out-edge inside it).
+//!
+//! The traversal itself lives in [`crate::workspace`], where it writes into
+//! flat, reusable component arrays (`Workspace::scc` returns a borrowed
+//! [`crate::workspace::SccView`] with zero per-call allocation after
+//! warm-up). This module keeps the owned, `Vec<Vec<u32>>`-shaped
+//! decomposition for callers that want to hold the result.
 
 use crate::graph::RatioGraph;
+use crate::workspace::Workspace;
 
 /// The SCC decomposition of a [`RatioGraph`].
 #[derive(Debug, Clone)]
@@ -42,77 +49,16 @@ impl SccDecomposition {
 
 /// Computes the SCCs of `g` with an iterative Tarjan traversal (no recursion,
 /// safe for graphs with hundreds of thousands of vertices).
+///
+/// One-shot convenience over [`Workspace::scc`]: allocates the owned
+/// decomposition. Hot loops should reuse a [`Workspace`] instead.
 pub fn tarjan_scc(g: &RatioGraph) -> SccDecomposition {
-    let n = g.num_vertices();
-    let (offsets, eidx) = g.adjacency();
-    const UNSET: u32 = u32::MAX;
-
-    let mut index = vec![UNSET; n];
-    let mut lowlink = vec![0u32; n];
-    let mut on_stack = vec![false; n];
-    let mut stack: Vec<u32> = Vec::new();
-    let mut component = vec![UNSET; n];
-    let mut members: Vec<Vec<u32>> = Vec::new();
-    let mut next_index = 0u32;
-
-    // Explicit DFS frames: (vertex, position in its out-edge list).
-    let mut frames: Vec<(u32, u32)> = Vec::new();
-
-    for root in 0..n as u32 {
-        if index[root as usize] != UNSET {
-            continue;
-        }
-        frames.push((root, 0));
-        index[root as usize] = next_index;
-        lowlink[root as usize] = next_index;
-        next_index += 1;
-        stack.push(root);
-        on_stack[root as usize] = true;
-
-        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
-            let vi = v as usize;
-            let start = offsets[vi];
-            let end = offsets[vi + 1];
-            if start + *pos < end {
-                let e = &g.edges()[eidx[(start + *pos) as usize] as usize];
-                *pos += 1;
-                let w = e.to;
-                let wi = w as usize;
-                if index[wi] == UNSET {
-                    index[wi] = next_index;
-                    lowlink[wi] = next_index;
-                    next_index += 1;
-                    stack.push(w);
-                    on_stack[wi] = true;
-                    frames.push((w, 0));
-                } else if on_stack[wi] {
-                    lowlink[vi] = lowlink[vi].min(index[wi]);
-                }
-            } else {
-                frames.pop();
-                if let Some(&(parent, _)) = frames.last() {
-                    let pi = parent as usize;
-                    lowlink[pi] = lowlink[pi].min(lowlink[vi]);
-                }
-                if lowlink[vi] == index[vi] {
-                    let cid = members.len() as u32;
-                    let mut comp = Vec::new();
-                    loop {
-                        let w = stack.pop().expect("tarjan stack underflow");
-                        on_stack[w as usize] = false;
-                        component[w as usize] = cid;
-                        comp.push(w);
-                        if w == v {
-                            break;
-                        }
-                    }
-                    members.push(comp);
-                }
-            }
-        }
+    let mut ws = Workspace::new();
+    let view = ws.scc(g);
+    SccDecomposition {
+        component: view.components().to_vec(),
+        members: (0..view.num_components()).map(|c| view.members(c).to_vec()).collect(),
     }
-
-    SccDecomposition { component, members }
 }
 
 #[cfg(test)]

@@ -1,0 +1,1088 @@
+//! Reusable scratch arenas for the cycle-ratio algorithms.
+//!
+//! The paper's campaigns, gap studies and mapping searches evaluate the
+//! maximum cycle ratio of thousands of slightly-different graphs. The free
+//! functions in [`crate::howard`], [`crate::karp`] and [`crate::lawler`]
+//! allocate every vector they need on every call; for a hot loop that cost
+//! dominates the arithmetic. A [`Workspace`] owns all of that scratch —
+//! the [`Csr`] adjacency, the Tarjan stacks, the Howard policy/value
+//! arrays, Karp's rolling rows and Lawler's Bellman–Ford state — so a
+//! solve is **allocation-free after the first call** (buffers are resized
+//! once and then reused; only error paths and the returned witness
+//! allocate).
+//!
+//! On top of buffer reuse, the workspace supports **warm-started** policy
+//! iteration: [`Workspace::max_cycle_ratio_warm`] seeds Howard's iteration
+//! with the converged policy of the previous solve whenever the graph
+//! shape matches, which typically converges in one or two policy
+//! evaluations on the neighbor-mapping graphs produced by local search and
+//! annealing. Warm starts change the *search path*, not the result: the
+//! returned ratio is always recomputed exactly from the witness circuit.
+//! The only caveat: when two distinct circuits tie for critical within the
+//! solver's eps tolerance (~1e-12 relative — measure zero for generic
+//! random costs, property-tested bit-for-bit on such inputs), a warm start
+//! may settle on the other member of the tie and report its bit pattern.
+//!
+//! All algorithms work per strongly connected component directly on the
+//! global vertex ids, slicing the shared CSR and filtering edges by
+//! component id — no per-SCC subgraph is ever materialized (the old
+//! implementation re-allocated a restricted [`RatioGraph`] per component).
+
+use crate::graph::{CycleSolution, Edge, RatioGraph, RatioGraphError};
+use crate::howard::RatioResult;
+
+/// Compressed sparse row adjacency of a [`RatioGraph`]: out-edges of vertex
+/// `v` are `edge_indices()[offsets()[v]..offsets()[v+1]]`, preserving the
+/// insertion order of [`RatioGraph::add_edge`].
+///
+/// Built into owned buffers so repeated builds on same-sized graphs do not
+/// allocate.
+#[derive(Debug, Clone, Default)]
+pub struct Csr {
+    offsets: Vec<u32>,
+    eidx: Vec<u32>,
+    cursor: Vec<u32>,
+}
+
+impl Csr {
+    /// Creates an empty CSR.
+    pub fn new() -> Self {
+        Csr::default()
+    }
+
+    /// (Re)builds the adjacency of `g`, reusing the internal buffers.
+    pub fn build(&mut self, g: &RatioGraph) {
+        let n = g.num_vertices();
+        self.offsets.clear();
+        self.offsets.resize(n + 1, 0);
+        for e in g.edges() {
+            self.offsets[e.from as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.offsets[i + 1] += self.offsets[i];
+        }
+        self.cursor.clear();
+        self.cursor.extend_from_slice(&self.offsets[..n]);
+        self.eidx.clear();
+        self.eidx.resize(g.num_edges(), 0);
+        for (i, e) in g.edges().iter().enumerate() {
+            let c = &mut self.cursor[e.from as usize];
+            self.eidx[*c as usize] = i as u32;
+            *c += 1;
+        }
+    }
+
+    /// Per-vertex offsets into [`Csr::edge_indices`] (length `n + 1`).
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// Edge indices grouped by source vertex.
+    pub fn edge_indices(&self) -> &[u32] {
+        &self.eidx
+    }
+
+    /// Out-edge indices of vertex `v`.
+    pub fn out_edges(&self, v: u32) -> &[u32] {
+        let (a, b) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
+        &self.eidx[a as usize..b as usize]
+    }
+}
+
+/// A view of an SCC decomposition stored in a [`Workspace`].
+#[derive(Debug, Clone, Copy)]
+pub struct SccView<'a> {
+    comp: &'a [u32],
+    comp_offsets: &'a [u32],
+    comp_vertices: &'a [u32],
+}
+
+impl<'a> SccView<'a> {
+    /// Number of components. Ids are in reverse topological order of the
+    /// condensation (Tarjan's numbering), matching [`crate::scc`].
+    pub fn num_components(&self) -> usize {
+        self.comp_offsets.len().saturating_sub(1)
+    }
+
+    /// Component id of vertex `v`.
+    pub fn component_of(&self, v: u32) -> u32 {
+        self.comp[v as usize]
+    }
+
+    /// `component[v]` for every vertex.
+    pub fn components(&self) -> &'a [u32] {
+        self.comp
+    }
+
+    /// Vertices of component `c`.
+    pub fn members(&self, c: usize) -> &'a [u32] {
+        let (a, b) = (self.comp_offsets[c] as usize, self.comp_offsets[c + 1] as usize);
+        &self.comp_vertices[a..b]
+    }
+}
+
+/// Owned scratch state shared by the cycle-ratio solvers.
+///
+/// Create once, then call [`Workspace::max_cycle_ratio`] (or the warm /
+/// Karp / Lawler variants) as many times as needed; buffers grow to the
+/// largest graph seen and are reused afterwards.
+#[derive(Debug, Clone, Default)]
+pub struct Workspace {
+    csr: Csr,
+    // SCC decomposition (flat: no Vec<Vec<_>>).
+    comp: Vec<u32>,
+    comp_offsets: Vec<u32>,
+    comp_vertices: Vec<u32>,
+    // Tarjan scratch.
+    index: Vec<u32>,
+    lowlink: Vec<u32>,
+    on_stack: Vec<bool>,
+    vstack: Vec<u32>,
+    frames: Vec<(u32, u32)>,
+    // Howard policy iteration.
+    policy: Vec<u32>,
+    lambda: Vec<f64>,
+    potential: Vec<f64>,
+    state: Vec<u8>,
+    walk_pos: Vec<u32>,
+    path: Vec<u32>,
+    /// `(num_vertices, num_edges)` of the graph the converged `policy`
+    /// belongs to; `None` until a solve completes.
+    warm_sig: Option<(usize, usize)>,
+    // Karp rolling rows (O(V) — see `crate::karp`).
+    row_prev: Vec<f64>,
+    row_cur: Vec<f64>,
+    row_last: Vec<f64>,
+    inner_min: Vec<f64>,
+    comp_edges: Vec<u32>,
+    // Lawler Bellman–Ford state and zero-token-subgraph DFS.
+    dist: Vec<f64>,
+    pred: Vec<u32>,
+    color: Vec<u8>,
+    parent: Vec<u32>,
+}
+
+impl Workspace {
+    /// Creates an empty workspace (no allocation until the first solve).
+    pub fn new() -> Self {
+        Workspace::default()
+    }
+
+    /// Computes the SCC decomposition of `g` into the workspace buffers and
+    /// returns a borrowed view (no per-call allocation after warm-up).
+    pub fn scc(&mut self, g: &RatioGraph) -> SccView<'_> {
+        self.csr.build(g);
+        tarjan_flat(
+            g,
+            &self.csr,
+            &mut self.index,
+            &mut self.lowlink,
+            &mut self.on_stack,
+            &mut self.vstack,
+            &mut self.frames,
+            &mut self.comp,
+            &mut self.comp_offsets,
+            &mut self.comp_vertices,
+        );
+        SccView {
+            comp: &self.comp,
+            comp_offsets: &self.comp_offsets,
+            comp_vertices: &self.comp_vertices,
+        }
+    }
+
+    /// Howard's policy iteration with cold-started (deterministic) policy
+    /// initialization. Semantics match [`crate::howard::max_cycle_ratio`];
+    /// only the allocation behavior differs.
+    pub fn max_cycle_ratio(&mut self, g: &RatioGraph) -> RatioResult {
+        self.howard(g, false)
+    }
+
+    /// Howard's policy iteration seeded with the converged policy of the
+    /// previous solve when the graph shape (vertex and edge counts) matches
+    /// and the stored policy is still structurally valid; falls back to the
+    /// cold initialization per vertex otherwise.
+    ///
+    /// The result is the same as [`Workspace::max_cycle_ratio`] — the ratio
+    /// is recomputed exactly from the witness circuit; see the module docs
+    /// for the eps-level-tie caveat — and on families of related graphs
+    /// (neighbor mappings in a search) convergence is typically immediate.
+    pub fn max_cycle_ratio_warm(&mut self, g: &RatioGraph) -> RatioResult {
+        self.howard(g, true)
+    }
+
+    /// Forgets the stored policy: the next warm call behaves like a cold
+    /// one.
+    pub fn clear_warm_start(&mut self) {
+        self.warm_sig = None;
+    }
+
+    fn howard(&mut self, g: &RatioGraph, warm: bool) -> RatioResult {
+        g.validate()?;
+        let n = g.num_vertices();
+        let ne = g.num_edges();
+        let warm_ok = warm && self.warm_sig == Some((n, ne)) && self.policy.len() == n;
+        // Invalidate until this solve completes (an early error must not
+        // leave a half-updated policy marked reusable).
+        self.warm_sig = None;
+        self.scc(g);
+
+        if !warm_ok {
+            self.policy.clear();
+            self.policy.resize(n, u32::MAX);
+        }
+        self.lambda.clear();
+        self.lambda.resize(n, f64::NEG_INFINITY);
+        self.potential.clear();
+        self.potential.resize(n, 0.0);
+        self.state.clear();
+        self.state.resize(n, 0);
+        self.walk_pos.clear();
+        self.walk_pos.resize(n, 0);
+
+        let edges = g.edges();
+        // Generous bound: each iteration strictly improves (λ, x); policies
+        // are finite. Guards against floating-point livelock.
+        let max_iters = 64 + 8 * n + ne;
+
+        let Workspace {
+            csr,
+            comp,
+            comp_offsets,
+            comp_vertices,
+            policy,
+            lambda,
+            potential,
+            state,
+            walk_pos,
+            path,
+            ..
+        } = self;
+
+        let mut best: Option<CycleSolution> = None;
+        for c in 0..comp_offsets.len() - 1 {
+            let members =
+                &comp_vertices[comp_offsets[c] as usize..comp_offsets[c + 1] as usize];
+            let cyclic = members.len() > 1
+                || csr.out_edges(members[0]).iter().any(|&ei| edges[ei as usize].to == members[0]);
+            if !cyclic {
+                continue;
+            }
+            let sol = howard_component(
+                edges, csr, comp, c as u32, members, warm_ok, policy, lambda, potential,
+                state, walk_pos, path, max_iters,
+            )?;
+            if best.as_ref().is_none_or(|b| sol.ratio > b.ratio) {
+                best = Some(sol);
+            }
+        }
+        self.warm_sig = Some((n, ne));
+        Ok(best)
+    }
+
+    /// Karp's maximum cycle mean with O(V) rolling rows; semantics match
+    /// [`crate::karp::max_cycle_mean`].
+    pub fn max_cycle_mean(&mut self, g: &RatioGraph) -> Option<f64> {
+        g.validate().ok()?;
+        let n = g.num_vertices();
+        self.scc(g);
+        self.row_prev.clear();
+        self.row_prev.resize(n, f64::NEG_INFINITY);
+        self.row_cur.clear();
+        self.row_cur.resize(n, f64::NEG_INFINITY);
+        self.row_last.clear();
+        self.row_last.resize(n, f64::NEG_INFINITY);
+        self.inner_min.clear();
+        self.inner_min.resize(n, f64::INFINITY);
+
+        let edges = g.edges();
+        let Workspace {
+            csr,
+            comp,
+            comp_offsets,
+            comp_vertices,
+            row_prev,
+            row_cur,
+            row_last,
+            inner_min,
+            comp_edges,
+            ..
+        } = self;
+
+        let mut best: Option<f64> = None;
+        for c in 0..comp_offsets.len() - 1 {
+            let members =
+                &comp_vertices[comp_offsets[c] as usize..comp_offsets[c + 1] as usize];
+            let cyclic = members.len() > 1
+                || csr.out_edges(members[0]).iter().any(|&ei| edges[ei as usize].to == members[0]);
+            if !cyclic {
+                continue;
+            }
+            comp_edges.clear();
+            for &v in members {
+                for &ei in csr.out_edges(v) {
+                    if comp[edges[ei as usize].to as usize] == c as u32 {
+                        comp_edges.push(ei);
+                    }
+                }
+            }
+            let m = karp_component(
+                edges, members, comp_edges, row_prev, row_cur, row_last, inner_min,
+            );
+            best = Some(best.map_or(m, |b: f64| b.max(m)));
+        }
+        best
+    }
+
+    /// Lawler's parametric search reusing the workspace's Bellman–Ford
+    /// buffers; semantics match [`crate::lawler::max_cycle_ratio_lawler`].
+    pub fn max_cycle_ratio_lawler(&mut self, g: &RatioGraph) -> RatioResult {
+        g.validate()?;
+        if g.num_edges() == 0 {
+            return Ok(None);
+        }
+        if let Some(cycle) = self.zero_token_cycle(g) {
+            return Err(RatioGraphError::ZeroTokenCycle { cycle });
+        }
+
+        let n = g.num_vertices();
+        self.dist.clear();
+        self.dist.resize(n, 0.0);
+        self.pred.clear();
+        self.pred.resize(n, u32::MAX);
+
+        let cost_sum: f64 = g.edges().iter().map(|e| e.cost.abs()).sum::<f64>().max(1.0);
+        let mut lo = -cost_sum; // below any cycle ratio
+        let mut hi = cost_sum; // above any cycle ratio (tokens ≥ 1 per cycle)
+        let mut best: Option<CycleSolution> = None;
+
+        // First probe at `lo` decides whether any circuit exists at all.
+        if !positive_cycle(g, lo, &mut self.dist, &mut self.pred, &mut self.path) {
+            return Ok(None);
+        }
+        let sol = exact_solution(g, &self.path)?;
+        lo = sol.ratio;
+        best = pick_best(best, sol);
+
+        let eps = cost_sum * 1e-13;
+        while hi - lo > eps {
+            let mid = 0.5 * (lo + hi);
+            if positive_cycle(g, mid, &mut self.dist, &mut self.pred, &mut self.path) {
+                let sol = exact_solution(g, &self.path)?;
+                // The witness has ratio > mid; snap the lower bound to it.
+                lo = sol.ratio.max(mid);
+                best = pick_best(best, sol);
+            } else {
+                hi = mid;
+            }
+        }
+        Ok(best)
+    }
+
+    /// Finds a circuit made of zero-token edges only (iterative coloring
+    /// DFS on the zero-token subgraph), or `None`. Scratch-reusing version
+    /// of the check in [`crate::lawler`].
+    fn zero_token_cycle(&mut self, g: &RatioGraph) -> Option<Vec<u32>> {
+        let n = g.num_vertices();
+        self.csr.build(g);
+        self.color.clear();
+        self.color.resize(n, 0);
+        self.parent.clear();
+        self.parent.resize(n, u32::MAX);
+        self.frames.clear();
+        let edges = g.edges();
+        for root in 0..n as u32 {
+            if self.color[root as usize] != 0 {
+                continue;
+            }
+            self.frames.clear();
+            self.frames.push((root, 0));
+            self.color[root as usize] = 1;
+            while let Some(&mut (v, ref mut pos)) = self.frames.last_mut() {
+                let outs = self.csr.out_edges(v);
+                // Advance over non-zero-token edges.
+                let mut next = None;
+                while (*pos as usize) < outs.len() {
+                    let e = &edges[outs[*pos as usize] as usize];
+                    *pos += 1;
+                    if e.tokens == 0 {
+                        next = Some(e.to);
+                        break;
+                    }
+                }
+                match next {
+                    Some(w) => match self.color[w as usize] {
+                        0 => {
+                            self.color[w as usize] = 1;
+                            self.parent[w as usize] = v;
+                            self.frames.push((w, 0));
+                        }
+                        1 => {
+                            // Grey: found a cycle w → … → v → w.
+                            let mut cycle = vec![w];
+                            let mut u = v;
+                            while u != w {
+                                cycle.push(u);
+                                u = self.parent[u as usize];
+                            }
+                            cycle.reverse();
+                            return Some(cycle);
+                        }
+                        _ => {}
+                    },
+                    None => {
+                        self.color[v as usize] = 2;
+                        self.frames.pop();
+                    }
+                }
+            }
+        }
+        None
+    }
+}
+
+/// Iterative Tarjan into flat component arrays (no recursion, no
+/// per-component `Vec`). Component ids and member order match
+/// [`crate::scc::tarjan_scc`].
+#[allow(clippy::too_many_arguments)]
+fn tarjan_flat(
+    g: &RatioGraph,
+    csr: &Csr,
+    index: &mut Vec<u32>,
+    lowlink: &mut Vec<u32>,
+    on_stack: &mut Vec<bool>,
+    vstack: &mut Vec<u32>,
+    frames: &mut Vec<(u32, u32)>,
+    comp: &mut Vec<u32>,
+    comp_offsets: &mut Vec<u32>,
+    comp_vertices: &mut Vec<u32>,
+) {
+    let n = g.num_vertices();
+    const UNSET: u32 = u32::MAX;
+    index.clear();
+    index.resize(n, UNSET);
+    lowlink.clear();
+    lowlink.resize(n, 0);
+    on_stack.clear();
+    on_stack.resize(n, false);
+    vstack.clear();
+    frames.clear();
+    comp.clear();
+    comp.resize(n, UNSET);
+    comp_offsets.clear();
+    comp_offsets.push(0);
+    comp_vertices.clear();
+
+    let edges = g.edges();
+    let mut next_index = 0u32;
+    for root in 0..n as u32 {
+        if index[root as usize] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root as usize] = next_index;
+        lowlink[root as usize] = next_index;
+        next_index += 1;
+        vstack.push(root);
+        on_stack[root as usize] = true;
+
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let vi = v as usize;
+            let outs = csr.out_edges(v);
+            if (*pos as usize) < outs.len() {
+                let e = &edges[outs[*pos as usize] as usize];
+                *pos += 1;
+                let w = e.to;
+                let wi = w as usize;
+                if index[wi] == UNSET {
+                    index[wi] = next_index;
+                    lowlink[wi] = next_index;
+                    next_index += 1;
+                    vstack.push(w);
+                    on_stack[wi] = true;
+                    frames.push((w, 0));
+                } else if on_stack[wi] {
+                    lowlink[vi] = lowlink[vi].min(index[wi]);
+                }
+            } else {
+                frames.pop();
+                if let Some(&(parent, _)) = frames.last() {
+                    let pi = parent as usize;
+                    lowlink[pi] = lowlink[pi].min(lowlink[vi]);
+                }
+                if lowlink[vi] == index[vi] {
+                    let cid = (comp_offsets.len() - 1) as u32;
+                    loop {
+                        let w = vstack.pop().expect("tarjan stack underflow");
+                        on_stack[w as usize] = false;
+                        comp[w as usize] = cid;
+                        comp_vertices.push(w);
+                        if w == v {
+                            break;
+                        }
+                    }
+                    comp_offsets.push(comp_vertices.len() as u32);
+                }
+            }
+        }
+    }
+}
+
+/// Howard's iteration on one strongly connected component, operating on
+/// global vertex ids with edges filtered by component membership.
+#[allow(clippy::too_many_arguments)]
+fn howard_component(
+    edges: &[Edge],
+    csr: &Csr,
+    comp: &[u32],
+    cid: u32,
+    members: &[u32],
+    warm_ok: bool,
+    policy: &mut [u32],
+    lambda: &mut [f64],
+    potential: &mut [f64],
+    state: &mut [u8],
+    walk_pos: &mut [u32],
+    path: &mut Vec<u32>,
+    max_iters: usize,
+) -> Result<CycleSolution, RatioGraphError> {
+    // Improvement tolerance scaled to THIS component's costs: a huge-cost
+    // component elsewhere in the graph must not inflate eps here and
+    // suppress genuine improvements (per-SCC scale, as in the historical
+    // per-subgraph implementation).
+    let mut scale = 1.0f64;
+    for &vu in members {
+        for &ei in csr.out_edges(vu) {
+            let e = &edges[ei as usize];
+            if comp[e.to as usize] == cid {
+                scale = scale.max(e.cost.abs());
+            }
+        }
+    }
+    let eps = scale * 1e-12;
+
+    // Policy: one in-component out-edge per vertex. Cold start picks the
+    // max-cost edge (last one on ties, mirroring the historical `max_by`);
+    // warm start keeps the previous policy edge when it is still valid for
+    // this vertex and component.
+    for &vu in members {
+        let v = vu as usize;
+        let keep = warm_ok && {
+            let pe = policy[v] as usize;
+            pe < edges.len() && {
+                let e = &edges[pe];
+                e.from == vu && comp[e.to as usize] == cid
+            }
+        };
+        if keep {
+            continue;
+        }
+        let mut best_e = u32::MAX;
+        let mut best_cost = f64::NEG_INFINITY;
+        for &ei in csr.out_edges(vu) {
+            let e = &edges[ei as usize];
+            if comp[e.to as usize] != cid {
+                continue;
+            }
+            if e.cost >= best_cost {
+                best_cost = e.cost;
+                best_e = ei;
+            }
+        }
+        debug_assert!(best_e != u32::MAX, "SCC vertex must have an in-component out-edge");
+        policy[v] = best_e;
+    }
+
+    for _ in 0..max_iters {
+        evaluate_policy(edges, members, policy, lambda, potential, state, walk_pos, path)?;
+
+        // Phase 1: improve by cycle-ratio value.
+        let mut changed = false;
+        for &vu in members {
+            let v = vu as usize;
+            let mut best_e = policy[v];
+            let mut best_l = lambda[edges[best_e as usize].to as usize];
+            for &ei in csr.out_edges(vu) {
+                let e = &edges[ei as usize];
+                if comp[e.to as usize] != cid {
+                    continue;
+                }
+                let l = lambda[e.to as usize];
+                if l > best_l + eps {
+                    best_l = l;
+                    best_e = ei;
+                }
+            }
+            if best_e != policy[v] {
+                policy[v] = best_e;
+                changed = true;
+            }
+        }
+        if changed {
+            continue;
+        }
+
+        // Phase 2: improve by potential among edges of (near-)equal value.
+        for &vu in members {
+            let v = vu as usize;
+            let cur = policy[v] as usize;
+            let cur_val = edges[cur].cost - lambda[v] * f64::from(edges[cur].tokens)
+                + potential[edges[cur].to as usize];
+            let mut best_e = policy[v];
+            let mut best_val = cur_val;
+            for &ei in csr.out_edges(vu) {
+                let e = &edges[ei as usize];
+                if comp[e.to as usize] != cid {
+                    continue;
+                }
+                if lambda[e.to as usize] < lambda[v] - eps {
+                    continue;
+                }
+                let val = e.cost - lambda[v] * f64::from(e.tokens) + potential[e.to as usize];
+                if val > best_val + eps {
+                    best_val = val;
+                    best_e = ei;
+                }
+            }
+            if best_e != policy[v] {
+                policy[v] = best_e;
+                changed = true;
+            }
+        }
+        if !changed {
+            return extract_witness(edges, members, policy, lambda, state);
+        }
+    }
+    Err(RatioGraphError::NoConvergence)
+}
+
+/// Evaluates a policy on one component: for every member vertex, the ratio
+/// of the policy cycle it reaches (`lambda`) and a potential solving
+/// `x[v] = cost − λ·tokens + x[π(v)]` along policy edges, rooted at an
+/// arbitrary vertex of each policy cycle.
+#[allow(clippy::too_many_arguments)]
+fn evaluate_policy(
+    edges: &[Edge],
+    members: &[u32],
+    policy: &[u32],
+    lambda: &mut [f64],
+    potential: &mut [f64],
+    state: &mut [u8],
+    walk_pos: &mut [u32],
+    path: &mut Vec<u32>,
+) -> Result<(), RatioGraphError> {
+    // 0 = unvisited, 1 = on current walk, 2 = finished.
+    for &v in members {
+        state[v as usize] = 0;
+    }
+    for &start in members {
+        if state[start as usize] != 0 {
+            continue;
+        }
+        path.clear();
+        let mut u = start;
+        while state[u as usize] == 0 {
+            state[u as usize] = 1;
+            walk_pos[u as usize] = path.len() as u32;
+            path.push(u);
+            u = edges[policy[u as usize] as usize].to;
+        }
+
+        let settle_from = if state[u as usize] == 1 {
+            // New policy cycle: path[pos..] are its vertices in order.
+            let pos = walk_pos[u as usize] as usize;
+            let cycle = &path[pos..];
+            let mut cost = 0.0;
+            let mut tokens: u64 = 0;
+            for &v in cycle {
+                let e = &edges[policy[v as usize] as usize];
+                cost += e.cost;
+                tokens += u64::from(e.tokens);
+            }
+            if tokens == 0 {
+                return Err(RatioGraphError::ZeroTokenCycle { cycle: cycle.to_vec() });
+            }
+            let lam = cost / tokens as f64;
+            // Root the potential at the cycle entry point `u = cycle[0]`.
+            lambda[u as usize] = lam;
+            potential[u as usize] = 0.0;
+            for i in (1..cycle.len()).rev() {
+                let v = cycle[i] as usize;
+                let e = &edges[policy[v] as usize];
+                lambda[v] = lam;
+                potential[v] = e.cost - lam * f64::from(e.tokens) + potential[e.to as usize];
+                state[v] = 2;
+            }
+            state[u as usize] = 2;
+            pos
+        } else {
+            // Reached an already-settled vertex; the whole path hangs off it.
+            path.len()
+        };
+
+        // Settle the tail of the walk (path[..settle_from]) backwards.
+        for i in (0..settle_from).rev() {
+            let v = path[i] as usize;
+            let e = &edges[policy[v] as usize];
+            lambda[v] = lambda[e.to as usize];
+            potential[v] = e.cost - lambda[v] * f64::from(e.tokens) + potential[e.to as usize];
+            state[v] = 2;
+        }
+    }
+    Ok(())
+}
+
+/// Extracts the critical circuit of the converged policy: follow the policy
+/// from the member with maximal λ until a vertex repeats. Reuses `state`
+/// (all members are at 2 after evaluation) with mark value 3.
+fn extract_witness(
+    edges: &[Edge],
+    members: &[u32],
+    policy: &[u32],
+    lambda: &[f64],
+    state: &mut [u8],
+) -> Result<CycleSolution, RatioGraphError> {
+    let mut start = members[0];
+    for &v in &members[1..] {
+        if lambda[v as usize] >= lambda[start as usize] {
+            start = v;
+        }
+    }
+    let mut u = start;
+    while state[u as usize] != 3 {
+        state[u as usize] = 3;
+        u = edges[policy[u as usize] as usize].to;
+    }
+    // `u` is on the cycle; walk it once more to collect it.
+    let mut cycle = Vec::new();
+    let mut cost = 0.0;
+    let mut tokens: u64 = 0;
+    let first = u;
+    loop {
+        cycle.push(u);
+        let e = &edges[policy[u as usize] as usize];
+        cost += e.cost;
+        tokens += u64::from(e.tokens);
+        u = e.to;
+        if u == first {
+            break;
+        }
+    }
+    debug_assert!(tokens > 0, "converged policy cycle must carry tokens");
+    Ok(CycleSolution { ratio: cost / tokens as f64, cycle, cost, tokens })
+}
+
+/// Karp on one component with **two rolling rows** instead of the full
+/// `(n+1) × n` table: pass A computes `D_n`, pass B replays the DP keeping
+/// the running `min_k (D_n(v) − D_k(v)) / (n − k)`. Time doubles, memory
+/// drops from O(V²) to O(V).
+fn karp_component(
+    edges: &[Edge],
+    members: &[u32],
+    comp_edges: &[u32],
+    row_prev: &mut Vec<f64>,
+    row_cur: &mut Vec<f64>,
+    row_last: &mut [f64],
+    inner_min: &mut [f64],
+) -> f64 {
+    let nc = members.len();
+    let src = members[0] as usize;
+
+    // Pass A: D_nc from the fixed source (vertex 0 of the component).
+    for &v in members {
+        row_prev[v as usize] = f64::NEG_INFINITY;
+    }
+    row_prev[src] = 0.0;
+    for _ in 1..=nc {
+        for &v in members {
+            row_cur[v as usize] = f64::NEG_INFINITY;
+        }
+        relax(edges, comp_edges, row_prev, row_cur);
+        std::mem::swap(row_prev, row_cur);
+    }
+    for &v in members {
+        row_last[v as usize] = row_prev[v as usize];
+    }
+
+    // Pass B: replay rows 0..nc−1, folding the inner minimum as each row
+    // materializes.
+    for &v in members {
+        inner_min[v as usize] = f64::INFINITY;
+        row_prev[v as usize] = f64::NEG_INFINITY;
+    }
+    row_prev[src] = 0.0;
+    for k in 0..nc {
+        for &v in members {
+            let vi = v as usize;
+            if row_last[vi] > f64::NEG_INFINITY && row_prev[vi] > f64::NEG_INFINITY {
+                let cand = (row_last[vi] - row_prev[vi]) / (nc - k) as f64;
+                if cand < inner_min[vi] {
+                    inner_min[vi] = cand;
+                }
+            }
+        }
+        for &v in members {
+            row_cur[v as usize] = f64::NEG_INFINITY;
+        }
+        relax(edges, comp_edges, row_prev, row_cur);
+        std::mem::swap(row_prev, row_cur);
+    }
+
+    let mut best = f64::NEG_INFINITY;
+    for &v in members {
+        if row_last[v as usize] > f64::NEG_INFINITY {
+            best = best.max(inner_min[v as usize]);
+        }
+    }
+    best
+}
+
+fn relax(edges: &[Edge], comp_edges: &[u32], prev: &[f64], cur: &mut [f64]) {
+    for &ei in comp_edges {
+        let e = &edges[ei as usize];
+        let p = prev[e.from as usize];
+        if p > f64::NEG_INFINITY {
+            let cand = p + e.cost;
+            if cand > cur[e.to as usize] {
+                cur[e.to as usize] = cand;
+            }
+        }
+    }
+}
+
+fn pick_best(best: Option<CycleSolution>, sol: CycleSolution) -> Option<CycleSolution> {
+    match best {
+        Some(b) if b.ratio >= sol.ratio => Some(b),
+        _ => Some(sol),
+    }
+}
+
+/// Exact ratio of a circuit found by the Lawler oracle, given as the
+/// edge-index sequence.
+fn exact_solution(g: &RatioGraph, cycle_edges: &[u32]) -> Result<CycleSolution, RatioGraphError> {
+    let mut cost = 0.0;
+    let mut tokens = 0u64;
+    let mut cycle = Vec::with_capacity(cycle_edges.len());
+    for &ei in cycle_edges {
+        let e = &g.edges()[ei as usize];
+        cost += e.cost;
+        tokens += u64::from(e.tokens);
+        cycle.push(e.from);
+    }
+    if tokens == 0 {
+        return Err(RatioGraphError::ZeroTokenCycle { cycle });
+    }
+    Ok(CycleSolution { ratio: cost / tokens as f64, cycle, cost, tokens })
+}
+
+/// Bellman–Ford longest-path positive-circuit oracle for weights
+/// `cost − λ·tokens`, reusing the caller's `dist` / `pred` buffers. On
+/// success the positive circuit's edge indices are left in `cycle_out` and
+/// `true` is returned.
+fn positive_cycle(
+    g: &RatioGraph,
+    lambda: f64,
+    dist: &mut [f64],
+    pred: &mut [u32],
+    cycle_out: &mut Vec<u32>,
+) -> bool {
+    let n = g.num_vertices();
+    let edges = g.edges();
+    dist.fill(0.0); // multi-source: all vertices at 0
+    pred.fill(u32::MAX);
+
+    let mut updated_vertex: Option<u32> = None;
+    for round in 0..=n {
+        let mut any = false;
+        for (i, e) in edges.iter().enumerate() {
+            let w = e.cost - lambda * f64::from(e.tokens);
+            let cand = dist[e.from as usize] + w;
+            if cand > dist[e.to as usize] + 1e-15 {
+                dist[e.to as usize] = cand;
+                pred[e.to as usize] = i as u32;
+                any = true;
+                if round == n {
+                    updated_vertex = Some(e.to);
+                    break;
+                }
+            }
+        }
+        if !any {
+            return false;
+        }
+    }
+
+    // A relaxation in round n ⇒ positive circuit reachable via predecessors.
+    let Some(mut v) = updated_vertex else { return false };
+    // Walk back n steps to guarantee we are inside the circuit.
+    for _ in 0..n {
+        v = edges[pred[v as usize] as usize].from;
+    }
+    let start = v;
+    cycle_out.clear();
+    loop {
+        let ei = pred[v as usize];
+        cycle_out.push(ei);
+        v = edges[ei as usize].from;
+        if v == start {
+            break;
+        }
+    }
+    cycle_out.reverse();
+    true
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::howard::max_cycle_ratio;
+    use crate::scc::tarjan_scc;
+
+    fn diamond() -> RatioGraph {
+        let mut g = RatioGraph::new(4);
+        g.add_edge(0, 1, 4.0, 1);
+        g.add_edge(1, 0, 6.0, 0);
+        g.add_edge(1, 2, 5.0, 1);
+        g.add_edge(2, 3, 2.5, 0);
+        g.add_edge(3, 0, 3.0, 2);
+        g.add_edge(3, 3, 1.0, 1);
+        g
+    }
+
+    #[test]
+    fn csr_matches_adjacency() {
+        let g = diamond();
+        let mut csr = Csr::new();
+        csr.build(&g);
+        let (off, idx) = g.adjacency();
+        assert_eq!(csr.offsets(), &off[..]);
+        assert_eq!(csr.edge_indices(), &idx[..]);
+    }
+
+    #[test]
+    fn scc_view_matches_tarjan() {
+        let g = diamond();
+        let mut ws = Workspace::new();
+        let reference = tarjan_scc(&g);
+        let view = ws.scc(&g);
+        assert_eq!(view.num_components(), reference.len());
+        for (c, members) in reference.members.iter().enumerate() {
+            assert_eq!(view.members(c), &members[..]);
+        }
+        assert_eq!(view.components(), &reference.component[..]);
+    }
+
+    #[test]
+    fn workspace_howard_matches_free_function_bitwise() {
+        let mut ws = Workspace::new();
+        let g = diamond();
+        let a = max_cycle_ratio(&g).unwrap().unwrap();
+        let b = ws.max_cycle_ratio(&g).unwrap().unwrap();
+        assert_eq!(a.ratio.to_bits(), b.ratio.to_bits());
+        assert_eq!(a.cycle, b.cycle);
+        assert_eq!(a.cost.to_bits(), b.cost.to_bits());
+        assert_eq!(a.tokens, b.tokens);
+    }
+
+    #[test]
+    fn reuse_across_different_sizes() {
+        let mut ws = Workspace::new();
+        for n in [2usize, 7, 3, 12] {
+            let mut g = RatioGraph::new(n);
+            for v in 0..n as u32 {
+                g.add_edge(v, (v + 1) % n as u32, 1.0 + v as f64, 1);
+            }
+            let cold = max_cycle_ratio(&g).unwrap().unwrap();
+            let reused = ws.max_cycle_ratio(&g).unwrap().unwrap();
+            assert_eq!(cold.ratio.to_bits(), reused.ratio.to_bits());
+        }
+    }
+
+    #[test]
+    fn warm_start_same_graph_is_bitwise_identical() {
+        let mut ws = Workspace::new();
+        let g = diamond();
+        let cold = ws.max_cycle_ratio(&g).unwrap().unwrap();
+        let warm = ws.max_cycle_ratio_warm(&g).unwrap().unwrap();
+        assert_eq!(cold.ratio.to_bits(), warm.ratio.to_bits());
+        assert_eq!(cold.cycle, warm.cycle);
+    }
+
+    #[test]
+    fn warm_start_across_cost_perturbations() {
+        let mut ws = Workspace::new();
+        let g = diamond();
+        ws.max_cycle_ratio(&g).unwrap();
+        // Same shape, different costs: warm must equal a cold solve.
+        let mut g2 = RatioGraph::new(4);
+        for e in g.edges() {
+            g2.add_edge(e.from, e.to, e.cost * 1.75 + 0.1, e.tokens);
+        }
+        let warm = ws.max_cycle_ratio_warm(&g2).unwrap().unwrap();
+        let cold = max_cycle_ratio(&g2).unwrap().unwrap();
+        assert_eq!(warm.ratio.to_bits(), cold.ratio.to_bits());
+    }
+
+    #[test]
+    fn warm_start_shape_mismatch_falls_back() {
+        let mut ws = Workspace::new();
+        let g = diamond();
+        ws.max_cycle_ratio(&g).unwrap();
+        let mut small = RatioGraph::new(2);
+        small.add_edge(0, 1, 3.0, 1);
+        small.add_edge(1, 0, 5.0, 1);
+        let warm = ws.max_cycle_ratio_warm(&small).unwrap().unwrap();
+        assert!((warm.ratio - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn warm_after_deadlock_error_is_safe() {
+        let mut ws = Workspace::new();
+        let mut bad = RatioGraph::new(2);
+        bad.add_edge(0, 1, 1.0, 0);
+        bad.add_edge(1, 0, 1.0, 0);
+        assert!(ws.max_cycle_ratio(&bad).is_err());
+        // The failed solve must not leave a warm signature behind.
+        let g = diamond();
+        let warm = ws.max_cycle_ratio_warm(&g).unwrap().unwrap();
+        let cold = max_cycle_ratio(&g).unwrap().unwrap();
+        assert_eq!(warm.ratio.to_bits(), cold.ratio.to_bits());
+    }
+
+    #[test]
+    fn eps_is_scaled_per_component() {
+        // Regression: a huge-|cost| component must not inflate the
+        // improvement tolerance of a small-cost component elsewhere in the
+        // graph. With a global eps of ~1.0 (scale 1e12 · 1e-12), the 10.4
+        // cycle below is within eps of the 10.0 one and policy iteration
+        // would stop at 10.0.
+        let mut g = RatioGraph::new(4);
+        g.add_edge(0, 0, -1e12, 1); // component A: enormous cost scale
+        // Component B: two cycles through vertex 1 with close ratios.
+        g.add_edge(1, 1, 10.0, 1); // ratio 10.0
+        g.add_edge(1, 2, 10.4, 1);
+        g.add_edge(2, 1, 10.4, 1); // ratio 10.4
+        let sol = Workspace::new().max_cycle_ratio(&g).unwrap().unwrap();
+        assert!((sol.ratio - 10.4).abs() < 1e-9, "got {}", sol.ratio);
+        let cross = crate::lawler::max_cycle_ratio_lawler(&g).unwrap().unwrap();
+        assert!((sol.ratio - cross.ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lawler_ws_matches_free_function() {
+        let mut ws = Workspace::new();
+        let g = diamond();
+        let a = crate::lawler::max_cycle_ratio_lawler(&g).unwrap().unwrap();
+        let b = ws.max_cycle_ratio_lawler(&g).unwrap().unwrap();
+        assert_eq!(a.ratio.to_bits(), b.ratio.to_bits());
+    }
+
+    #[test]
+    fn karp_ws_matches_free_function() {
+        let mut ws = Workspace::new();
+        let g = diamond();
+        let a = crate::karp::max_cycle_mean(&g).unwrap();
+        let b = ws.max_cycle_mean(&g).unwrap();
+        assert_eq!(a.to_bits(), b.to_bits());
+    }
+}

@@ -1,0 +1,109 @@
+//! Property tests of the zero-allocation engine: on random `RatioGraph`s,
+//! cold-start, workspace-reused and warm-started Howard solves must agree
+//! **bit for bit**, and Howard / Karp / Lawler must cross-validate.
+//!
+//! "Bit for bit" is not approximate agreement: every solver recomputes its
+//! ratio exactly from a witness circuit, and on generic (random-cost)
+//! graphs the critical circuit is unique, so the reused and warm-started
+//! paths must land on the identical `f64`.
+
+use maxplus::graph::RatioGraph;
+use maxplus::howard::max_cycle_ratio;
+use maxplus::karp::max_cycle_ratio_karp;
+use maxplus::lawler::max_cycle_ratio_lawler;
+use maxplus::workspace::Workspace;
+use proptest::prelude::*;
+use proptest::strategy::Strategy;
+
+/// Random live graphs: a tokenized Hamiltonian ring (strong connectivity,
+/// no deadlock) plus random extra edges; backward/self extras always carry
+/// a token so the zero-token subgraph stays acyclic.
+fn arb_live_graph() -> impl Strategy<Value = RatioGraph> {
+    (
+        proptest::collection::vec(0.1f64..100.0, 2..14),
+        proptest::collection::vec((0u32..14, 0u32..14, 0.1f64..100.0, 0u32..3), 0..40),
+    )
+        .prop_map(|(ring, extras)| {
+            let n = ring.len();
+            let mut g = RatioGraph::new(n);
+            for (v, cost) in ring.into_iter().enumerate() {
+                g.add_edge(v as u32, (v as u32 + 1) % n as u32, cost, 1);
+            }
+            for (a, b, cost, tokens) in extras {
+                let (a, b) = (a % n as u32, b % n as u32);
+                // Zero tokens only on strictly forward edges: zero-token
+                // subgraph is a DAG, hence no deadlocked circuit.
+                let tokens = if a >= b { tokens.max(1) } else { tokens };
+                g.add_edge(a, b, cost, tokens);
+            }
+            g
+        })
+}
+
+/// A same-shape cost perturbation of `g` (what a neighbor mapping in a
+/// search typically produces).
+fn perturb(g: &RatioGraph, factor: f64) -> RatioGraph {
+    let mut out = RatioGraph::new(g.num_vertices());
+    for e in g.edges() {
+        out.add_edge(e.from, e.to, e.cost * factor + 0.013, e.tokens);
+    }
+    out
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(150))]
+
+    #[test]
+    fn workspace_reuse_is_bitwise_identical_to_cold(g in arb_live_graph()) {
+        // One long-lived workspace fed the same graph repeatedly (after
+        // having seen a different graph first, so buffers are truly dirty).
+        let mut ws = Workspace::new();
+        let warmup = perturb(&g, 3.7);
+        ws.max_cycle_ratio(&warmup).expect("live by construction");
+        let cold = max_cycle_ratio(&g).expect("live").expect("ring is a circuit");
+        for round in 0..3 {
+            let reused = ws.max_cycle_ratio(&g).expect("live").expect("cyclic");
+            prop_assert!(reused.ratio.to_bits() == cold.ratio.to_bits(),
+                "round {}: {} vs {}", round, reused.ratio, cold.ratio);
+            prop_assert_eq!(&reused.cycle, &cold.cycle);
+            prop_assert_eq!(reused.cost.to_bits(), cold.cost.to_bits());
+            prop_assert_eq!(reused.tokens, cold.tokens);
+        }
+    }
+
+    #[test]
+    fn warm_start_is_bitwise_identical_to_cold(g in arb_live_graph()) {
+        // Warm-start the workspace on g, then solve a same-shape cost
+        // perturbation warm: the ratio must equal the cold solve exactly.
+        let mut ws = Workspace::new();
+        ws.max_cycle_ratio(&g).expect("live");
+        let neighbor = perturb(&g, 1.75);
+        let warm = ws.max_cycle_ratio_warm(&neighbor).expect("live").expect("cyclic");
+        let cold = max_cycle_ratio(&neighbor).expect("live").expect("cyclic");
+        prop_assert!(warm.ratio.to_bits() == cold.ratio.to_bits(),
+            "warm {} vs cold {}", warm.ratio, cold.ratio);
+        // And warm-chaining back to the original also matches.
+        let warm_back = ws.max_cycle_ratio_warm(&g).expect("live").expect("cyclic");
+        let cold_back = max_cycle_ratio(&g).expect("live").expect("cyclic");
+        prop_assert_eq!(warm_back.ratio.to_bits(), cold_back.ratio.to_bits());
+    }
+
+    #[test]
+    fn howard_karp_lawler_cross_oracles(g in arb_live_graph()) {
+        let h = max_cycle_ratio(&g).expect("live").expect("cyclic");
+        let l = max_cycle_ratio_lawler(&g).expect("live").expect("cyclic");
+        let k = max_cycle_ratio_karp(&g).expect("live").expect("cyclic");
+        let tol = 1e-9 * h.ratio.abs().max(1.0);
+        prop_assert!((h.ratio - l.ratio).abs() <= tol, "howard {} vs lawler {}", h.ratio, l.ratio);
+        prop_assert!((h.ratio - k.ratio).abs() <= 1e-6 * h.ratio.abs().max(1.0),
+            "howard {} vs karp {}", h.ratio, k.ratio);
+        // Workspace-based Lawler and Karp agree bitwise with their
+        // one-shot counterparts.
+        let mut ws = Workspace::new();
+        let lw = ws.max_cycle_ratio_lawler(&g).expect("live").expect("cyclic");
+        prop_assert_eq!(lw.ratio.to_bits(), l.ratio.to_bits());
+        let mean = maxplus::karp::max_cycle_mean(&g).expect("cyclic");
+        let mean_ws = ws.max_cycle_mean(&g).expect("cyclic");
+        prop_assert_eq!(mean.to_bits(), mean_ws.to_bits());
+    }
+}

@@ -52,9 +52,32 @@ where
     T: Send,
     F: Fn(usize) -> T + Sync,
 {
+    par_map_init(threads, n, || (), |(), i| f(i))
+}
+
+/// [`par_map`] with **per-worker state**: every worker thread calls
+/// `init()` once at startup and hands the resulting value to each of its
+/// `f(&mut state, index)` invocations.
+///
+/// This is how the campaign engine keeps one `PeriodEngine` arena per
+/// worker: the expensive scratch buffers are created `threads` times
+/// instead of `n` times, stay thread-local (no `Send` bound on `S`), and
+/// follow the work wherever stealing moves it.
+///
+/// Determinism caveat: the state makes it possible for `f` to depend on
+/// which indices a worker saw previously. If results must be independent
+/// of the thread count and stealing schedule, `f(&mut s, i)` has to be a
+/// pure function of `i` — state may cache *allocations*, not *answers*.
+pub fn par_map_init<T, S, I, F>(threads: usize, n: usize, init: I, f: F) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+{
     let threads = threads.max(1).min(n.max(1));
     if threads == 1 {
-        return (0..n).map(f).collect();
+        let mut state = init();
+        return (0..n).map(|i| f(&mut state, i)).collect();
     }
 
     // Even initial partition: worker w starts with one contiguous span.
@@ -80,9 +103,10 @@ where
     let aborted = &aborted;
     let f = &f;
 
+    let init = &init;
     let parts: Vec<Vec<(usize, T)>> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..threads)
-            .map(|w| scope.spawn(move || worker(w, threads, deques, panic, aborted, n, f)))
+            .map(|w| scope.spawn(move || worker(w, threads, deques, panic, aborted, n, init, f)))
             .collect();
         handles.into_iter().map(|h| h.join().expect("par_map worker died")).collect()
     });
@@ -100,19 +124,23 @@ where
     out.into_iter().map(|o| o.expect("all indices computed")).collect()
 }
 
-fn worker<T, F>(
+#[allow(clippy::too_many_arguments)]
+fn worker<T, S, I, F>(
     me: usize,
     threads: usize,
     deques: &[Mutex<VecDeque<Span>>],
     panic: &Mutex<Option<Box<dyn std::any::Any + Send>>>,
     aborted: &AtomicBool,
     n: usize,
+    init: &I,
     f: &F,
 ) -> Vec<(usize, T)>
 where
     T: Send,
-    F: Fn(usize) -> T + Sync,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
 {
+    let mut state = init();
     let mut local: Vec<(usize, T)> = Vec::with_capacity(n / threads + 2);
     // Termination needs no idle spinning: remainder spans are re-queued
     // under the same lock acquisition that pops them, and only a deque's
@@ -124,7 +152,7 @@ where
         let Some(i) = pop_own(&deques[me]).or_else(|| steal(me, threads, deques)) else {
             break;
         };
-        match catch_unwind(AssertUnwindSafe(|| f(i))) {
+        match catch_unwind(AssertUnwindSafe(|| f(&mut state, i))) {
             Ok(v) => local.push((i, v)),
             Err(payload) => {
                 panic.lock().expect("panic slot poisoned").get_or_insert(payload);
@@ -193,6 +221,28 @@ where
 mod tests {
     use super::*;
     use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn per_worker_state_initialized_once_per_worker() {
+        use std::sync::atomic::AtomicUsize;
+        let inits = AtomicUsize::new(0);
+        let out = par_map_init(
+            4,
+            64,
+            || {
+                inits.fetch_add(1, Ordering::SeqCst);
+                Vec::<usize>::new() // per-worker scratch
+            },
+            |scratch, i| {
+                scratch.clear();
+                scratch.extend(0..=i);
+                scratch.iter().sum::<usize>()
+            },
+        );
+        assert_eq!(out, (0..64).map(|i| i * (i + 1) / 2).collect::<Vec<_>>());
+        let created = inits.load(Ordering::SeqCst);
+        assert!(created <= 4, "one state per worker, got {created}");
+    }
 
     #[test]
     fn matches_serial_map() {

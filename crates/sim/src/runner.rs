@@ -99,19 +99,7 @@ impl SimResult {
     /// `d ≡ r (mod m_last)` all complete on replica `r`) and reports the
     /// worst, expressed per data set.
     pub fn period_estimate(&self) -> f64 {
-        let d = self.completion.len();
-        let l = self.m_last.max(1);
-        assert!(d >= 4 * l, "need at least 4 data sets per last-stage replica");
-        let mut worst = 0.0f64;
-        for r in 0..l {
-            let hi = r + ((d - 1 - r) / l) * l;
-            let steps = (hi - r) / l;
-            // Slope over the last two thirds of the class, in class steps.
-            let lo = r + (steps / 3) * l;
-            let slope = (self.completion[hi] - self.completion[lo]) / (hi - lo) as f64;
-            worst = worst.max(slope);
-        }
-        worst
+        sustainable_period(&self.completion, self.m_last)
     }
 
     /// Checks exact periodicity with the natural cyclicity (`window` data
@@ -134,6 +122,26 @@ impl SimResult {
         }
         value
     }
+}
+
+/// [`SimResult::period_estimate`] over a raw completion-time slice: the
+/// worst asymptotic completion slope over the `m_last` last-stage replica
+/// classes. Shared with the stochastic engine, whose per-worker scratch
+/// path estimates the period without materializing a [`SimResult`].
+pub fn sustainable_period(completion: &[f64], m_last: usize) -> f64 {
+    let d = completion.len();
+    let l = m_last.max(1);
+    assert!(d >= 4 * l, "need at least 4 data sets per last-stage replica");
+    let mut worst = 0.0f64;
+    for r in 0..l {
+        let hi = r + ((d - 1 - r) / l) * l;
+        let steps = (hi - r) / l;
+        // Slope over the last two thirds of the class, in class steps.
+        let lo = r + (steps / 3) * l;
+        let slope = (completion[hi] - completion[lo]) / (hi - lo) as f64;
+        worst = worst.max(slope);
+    }
+    worst
 }
 
 /// Runs the simulation.

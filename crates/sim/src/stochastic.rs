@@ -80,6 +80,25 @@ impl StochasticEstimate {
     }
 }
 
+/// Reusable scratch of the stochastic replication engine: the per-resource
+/// clocks and the completion-time trace. One per worker thread
+/// (`repwf_par::par_map_init`): replications reuse the buffers instead of
+/// re-allocating a `data_sets`-sized vector each.
+#[derive(Debug, Clone, Default)]
+pub struct ReplicationScratch {
+    cpu: Vec<f64>,
+    inp: Vec<f64>,
+    outp: Vec<f64>,
+    completion: Vec<f64>,
+}
+
+impl ReplicationScratch {
+    /// Creates an empty scratch (no allocation until the first run).
+    pub fn new() -> Self {
+        ReplicationScratch::default()
+    }
+}
+
 /// Simulates the mapped workflow with noisy operation durations.
 ///
 /// Identical recurrences to [`crate::runner::simulate`], except every
@@ -92,12 +111,41 @@ pub fn simulate_noisy(
     seed: u64,
 ) -> SimResult {
     let n = inst.num_stages();
+    let mut scratch = ReplicationScratch::new();
+    noisy_completions(inst, model, noise, opts, seed, &mut scratch);
+    let window = repwf_core::paths::instance_num_paths(inst)
+        .map(|m| if m > opts.data_sets as u128 / 4 { 1 } else { m as u64 })
+        .unwrap_or(1);
+    SimResult {
+        completion: scratch.completion,
+        ops: Vec::new(),
+        window,
+        m_last: inst.mapping.replicas(n - 1),
+    }
+}
+
+/// Runs one noisy replication into `scratch` (clocks reset, completion
+/// trace overwritten in place).
+fn noisy_completions(
+    inst: &Instance,
+    model: CommModel,
+    noise: Noise,
+    opts: &SimOptions,
+    seed: u64,
+    scratch: &mut ReplicationScratch,
+) {
+    let n = inst.num_stages();
     let p = inst.platform.num_procs();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut cpu = vec![0.0f64; p];
-    let mut inp = vec![0.0f64; p];
-    let mut outp = vec![0.0f64; p];
-    let mut completion = Vec::with_capacity(opts.data_sets as usize);
+    scratch.cpu.clear();
+    scratch.cpu.resize(p, 0.0);
+    scratch.inp.clear();
+    scratch.inp.resize(p, 0.0);
+    scratch.outp.clear();
+    scratch.outp.resize(p, 0.0);
+    scratch.completion.clear();
+    scratch.completion.reserve(opts.data_sets as usize);
+    let ReplicationScratch { cpu, inp, outp, completion } = scratch;
 
     for d in 0..opts.data_sets {
         let mut ready = 0.0f64;
@@ -131,10 +179,6 @@ pub fn simulate_noisy(
         }
         completion.push(ready);
     }
-    let window = repwf_core::paths::instance_num_paths(inst)
-        .map(|m| if m > opts.data_sets as u128 / 4 { 1 } else { m as u64 })
-        .unwrap_or(1);
-    SimResult { completion, ops: Vec::new(), window, m_last: inst.mapping.replicas(n - 1) }
 }
 
 /// Estimates the expected steady-state period under `noise` over
@@ -164,10 +208,17 @@ pub fn estimate_period_par(
     seed: u64,
     threads: usize,
 ) -> StochasticEstimate {
-    let samples: Vec<f64> = repwf_par::par_map(threads, replications, |k| {
-        let opts = SimOptions { data_sets, record_ops: false };
-        simulate_noisy(inst, model, noise, &opts, seed + k as u64).period_estimate()
-    });
+    let m_last = inst.mapping.replicas(inst.num_stages() - 1);
+    let opts = SimOptions { data_sets, record_ops: false };
+    let samples: Vec<f64> = repwf_par::par_map_init(
+        threads,
+        replications,
+        ReplicationScratch::new,
+        |scratch, k| {
+            noisy_completions(inst, model, noise, &opts, seed + k as u64, scratch);
+            crate::runner::sustainable_period(&scratch.completion, m_last)
+        },
+    );
     let mean = samples.iter().sum::<f64>() / samples.len() as f64;
     let var = if samples.len() > 1 {
         samples.iter().map(|s| (s - mean).powi(2)).sum::<f64>() / (samples.len() - 1) as f64

@@ -60,10 +60,65 @@ impl std::error::Error for AnalysisError {}
 /// once (as the `pre` of the next place), so circuit cost = Σ firing times.
 pub fn ratio_graph(net: &TimedEventGraph) -> RatioGraph {
     let mut g = RatioGraph::with_capacity(net.num_transitions(), net.num_places());
+    ratio_graph_into(net, &mut g);
+    g
+}
+
+/// [`ratio_graph`] into a caller-owned graph: resets `g` and rebuilds it
+/// in place, reusing its edge buffer (no allocation once the buffer has
+/// grown to the largest net seen).
+pub fn ratio_graph_into(net: &TimedEventGraph, g: &mut RatioGraph) {
+    g.reset(net.num_transitions());
     for p in net.places() {
         g.add_edge(p.pre.0, p.post.0, net.transition(p.pre).firing_time, p.tokens);
     }
-    g
+}
+
+/// Reusable scratch for repeated period computations: the cycle-ratio view
+/// of the net plus the `maxplus` solver workspace. Hold one per solver
+/// thread and feed it to [`period_with`]; every buffer — the ratio graph,
+/// the CSR adjacency, Tarjan's stacks, Howard's policy arrays — is reused
+/// across calls, and the converged policy enables warm-started iteration.
+#[derive(Debug, Clone, Default)]
+pub struct PeriodScratch {
+    graph: RatioGraph,
+    ws: maxplus::Workspace,
+}
+
+impl PeriodScratch {
+    /// Creates an empty scratch (no allocation until the first solve).
+    pub fn new() -> Self {
+        PeriodScratch::default()
+    }
+
+    /// Forgets the warm-start policy of the previous solve.
+    pub fn clear_warm_start(&mut self) {
+        self.ws.clear_warm_start();
+    }
+}
+
+/// Computes the period of the net reusing `scratch` across calls.
+///
+/// With `warm` set, Howard's policy iteration starts from the converged
+/// policy of the previous solve whenever the graph shape matches — the
+/// intended mode for evaluating families of related nets (neighbor
+/// mappings in a search). The result is identical either way on generic
+/// inputs: the ratio is recomputed exactly from the witness circuit; only
+/// the search path differs. When distinct circuits tie for critical within
+/// the solver's eps (~1e-12 relative), the reported witness — and its last
+/// bits — may differ.
+pub fn period_with(
+    net: &TimedEventGraph,
+    scratch: &mut PeriodScratch,
+    warm: bool,
+) -> Result<Option<PeriodSolution>, AnalysisError> {
+    ratio_graph_into(net, &mut scratch.graph);
+    let res = if warm {
+        scratch.ws.max_cycle_ratio_warm(&scratch.graph)
+    } else {
+        scratch.ws.max_cycle_ratio(&scratch.graph)
+    };
+    convert(res)
 }
 
 fn convert(res: Result<Option<maxplus::CycleSolution>, RatioGraphError>) -> Result<Option<PeriodSolution>, AnalysisError> {
@@ -158,6 +213,42 @@ mod tests {
         let l = period_lawler(&net).unwrap().unwrap();
         assert!((h.period - l.period).abs() < 1e-9);
         assert!((h.period - 6.0).abs() < 1e-12); // cycle abc: 12/2 = 6 > bb: 4
+    }
+
+    #[test]
+    fn period_with_scratch_matches_one_shot() {
+        let mut net = TimedEventGraph::new();
+        let a = net.add_transition(2.0, "a");
+        let b = net.add_transition(4.0, "b");
+        let c = net.add_transition(6.0, "c");
+        net.add_place(a, b, 0, "ab");
+        net.add_place(b, c, 0, "bc");
+        net.add_place(c, a, 2, "ca");
+        net.add_place(b, b, 1, "bb");
+        let reference = period(&net).unwrap().unwrap();
+        let mut scratch = PeriodScratch::new();
+        for warm in [false, true, true] {
+            let sol = period_with(&net, &mut scratch, warm).unwrap().unwrap();
+            assert_eq!(sol.period.to_bits(), reference.period.to_bits());
+            assert_eq!(sol.critical, reference.critical);
+        }
+    }
+
+    #[test]
+    fn scratch_survives_net_rebuilds() {
+        // The arena flow of the period engine: clear + rebuild the same net
+        // buffer with different timings, solving warm each time.
+        let mut net = TimedEventGraph::new();
+        let mut scratch = PeriodScratch::new();
+        for k in 1..=5u32 {
+            net.clear();
+            let a = net.add_transition(f64::from(k), "a");
+            let b = net.add_transition(2.0 * f64::from(k), "b");
+            net.add_place(a, b, 1, "ab");
+            net.add_place(b, a, 1, "ba");
+            let sol = period_with(&net, &mut scratch, true).unwrap().unwrap();
+            assert!((sol.period - 1.5 * f64::from(k)).abs() < 1e-12, "k={k}");
+        }
     }
 
     #[test]

@@ -57,6 +57,15 @@ impl TimedEventGraph {
         }
     }
 
+    /// Removes all transitions and places, **keeping both buffers'
+    /// capacity** — the arena primitive behind
+    /// `repwf_core::tpn_build::build_tpn_into`, which rebuilds a mapping's
+    /// TPN into the same net thousands of times without re-allocating.
+    pub fn clear(&mut self) {
+        self.transitions.clear();
+        self.places.clear();
+    }
+
     /// Adds a transition with the given firing time. Panics if the time is
     /// negative or not finite.
     pub fn add_transition(&mut self, firing_time: f64, label: impl Into<String>) -> TransitionId {
