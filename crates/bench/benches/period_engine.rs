@@ -5,7 +5,7 @@
 //! `BENCH_period.json`; this criterion target is for interactive digging.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
-use repwf_core::engine::PeriodEngine;
+use repwf_core::engine::{MappingOracle, PeriodEngine};
 use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
 use repwf_core::period::{compute_period_with, Method};
 use repwf_core::tpn_build::BuildOptions;
@@ -89,5 +89,53 @@ fn bench_annealing_kernel(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_period_engine, bench_campaign_kernel, bench_annealing_kernel);
+/// The `neighbor_eval` kernel of `repwf bench`: a shape-preserving swap
+/// walk evaluated cold one-shot (fresh engine + owned `Instance` per
+/// candidate) vs. through one incremental `MappingOracle` session
+/// (borrowed evaluation, warm starts, TPN patching).
+fn bench_neighbor_eval(c: &mut Criterion) {
+    let mut group = c.benchmark_group("neighbor_eval");
+    let inst = instance();
+    let steps = 32usize;
+    let walk: Vec<Mapping> = {
+        let mut assignment = inst.mapping.assignment().to_vec();
+        let counts: Vec<usize> = assignment.iter().map(Vec::len).collect();
+        (0..steps)
+            .map(|t| {
+                let i = t % (counts.len() - 1);
+                let j = i + 1;
+                let (si, sj) = (t % counts[i], (t / 2) % counts[j]);
+                let (a, b) = (assignment[i][si], assignment[j][sj]);
+                assignment[i][si] = b;
+                assignment[j][sj] = a;
+                Mapping::new(assignment.clone()).unwrap()
+            })
+            .collect()
+    };
+    group.throughput(Throughput::Elements(steps as u64));
+    group.bench_function("cold_one_shot", |b| {
+        b.iter(|| {
+            for m in &walk {
+                repwf_map::evaluate(&inst.pipeline, &inst.platform, m, CommModel::Strict).unwrap();
+            }
+        })
+    });
+    let mut oracle = MappingOracle::new(&inst.pipeline, &inst.platform).warm_start(true);
+    group.bench_function("incremental_oracle", |b| {
+        b.iter(|| {
+            for m in &walk {
+                oracle.compute(m, CommModel::Strict, Method::Auto).unwrap();
+            }
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_period_engine,
+    bench_campaign_kernel,
+    bench_annealing_kernel,
+    bench_neighbor_eval
+);
 criterion_main!(benches);

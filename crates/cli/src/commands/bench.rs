@@ -1,11 +1,12 @@
 //! `repwf bench` — the tracked benchmark suite of the period engine.
 //!
-//! Times the three hot kernels of the reproduction — single-instance
+//! Times the four hot kernels of the reproduction — single-instance
 //! period solves (cold / engine-reused / warm-started), the parallel
-//! campaign, and annealing over mapping space — and writes the results to
-//! `BENCH_period.json` so the perf trajectory of the repository is
-//! recorded in-tree and CI can compare runs against the committed
-//! baseline.
+//! campaign, annealing over mapping space, and the neighbor-move oracle
+//! (incremental patched solves vs. cold one-shot evaluations) — and
+//! writes the results to `BENCH_period.json` so the perf trajectory of
+//! the repository is recorded in-tree and CI can compare runs against the
+//! committed baseline.
 //!
 //! Two kinds of numbers are reported:
 //!
@@ -19,7 +20,7 @@
 
 use crate::json::{parse, Json, JsonValue};
 use crate::opts::Opts;
-use repwf_core::engine::PeriodEngine;
+use repwf_core::engine::{MappingOracle, PeriodEngine};
 use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
 use repwf_core::period::{compute_period_with, Method};
 use repwf_core::tpn_build::BuildOptions;
@@ -206,6 +207,58 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let anneal_line = BenchLine { elements: anneal_evals.max(1), ..anneal_line };
     lines.push(anneal_line);
 
+    // --- kernel 4: neighbor-move oracle (incremental vs cold one-shot) ---
+    //
+    // A deterministic swap walk over the bench instance's mapping: every
+    // step preserves the per-stage replica counts, so the incremental
+    // oracle evaluates it on the engine's patch path (re-time + re-weight
+    // + warm solve), while the cold one-shot pays a fresh engine, an owned
+    // `Instance` (three clones) and a full TPN build per candidate — the
+    // exact cost a mapping search used to pay per neighbor.
+    let neighbor_steps = if quick { 32 } else { 128 };
+    let walk: Vec<Mapping> = {
+        let mut assignment: Vec<Vec<usize>> = inst.mapping.assignment().to_vec();
+        let counts: Vec<usize> = assignment.iter().map(Vec::len).collect();
+        (0..neighbor_steps)
+            .map(|t| {
+                let i = t % (counts.len() - 1);
+                let j = i + 1;
+                let (si, sj) = (t % counts[i], (t / 2) % counts[j]);
+                let (a, b) = (assignment[i][si], assignment[j][sj]);
+                assignment[i][si] = b;
+                assignment[j][sj] = a;
+                Mapping::new(assignment.clone()).expect("swaps preserve validity")
+            })
+            .collect()
+    };
+    let reference_walk: Vec<f64> = walk
+        .iter()
+        .map(|m| {
+            repwf_map::evaluate(&inst.pipeline, &inst.platform, m, CommModel::Strict)
+                .expect("walk mappings evaluate")
+        })
+        .collect();
+    lines.push(time_kernel("neighbor_eval_cold", 2, neighbor_steps as u64, || {
+        for (m, &reference) in walk.iter().zip(&reference_walk) {
+            let p = repwf_map::evaluate(&inst.pipeline, &inst.platform, m, CommModel::Strict)
+                .expect("walk mappings evaluate");
+            assert_eq!(p.to_bits(), reference.to_bits());
+        }
+    }));
+    let mut oracle =
+        MappingOracle::new(&inst.pipeline, &inst.platform).warm_start(true);
+    lines.push(time_kernel("neighbor_eval_incremental", 2, neighbor_steps as u64, || {
+        for (m, &reference) in walk.iter().zip(&reference_walk) {
+            let p = oracle
+                .compute(m, CommModel::Strict, Method::Auto)
+                .expect("walk mappings evaluate")
+                .period;
+            assert_eq!(p.to_bits(), reference.to_bits());
+        }
+    }));
+    let patched = oracle.into_engine().patched_solves();
+    assert!(patched > 0, "neighbor walk must exercise the patch path (got {patched})");
+
     // --- dimensionless indices (what --check gates on) ---
     let per_iter = |name: &str| {
         lines
@@ -218,6 +271,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ("engine_reuse_speedup", per_iter("period_full_tpn_cold") / per_iter("period_full_tpn_engine")),
         ("warm_start_speedup", per_iter("period_full_tpn_cold") / per_iter("period_full_tpn_warm")),
         ("campaign_parallel_speedup", campaign_speedup),
+        ("neighbor_eval_speedup", per_iter("neighbor_eval_cold") / per_iter("neighbor_eval_incremental")),
     ];
 
     // --- report ---
@@ -347,8 +401,10 @@ fn check_against_baseline(
         };
         compared += 1;
         if new < old * (1.0 - tolerance) {
+            // One line per regressed index with both values: a failing
+            // gate must be diagnosable from the message alone.
             regressions.push(format!(
-                "{name}: {new:.3}x vs baseline {old:.3}x ({:+.1}%)",
+                "{name}: current {new:.3}x vs baseline {old:.3}x ({:+.1}%)",
                 100.0 * (new - old) / old
             ));
         }

@@ -71,10 +71,15 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
     let out = dir.join("BENCH_period.json");
     let out_s = out.to_str().unwrap();
 
-    let (_, err, ok) = repwf(&["bench", "--quick", "--out", out_s]);
+    // `--threads` must be plumbed into the campaign kernel AND recorded in
+    // the report, so a multi-core box can record a real
+    // `campaign_parallel_speedup` baseline that `--check` can compare
+    // settings against.
+    let (_, err, ok) = repwf(&["bench", "--quick", "--threads", "2", "--out", out_s]);
     assert!(ok, "{err}");
     let doc = std::fs::read_to_string(&out).expect("report written");
     assert!(doc.contains("\"schema\": \"repwf-bench/v1\""), "{doc}");
+    assert!(doc.contains("\"threads\": 2"), "--threads not recorded:\n{doc}");
     for name in [
         "period_full_tpn_cold",
         "period_full_tpn_engine",
@@ -82,9 +87,12 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
         "campaign_strict_1t",
         "campaign_strict_nt",
         "anneal_strict",
+        "neighbor_eval_cold",
+        "neighbor_eval_incremental",
         "engine_reuse_speedup",
         "warm_start_speedup",
         "campaign_parallel_speedup",
+        "neighbor_eval_speedup",
     ] {
         assert!(doc.contains(name), "missing {name} in:\n{doc}");
     }
@@ -119,6 +127,11 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
     ]);
     assert!(!ok, "doctored baseline must fail the check");
     assert!(err.contains("regression"), "{err}");
+    // The failure message must name each regressed index WITH its
+    // baseline and current values — a failing gate is diagnosable from
+    // the message alone.
+    assert!(err.contains("warm_start_speedup: current "), "{err}");
+    assert!(err.contains("vs baseline 10000.000x"), "{err}");
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -12,7 +12,7 @@
 //! processor replicated `m_i`-fold only serves every `m_i`-th data set, so
 //! its raw busy time is divided by the global data-set rate).
 
-use crate::model::{CommModel, Instance, ProcId, StageId};
+use crate::model::{CommModel, Instance, InstanceView, ProcId, StageId};
 use crate::paths::lcm;
 
 /// The cycle-time decomposition of one mapped processor.
@@ -56,29 +56,30 @@ pub fn partner_residues(m_prev: usize, m_cur: usize, beta: usize) -> (Vec<usize>
     (senders, l)
 }
 
-/// Computes the cycle-time decomposition of every mapped processor.
-pub fn cycle_times(inst: &Instance) -> Vec<CycleTime> {
-    let n = inst.num_stages();
+/// Computes the cycle-time decomposition of every mapped processor of a
+/// borrowed view.
+pub fn cycle_times_view(v: InstanceView<'_>) -> Vec<CycleTime> {
+    let n = v.num_stages();
     let mut out = Vec::new();
     for i in 0..n {
-        let procs = inst.mapping.procs(i);
+        let procs = v.mapping.procs(i);
         let m_i = procs.len();
         for (beta, &u) in procs.iter().enumerate() {
-            let c_comp = inst.comp_time(i, u) / m_i as f64;
+            let c_comp = v.comp_time(i, u) / m_i as f64;
             let c_in = if i == 0 {
                 0.0
             } else {
-                let prev = inst.mapping.procs(i - 1);
+                let prev = v.mapping.procs(i - 1);
                 let (senders, l) = partner_residues(prev.len(), m_i, beta);
-                let total: f64 = senders.iter().map(|&a| inst.comm_time(i - 1, prev[a], u)).sum();
+                let total: f64 = senders.iter().map(|&a| v.comm_time(i - 1, prev[a], u)).sum();
                 total / l as f64
             };
             let c_out = if i + 1 == n {
                 0.0
             } else {
-                let next = inst.mapping.procs(i + 1);
+                let next = v.mapping.procs(i + 1);
                 let (receivers, l) = partner_residues(next.len(), m_i, beta);
-                let total: f64 = receivers.iter().map(|&b| inst.comm_time(i, u, next[b])).sum();
+                let total: f64 = receivers.iter().map(|&b| v.comm_time(i, u, next[b])).sum();
                 total / l as f64
             };
             out.push(CycleTime { proc: u, stage: i, replica_index: beta, c_in, c_comp, c_out });
@@ -87,14 +88,25 @@ pub fn cycle_times(inst: &Instance) -> Vec<CycleTime> {
     out
 }
 
-/// The maximum cycle-time `M_ct` and the processor attaining it.
-pub fn max_cycle_time(inst: &Instance, model: CommModel) -> (f64, CycleTime) {
-    let all = cycle_times(inst);
+/// Computes the cycle-time decomposition of every mapped processor.
+pub fn cycle_times(inst: &Instance) -> Vec<CycleTime> {
+    cycle_times_view(inst.view())
+}
+
+/// The maximum cycle-time `M_ct` of a borrowed view and the processor
+/// attaining it.
+pub fn max_cycle_time_view(v: InstanceView<'_>, model: CommModel) -> (f64, CycleTime) {
+    let all = cycle_times_view(v);
     let best = all
         .into_iter()
         .max_by(|a, b| a.exec(model).partial_cmp(&b.exec(model)).expect("finite cycle times"))
         .expect("instance has at least one stage and processor");
     (best.exec(model), best)
+}
+
+/// The maximum cycle-time `M_ct` and the processor attaining it.
+pub fn max_cycle_time(inst: &Instance, model: CommModel) -> (f64, CycleTime) {
+    max_cycle_time_view(inst.view(), model)
 }
 
 #[cfg(test)]

@@ -18,6 +18,31 @@
 //! the largest instance seen (modulo labels, if enabled, and the witness
 //! description in the report).
 //!
+//! # Borrowed instances and the mapping oracle
+//!
+//! Every evaluation path also exists on a **borrowed**
+//! [`InstanceView`] ([`PeriodEngine::compute_view`]): a mapping search
+//! never clones pipeline/platform/mapping into an owned [`Instance`] per
+//! candidate. The session type for that use case is [`MappingOracle`]:
+//! it borrows the pair once, precomputes the platform validity tables,
+//! and evaluates candidate mappings by reference.
+//!
+//! # Incremental (patched) solves
+//!
+//! A neighbor mapping with **unchanged per-stage replica counts** (e.g. a
+//! swap of two replica slots) produces a TPN with the identical place
+//! structure — only firing times differ. The engine detects this
+//! (label-free arenas only) and takes the patch path: re-time transitions
+//! in place ([`crate::tpn_build::retime_tpn_into`]), re-weight the edges
+//! of the cycle-ratio graph fed by the changed transitions
+//! (`tpn::analysis::period_patched_with`), and re-solve — no TPN rebuild,
+//! no ratio-graph rebuild. The patched state is bit-for-bit what a
+//! rebuild would produce, so results (and warm-started solver
+//! trajectories) are identical to the cold path; this is pinned by the
+//! property tests in `crates/core/tests/incremental_props.rs`. Changes
+//! that alter any replica count (add/remove/move a replica) or the
+//! communication model fall back to the full rebuild transparently.
+//!
 //! # Warm starts
 //!
 //! With [`PeriodEngine::warm_start`] enabled, Howard's policy iteration is
@@ -38,14 +63,39 @@
 //! the bit-identical-at-any-thread-count guarantee. Sequential searches
 //! (`repwf_map::local_search`, `repwf_map::annealing`) enable warm starts.
 
-use crate::cycle_time::max_cycle_time;
-use crate::model::{CommModel, Instance};
-use crate::overlap_poly::{overlap_period, Bottleneck};
-use crate::paths::instance_num_paths;
+use crate::cycle_time::max_cycle_time_view;
+use crate::model::{CommModel, Instance, InstanceView, Mapping, ModelError, Pipeline, Platform};
+use crate::overlap_poly::{overlap_period_view, Bottleneck};
+use crate::paths::mapping_num_paths;
 use crate::period::{Method, PeriodError, PeriodReport};
-use crate::tpn_build::{build_tpn_into, grid_transition, BuildError, BuildOptions};
+use crate::tpn_build::{
+    build_tpn_view_into, grid_transition, retime_tpn_into, BuildError, BuildOptions,
+};
 use tpn::analysis::PeriodScratch;
-use tpn::net::TimedEventGraph;
+use tpn::net::{TimedEventGraph, TransitionId};
+
+/// The shape of the TPN currently held in a [`PeriodEngine`]'s arena: the
+/// place structure is a pure function of the communication model and the
+/// per-stage replica counts, so two mappings with equal counts produce
+/// structurally identical nets that differ only in firing times — the
+/// precondition for the patch path.
+#[derive(Debug, Clone, PartialEq)]
+struct TpnShape {
+    model: CommModel,
+    replicas: Vec<usize>,
+}
+
+impl TpnShape {
+    fn matches(&self, model: CommModel, mapping: &Mapping) -> bool {
+        self.model == model
+            && self.replicas.len() == mapping.num_stages()
+            && self
+                .replicas
+                .iter()
+                .zip(mapping.assignment())
+                .all(|(&r, procs)| r == procs.len())
+    }
+}
 
 /// Reusable period solver: owns the TPN build arena and the max-plus
 /// workspace, and optionally warm-starts Howard's iteration across calls.
@@ -73,6 +123,13 @@ pub struct PeriodEngine {
     warm: bool,
     net: TimedEventGraph,
     scratch: PeriodScratch,
+    /// Shape of the (label-free) net held in `net`/`scratch`, when it is
+    /// known to be patchable; `None` forces a full rebuild.
+    shape: Option<TpnShape>,
+    /// Reusable buffer of re-timed transition ids for the patch path.
+    changed: Vec<TransitionId>,
+    /// How many full-TPN solves took the incremental patch path.
+    patched_solves: u64,
 }
 
 impl PeriodEngine {
@@ -108,6 +165,14 @@ impl PeriodEngine {
         self.scratch.clear_warm_start();
     }
 
+    /// Number of full-TPN solves that took the incremental patch path
+    /// (shape-preserving mapping change: firing times re-timed in place,
+    /// cycle-ratio graph re-weighted, no rebuild). Diagnostics for tests
+    /// and the tracked benchmark suite.
+    pub fn patched_solves(&self) -> u64 {
+        self.patched_solves
+    }
+
     /// Computes the per-data-set period of a mapped workflow, reusing the
     /// engine's arenas. Results are identical to
     /// [`crate::period::compute_period_with`] with the same options.
@@ -117,12 +182,26 @@ impl PeriodEngine {
         model: CommModel,
         method: Method,
     ) -> Result<PeriodReport, PeriodError> {
-        let (mct, who) = max_cycle_time(inst, model);
-        let m = instance_num_paths(inst).ok_or(BuildError::PathCountOverflow)?;
+        self.compute_view(inst.view(), model, method)
+    }
+
+    /// [`PeriodEngine::compute`] on a **borrowed** [`InstanceView`] — no
+    /// owned `Instance` (and hence no pipeline/platform/mapping clone) is
+    /// ever required. The view is trusted the same way `compute` trusts a
+    /// validated `Instance`; use [`PeriodEngine::compute_mapping`] or a
+    /// [`MappingOracle`] for unvalidated candidates.
+    pub fn compute_view(
+        &mut self,
+        view: InstanceView<'_>,
+        model: CommModel,
+        method: Method,
+    ) -> Result<PeriodReport, PeriodError> {
+        let (mct, who) = max_cycle_time_view(view, model);
+        let m = mapping_num_paths(view.mapping).ok_or(BuildError::PathCountOverflow)?;
 
         let resolved = match method {
             Method::Auto => {
-                if inst.mapping.is_one_to_one() {
+                if view.mapping.is_one_to_one() {
                     // No replication: the period is dictated by the critical
                     // resource (§2 of the paper; also [3]).
                     return Ok(PeriodReport {
@@ -147,7 +226,7 @@ impl PeriodEngine {
                 if model != CommModel::Overlap {
                     return Err(PeriodError::PolynomialNeedsOverlap);
                 }
-                let a = overlap_period(inst);
+                let a = overlap_period_view(view);
                 let critical = match &a.bottleneck {
                     Bottleneck::Computation { stage, proc } => {
                         format!("computation S{stage} on P{proc}")
@@ -166,9 +245,42 @@ impl PeriodEngine {
                 })
             }
             Method::FullTpn => {
-                build_tpn_into(inst, model, &self.opts, &mut self.net)?;
-                let sol = tpn::analysis::period_with(&self.net, &mut self.scratch, self.warm)?
-                    .expect("mapping TPNs always contain circuits");
+                // Shape-preserving change (same model, same per-stage
+                // replica counts, label-free arena): patch firing times and
+                // re-weight the cycle-ratio graph in place instead of
+                // clearing and rebuilding both. The patched state is
+                // bit-for-bit what a rebuild would produce, so results —
+                // including warm-started solver trajectories — are
+                // identical to the cold path.
+                let patchable = !self.opts.labels
+                    && self.shape.as_ref().is_some_and(|s| s.matches(model, view.mapping));
+                let solved = if patchable {
+                    self.patched_solves += 1;
+                    retime_tpn_into(view, &mut self.net, &mut self.changed);
+                    tpn::analysis::period_patched_with(
+                        &self.net,
+                        &mut self.scratch,
+                        self.warm,
+                        &self.changed,
+                    )
+                } else {
+                    self.shape = None;
+                    build_tpn_view_into(view, model, &self.opts, &mut self.net)?;
+                    let res = tpn::analysis::period_with(&self.net, &mut self.scratch, self.warm);
+                    if res.is_ok() && !self.opts.labels {
+                        self.shape =
+                            Some(TpnShape { model, replicas: view.mapping.replica_counts() });
+                    }
+                    res
+                };
+                let sol = match solved {
+                    Ok(sol) => sol,
+                    Err(e) => {
+                        self.shape = None;
+                        return Err(e.into());
+                    }
+                }
+                .expect("mapping TPNs always contain circuits");
                 let critical = if self.opts.labels {
                     let names: Vec<&str> = sol
                         .critical
@@ -190,7 +302,10 @@ impl PeriodEngine {
                 })
             }
             Method::TpnSimulation => {
-                let (rows, cols) = build_tpn_into(inst, model, &self.opts, &mut self.net)?;
+                // This path rebuilds the arena net without refreshing the
+                // solver scratch: the patch precondition no longer holds.
+                self.shape = None;
+                let (rows, cols) = build_tpn_view_into(view, model, &self.opts, &mut self.net)?;
                 // Enough firings to leave the transient: the transient of a
                 // TEG is bounded in practice by a few multiples of the row
                 // count.
@@ -219,6 +334,164 @@ impl PeriodEngine {
             }
             Method::Auto => unreachable!("Auto resolved above"),
         }
+    }
+
+    /// Evaluates an **unvalidated** candidate mapping against a borrowed
+    /// pipeline/platform pair: validates the triple (no clones) and
+    /// computes its period. This is the free-standing form of the
+    /// [`MappingOracle`] session; hot search loops should prefer the
+    /// oracle, which validates the platform tables once.
+    pub fn compute_mapping(
+        &mut self,
+        pipeline: &Pipeline,
+        platform: &Platform,
+        mapping: &Mapping,
+        model: CommModel,
+        method: Method,
+    ) -> Result<PeriodReport, PeriodError> {
+        let view = InstanceView::new(pipeline, platform, mapping)?;
+        self.compute_view(view, model, method)
+    }
+}
+
+/// A session-style mapping oracle: borrows one pipeline/platform pair,
+/// validates the platform **once** (per-processor speed and per-link
+/// bandwidth validity tables), and then evaluates candidate [`Mapping`]s
+/// by reference — no per-call `Instance` construction, no clones.
+///
+/// This is the object a mapping search holds for its whole run: combined
+/// with the engine's warm starts and the TPN patch path, evaluating a
+/// neighbor mapping costs a re-time + incremental solve instead of three
+/// deep clones, a full validation pass, a TPN rebuild and a cold solve.
+///
+/// ```
+/// use repwf_core::engine::MappingOracle;
+/// use repwf_core::model::{CommModel, Mapping, Pipeline, Platform};
+/// use repwf_core::period::Method;
+///
+/// let pipeline = Pipeline::new(vec![10.0, 20.0], vec![4.0]).unwrap();
+/// let platform = Platform::uniform(3, 1.0, 1.0);
+/// let mut oracle = MappingOracle::new(&pipeline, &platform).warm_start(true);
+/// let a = Mapping::new(vec![vec![0], vec![1, 2]]).unwrap();
+/// let b = Mapping::new(vec![vec![1], vec![0, 2]]).unwrap();
+/// let ra = oracle.compute(&a, CommModel::Strict, Method::FullTpn).unwrap();
+/// let rb = oracle.compute(&b, CommModel::Strict, Method::FullTpn).unwrap(); // patched solve
+/// assert!(ra.period > 0.0 && rb.period > 0.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct MappingOracle<'a> {
+    pipeline: &'a Pipeline,
+    platform: &'a Platform,
+    engine: PeriodEngine,
+    /// `speed_ok[u]`: processor `u` has a positive finite speed.
+    speed_ok: Vec<bool>,
+    /// `bw_ok[u·p + v]`: link `u → v` has a positive finite bandwidth.
+    bw_ok: Vec<bool>,
+}
+
+impl<'a> MappingOracle<'a> {
+    /// An oracle with a fresh hot-path engine (no labels, cold starts —
+    /// call [`MappingOracle::warm_start`] for sequential searches).
+    pub fn new(pipeline: &'a Pipeline, platform: &'a Platform) -> Self {
+        MappingOracle::with_engine(pipeline, platform, PeriodEngine::new())
+    }
+
+    /// An oracle wrapping a caller-configured engine (build options, warm
+    /// starts, previously grown arenas — all carried over).
+    pub fn with_engine(pipeline: &'a Pipeline, platform: &'a Platform, engine: PeriodEngine) -> Self {
+        let p = platform.num_procs();
+        let speed_ok = (0..p)
+            .map(|u| {
+                let s = platform.speed(u);
+                s.is_finite() && s > 0.0
+            })
+            .collect();
+        let bw_ok = (0..p * p)
+            .map(|k| {
+                let b = platform.bandwidth(k / p, k % p);
+                b.is_finite() && b > 0.0
+            })
+            .collect();
+        MappingOracle { pipeline, platform, engine, speed_ok, bw_ok }
+    }
+
+    /// Enables/disables warm-started policy iteration on the owned engine
+    /// (builder-style). See the module docs for when this is safe.
+    pub fn warm_start(mut self, on: bool) -> Self {
+        self.engine = self.engine.warm_start(on);
+        self
+    }
+
+    /// The borrowed pipeline.
+    pub fn pipeline(&self) -> &'a Pipeline {
+        self.pipeline
+    }
+
+    /// The borrowed platform.
+    pub fn platform(&self) -> &'a Platform {
+        self.platform
+    }
+
+    /// The owned engine (e.g. to reset warm-start state between phases).
+    pub fn engine_mut(&mut self) -> &mut PeriodEngine {
+        &mut self.engine
+    }
+
+    /// Releases the engine (its arenas stay warm for the next oracle).
+    pub fn into_engine(self) -> PeriodEngine {
+        self.engine
+    }
+
+    /// Validates a candidate against the borrowed pair — exactly the
+    /// accept/reject (and error) behavior of [`Instance::new`], but from
+    /// the precomputed per-processor/per-link tables.
+    pub fn validate(&self, mapping: &Mapping) -> Result<(), ModelError> {
+        let p = self.platform.num_procs();
+        if self.pipeline.num_stages() != mapping.num_stages() {
+            return Err(ModelError::StageCountMismatch {
+                pipeline: self.pipeline.num_stages(),
+                mapping: mapping.num_stages(),
+            });
+        }
+        for i in 0..mapping.num_stages() {
+            for &u in mapping.procs(i) {
+                if u >= p {
+                    return Err(ModelError::UnknownProcessor(u));
+                }
+                if !self.speed_ok[u] {
+                    return Err(ModelError::InvalidSpeed { proc: u, speed: self.platform.speed(u) });
+                }
+            }
+        }
+        for i in 0..mapping.num_stages().saturating_sub(1) {
+            for &u in mapping.procs(i) {
+                for &v in mapping.procs(i + 1) {
+                    if !self.bw_ok[u * p + v] {
+                        return Err(ModelError::InvalidBandwidth {
+                            from: u,
+                            to: v,
+                            bandwidth: self.platform.bandwidth(u, v),
+                        });
+                    }
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Validates `mapping` and computes its period report. Results are
+    /// bit-identical to building an [`Instance`] and calling
+    /// [`PeriodEngine::compute`] on this oracle's engine.
+    pub fn compute(
+        &mut self,
+        mapping: &Mapping,
+        model: CommModel,
+        method: Method,
+    ) -> Result<PeriodReport, PeriodError> {
+        self.validate(mapping)?;
+        let view =
+            InstanceView { pipeline: self.pipeline, platform: self.platform, mapping };
+        self.engine.compute_view(view, model, method)
     }
 }
 
@@ -289,6 +562,111 @@ mod tests {
         // The engine stays usable after an error.
         let ok = inst(&[2, 3], 5.0, 4.0);
         assert!(engine.compute(&ok, CommModel::Strict, Method::FullTpn).is_ok());
+    }
+
+    /// A swap-heavy family: same replica counts (2, 3) on 5 processors,
+    /// candidate k rotates which processors occupy which slots.
+    fn swapped(k: usize) -> Instance {
+        let pipeline = Pipeline::new(vec![5.0, 7.0], vec![3.0]).unwrap();
+        let mut platform = Platform::uniform(5, 1.0, 1.0);
+        for u in 0..5 {
+            platform.set_speed(u, 1.0 + 0.2 * u as f64);
+        }
+        let procs: Vec<usize> = (0..5).map(|i| (i + k) % 5).collect();
+        let mapping = Mapping::new(vec![procs[..2].to_vec(), procs[2..].to_vec()]).unwrap();
+        Instance::new(pipeline, platform, mapping).unwrap()
+    }
+
+    #[test]
+    fn patched_solves_match_cold_rebuild_bitwise() {
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let mut incremental = PeriodEngine::new().warm_start(true);
+            for k in 0..8 {
+                let i = swapped(k);
+                let a = incremental.compute(&i, model, Method::FullTpn).unwrap();
+                let b = PeriodEngine::new().compute(&i, model, Method::FullTpn).unwrap();
+                assert_eq!(a.period.to_bits(), b.period.to_bits(), "{model} k={k}");
+                assert_eq!(a.critical, b.critical);
+            }
+            // All but the first solve share the shape: 7 patched solves.
+            assert_eq!(incremental.patched_solves(), 7, "{model}");
+        }
+    }
+
+    #[test]
+    fn shape_change_falls_back_to_rebuild() {
+        let mut engine = PeriodEngine::new();
+        let a = inst(&[2, 3], 5.0, 4.0);
+        let b = inst(&[3, 2], 5.0, 4.0); // different replica counts
+        engine.compute(&a, CommModel::Strict, Method::FullTpn).unwrap();
+        let before = engine.patched_solves();
+        let rb = engine.compute(&b, CommModel::Strict, Method::FullTpn).unwrap();
+        assert_eq!(engine.patched_solves(), before, "shape changed: must rebuild");
+        let cold = PeriodEngine::new().compute(&b, CommModel::Strict, Method::FullTpn).unwrap();
+        assert_eq!(rb.period.to_bits(), cold.period.to_bits());
+    }
+
+    #[test]
+    fn simulation_method_invalidates_patch_state() {
+        let mut engine = PeriodEngine::new();
+        let a = swapped(0);
+        engine.compute(&a, CommModel::Strict, Method::FullTpn).unwrap();
+        // Rebuilds the arena net without refreshing the solver scratch…
+        engine.compute(&a, CommModel::Strict, Method::TpnSimulation).unwrap();
+        // …so the next full solve must NOT patch, and must stay correct.
+        let before = engine.patched_solves();
+        let b = swapped(1);
+        let r = engine.compute(&b, CommModel::Strict, Method::FullTpn).unwrap();
+        assert_eq!(engine.patched_solves(), before);
+        let cold = PeriodEngine::new().compute(&b, CommModel::Strict, Method::FullTpn).unwrap();
+        assert_eq!(r.period.to_bits(), cold.period.to_bits());
+    }
+
+    #[test]
+    fn oracle_matches_instance_engine_bitwise() {
+        let pipeline = Pipeline::new(vec![5.0, 7.0], vec![3.0]).unwrap();
+        let platform = Platform::uniform(5, 1.0, 2.0);
+        let mut oracle = MappingOracle::new(&pipeline, &platform).warm_start(true);
+        for k in 0..6 {
+            let i = swapped(k);
+            let r = oracle
+                .compute(&i.mapping, CommModel::Strict, Method::FullTpn)
+                .unwrap();
+            let cold = PeriodEngine::new()
+                .compute(
+                    &Instance::new(pipeline.clone(), platform.clone(), i.mapping.clone()).unwrap(),
+                    CommModel::Strict,
+                    Method::FullTpn,
+                )
+                .unwrap();
+            assert_eq!(r.period.to_bits(), cold.period.to_bits(), "k={k}");
+        }
+    }
+
+    #[test]
+    fn oracle_validates_like_instance_new() {
+        use crate::model::ModelError;
+        let pipeline = Pipeline::new(vec![1.0, 1.0], vec![1.0]).unwrap();
+        let mut platform = Platform::uniform(3, 1.0, 1.0);
+        platform.set_bandwidth(0, 1, 0.0);
+        let mut oracle = MappingOracle::new(&pipeline, &platform);
+        let bad_link = Mapping::new(vec![vec![0], vec![1]]).unwrap();
+        let unknown = Mapping::new(vec![vec![0], vec![9]]).unwrap();
+        let ok = Mapping::new(vec![vec![0], vec![2]]).unwrap();
+        for (mapping, _name) in [(&bad_link, "bad link"), (&unknown, "unknown"), (&ok, "ok")] {
+            let via_oracle = oracle.compute(mapping, CommModel::Overlap, Method::Auto);
+            let via_instance =
+                Instance::new(pipeline.clone(), platform.clone(), mapping.clone());
+            match (via_oracle, via_instance) {
+                (Ok(_), Ok(_)) => {}
+                (Err(PeriodError::Model(a)), Err(b)) => assert_eq!(a, b),
+                (a, b) => panic!("oracle {a:?} vs instance {b:?}"),
+            }
+        }
+        assert!(matches!(
+            oracle.validate(&unknown),
+            Err(ModelError::UnknownProcessor(9))
+        ));
     }
 
     #[test]

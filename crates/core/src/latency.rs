@@ -14,8 +14,8 @@
 //! distribution over the `m` paths; steady-state *sojourn* times under load
 //! come from `repwf-sim`'s clocked-arrival mode.
 
-use crate::model::{CommModel, Instance};
-use crate::paths::{instance_num_paths, path_of};
+use crate::model::{CommModel, Instance, InstanceView};
+use crate::paths::{mapping_num_paths, path_of_view};
 
 /// Latency statistics over the distinct paths of a mapping.
 #[derive(Debug, Clone, PartialEq)]
@@ -40,12 +40,17 @@ pub struct LatencyReport {
 /// unloaded latency is the plain sum under both communication models; the
 /// distinction only matters under contention.
 pub fn path_latency(inst: &Instance, j: u128) -> f64 {
-    let path = path_of(inst, j);
+    path_latency_view(inst.view(), j)
+}
+
+/// [`path_latency`] on a borrowed view.
+pub fn path_latency_view(view: InstanceView<'_>, j: u128) -> f64 {
+    let path = path_of_view(view, j);
     let mut total = 0.0;
     for (i, &u) in path.iter().enumerate() {
-        total += inst.comp_time(i, u);
+        total += view.comp_time(i, u);
         if i + 1 < path.len() {
-            total += inst.comm_time(i, u, path[i + 1]);
+            total += view.comm_time(i, u, path[i + 1]);
         }
     }
     total
@@ -54,7 +59,13 @@ pub fn path_latency(inst: &Instance, j: u128) -> f64 {
 /// Latency statistics over up to `budget` of the `m` distinct paths
 /// (all of them when `m ≤ budget`; a uniform stride sample otherwise).
 pub fn latency_report(inst: &Instance, budget: u64) -> LatencyReport {
-    let m = instance_num_paths(inst).unwrap_or(u128::MAX);
+    latency_report_view(inst.view(), budget)
+}
+
+/// [`latency_report`] on a borrowed view — the path the latency-capped
+/// annealing filter takes, so a latency check never clones the instance.
+pub fn latency_report_view(view: InstanceView<'_>, budget: u64) -> LatencyReport {
+    let m = mapping_num_paths(view.mapping).unwrap_or(u128::MAX);
     let count = m.min(budget as u128).max(1);
     let stride = (m / count).max(1);
     let mut min = f64::INFINITY;
@@ -63,7 +74,7 @@ pub fn latency_report(inst: &Instance, budget: u64) -> LatencyReport {
     let mut argmax = 0u64;
     for k in 0..count {
         let j = k * stride;
-        let l = path_latency(inst, j);
+        let l = path_latency_view(view, j);
         if l > max {
             max = l;
             argmax = j as u64;

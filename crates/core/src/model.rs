@@ -265,6 +265,59 @@ impl Mapping {
     pub fn assignment(&self) -> &[Vec<ProcId>] {
         &self.assignment
     }
+
+    // --- in-place neighbor moves -------------------------------------
+    //
+    // The mapping searches (`repwf-map`) explore thousands of neighbor
+    // mappings per second; rebuilding a `Mapping` (and re-running the
+    // `Mapping::new` duplicate scan) per candidate dominated the cheap
+    // moves. These mutators apply one move in place and are exactly
+    // invertible, so a search applies a move, evaluates, and undoes it.
+    // Each preserves the structural invariants (every stage non-empty, no
+    // processor in two slots): violating a precondition panics — the
+    // check is O(Σ m_i), negligible next to the period solve that follows
+    // every move, and a silent invariant break would poison every
+    // downstream consumer that trusts a `Mapping`.
+
+    /// Appends `u` as the last replica of stage `i`. Panics if `u` already
+    /// appears anywhere in the mapping. Inverse:
+    /// [`Mapping::remove_replica`] at the last slot.
+    pub fn push_replica(&mut self, i: StageId, u: ProcId) {
+        assert!(
+            self.assignment.iter().all(|procs| !procs.contains(&u)),
+            "processor {u} is already mapped"
+        );
+        self.assignment[i].push(u);
+    }
+
+    /// Removes and returns the replica at `slot` of stage `i`, shifting
+    /// later slots down. Panics if stage `i` has fewer than two replicas
+    /// (a stage may never become empty). Inverse:
+    /// [`Mapping::insert_replica`] at the same slot.
+    pub fn remove_replica(&mut self, i: StageId, slot: usize) -> ProcId {
+        assert!(self.assignment[i].len() > 1, "stage {i} must keep >= 1 replica");
+        self.assignment[i].remove(slot)
+    }
+
+    /// Inserts `u` at `slot` of stage `i` (round-robin order matters, so
+    /// undo must restore the exact slot, not append). Panics if `u`
+    /// already appears anywhere in the mapping.
+    pub fn insert_replica(&mut self, i: StageId, slot: usize, u: ProcId) {
+        assert!(
+            self.assignment.iter().all(|procs| !procs.contains(&u)),
+            "processor {u} is already mapped"
+        );
+        self.assignment[i].insert(slot, u);
+    }
+
+    /// Swaps the processors of slot `si` of stage `i` and slot `sj` of
+    /// stage `j`. Self-inverse; always preserves validity.
+    pub fn swap_replicas(&mut self, i: StageId, si: usize, j: StageId, sj: usize) {
+        let a = self.assignment[i][si];
+        let b = self.assignment[j][sj];
+        self.assignment[i][si] = b;
+        self.assignment[j][sj] = a;
+    }
 }
 
 /// A validated (pipeline, platform, mapping) triple — the input of every
@@ -284,18 +337,93 @@ impl Instance {
     /// mapped processors exist, speeds of used processors and bandwidths of
     /// used links are positive and finite.
     pub fn new(pipeline: Pipeline, platform: Platform, mapping: Mapping) -> Result<Self, ModelError> {
-        if pipeline.num_stages() != mapping.num_stages() {
+        InstanceView { pipeline: &pipeline, platform: &platform, mapping: &mapping }.validate()?;
+        Ok(Instance { pipeline, platform, mapping })
+    }
+
+    /// The borrowed view of this instance — what the throughput algorithms
+    /// actually consume. Free to construct; see [`InstanceView`].
+    pub fn view(&self) -> InstanceView<'_> {
+        InstanceView { pipeline: &self.pipeline, platform: &self.platform, mapping: &self.mapping }
+    }
+
+    /// Number of stages `n`.
+    pub fn num_stages(&self) -> usize {
+        self.pipeline.num_stages()
+    }
+
+    /// Computation time of stage `i` on processor `u`: `w_i / Π_u`.
+    pub fn comp_time(&self, i: StageId, u: ProcId) -> f64 {
+        self.view().comp_time(i, u)
+    }
+
+    /// Transfer time of file `F_i` over `link(u → v)`: `δ_i / b_{u,v}`.
+    pub fn comm_time(&self, i: usize, u: ProcId, v: ProcId) -> f64 {
+        self.view().comm_time(i, u, v)
+    }
+
+    /// The processor handling stage `i` of data set `j`
+    /// (round-robin: `procs_i[j mod m_i]`).
+    pub fn proc_for(&self, i: StageId, data_set: u64) -> ProcId {
+        self.view().proc_for(i, data_set)
+    }
+}
+
+/// A **borrowed** (pipeline, platform, mapping) triple — the zero-cost
+/// sibling of [`Instance`].
+///
+/// Mapping searches evaluate thousands of candidate mappings against one
+/// fixed pipeline/platform pair; building an owned [`Instance`] per
+/// candidate means three deep clones per oracle call. A view borrows all
+/// three components instead, offers the same accessors, and validates the
+/// same invariants ([`InstanceView::validate`] is exactly the check behind
+/// [`Instance::new`]). `repwf_core::engine::PeriodEngine::compute_view`
+/// and the session-style `MappingOracle` consume views directly.
+#[derive(Debug, Clone, Copy)]
+pub struct InstanceView<'a> {
+    /// The application.
+    pub pipeline: &'a Pipeline,
+    /// The platform.
+    pub platform: &'a Platform,
+    /// The mapping.
+    pub mapping: &'a Mapping,
+}
+
+impl<'a> From<&'a Instance> for InstanceView<'a> {
+    fn from(inst: &'a Instance) -> Self {
+        inst.view()
+    }
+}
+
+impl<'a> InstanceView<'a> {
+    /// Bundles and validates a borrowed triple (same checks as
+    /// [`Instance::new`], no clones).
+    pub fn new(
+        pipeline: &'a Pipeline,
+        platform: &'a Platform,
+        mapping: &'a Mapping,
+    ) -> Result<Self, ModelError> {
+        let view = InstanceView { pipeline, platform, mapping };
+        view.validate()?;
+        Ok(view)
+    }
+
+    /// Cross-validates the three components: stage counts agree, mapped
+    /// processors exist, speeds of used processors and bandwidths of used
+    /// links are positive and finite.
+    pub fn validate(&self) -> Result<(), ModelError> {
+        if self.pipeline.num_stages() != self.mapping.num_stages() {
             return Err(ModelError::StageCountMismatch {
-                pipeline: pipeline.num_stages(),
-                mapping: mapping.num_stages(),
+                pipeline: self.pipeline.num_stages(),
+                mapping: self.mapping.num_stages(),
             });
         }
-        for i in 0..mapping.num_stages() {
-            for &u in mapping.procs(i) {
-                if u >= platform.num_procs() {
+        for i in 0..self.mapping.num_stages() {
+            for &u in self.mapping.procs(i) {
+                if u >= self.platform.num_procs() {
                     return Err(ModelError::UnknownProcessor(u));
                 }
-                let s = platform.speed(u);
+                let s = self.platform.speed(u);
                 if !(s.is_finite() && s > 0.0) {
                     return Err(ModelError::InvalidSpeed { proc: u, speed: s });
                 }
@@ -303,17 +431,27 @@ impl Instance {
         }
         // Every sender/receiver pair that the round-robin can produce must
         // have a usable link.
-        for i in 0..mapping.num_stages().saturating_sub(1) {
-            for &u in mapping.procs(i) {
-                for &v in mapping.procs(i + 1) {
-                    let b = platform.bandwidth(u, v);
+        for i in 0..self.mapping.num_stages().saturating_sub(1) {
+            for &u in self.mapping.procs(i) {
+                for &v in self.mapping.procs(i + 1) {
+                    let b = self.platform.bandwidth(u, v);
                     if !(b.is_finite() && b > 0.0) {
                         return Err(ModelError::InvalidBandwidth { from: u, to: v, bandwidth: b });
                     }
                 }
             }
         }
-        Ok(Instance { pipeline, platform, mapping })
+        Ok(())
+    }
+
+    /// Deep-copies the view into an owned [`Instance`] (for the rare paths
+    /// that need ownership, e.g. handing an instance to the simulator).
+    pub fn to_instance(&self) -> Instance {
+        Instance {
+            pipeline: self.pipeline.clone(),
+            platform: self.platform.clone(),
+            mapping: self.mapping.clone(),
+        }
     }
 
     /// Number of stages `n`.
@@ -423,6 +561,61 @@ mod tests {
         assert_eq!(inst.proc_for(1, 0), 1);
         assert_eq!(inst.proc_for(1, 1), 2);
         assert_eq!(inst.proc_for(1, 2), 1);
+    }
+
+    #[test]
+    fn view_validates_like_instance_new() {
+        let pipeline = Pipeline::new(vec![1.0, 1.0], vec![1.0]).unwrap();
+        let mut platform = Platform::uniform(3, 1.0, 1.0);
+        platform.set_bandwidth(0, 1, 0.0);
+        for assignment in [vec![vec![0], vec![1]], vec![vec![0], vec![9]], vec![vec![0], vec![2]]] {
+            let mapping = Mapping::new(assignment).unwrap();
+            let via_view = InstanceView::new(&pipeline, &platform, &mapping).map(|_| ());
+            let via_instance =
+                Instance::new(pipeline.clone(), platform.clone(), mapping).map(|_| ());
+            assert_eq!(via_view, via_instance);
+        }
+    }
+
+    #[test]
+    fn view_accessors_match_instance() {
+        let inst = small();
+        let view = inst.view();
+        assert_eq!(view.num_stages(), inst.num_stages());
+        assert_eq!(view.comp_time(0, 0), inst.comp_time(0, 0));
+        assert_eq!(view.comm_time(0, 0, 1), inst.comm_time(0, 0, 1));
+        assert_eq!(view.proc_for(1, 2), inst.proc_for(1, 2));
+        assert_eq!(view.to_instance(), inst);
+    }
+
+    #[test]
+    fn in_place_moves_round_trip() {
+        let mut m = Mapping::new(vec![vec![0], vec![1, 2]]).unwrap();
+        m.push_replica(0, 3);
+        assert_eq!(m.procs(0), &[0, 3]);
+        m.swap_replicas(0, 1, 1, 0);
+        assert_eq!(m.procs(0), &[0, 1]);
+        assert_eq!(m.procs(1), &[3, 2]);
+        let u = m.remove_replica(1, 0);
+        assert_eq!(u, 3);
+        m.insert_replica(1, 0, u);
+        assert_eq!(m.procs(1), &[3, 2]);
+        // Invariants hold after every move (validated by reconstruction).
+        assert!(Mapping::new(m.assignment().to_vec()).is_ok());
+    }
+
+    #[test]
+    #[should_panic(expected = "already mapped")]
+    fn push_replica_rejects_duplicates() {
+        let mut m = Mapping::new(vec![vec![0], vec![1]]).unwrap();
+        m.push_replica(1, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must keep")]
+    fn remove_replica_rejects_emptying_a_stage() {
+        let mut m = Mapping::new(vec![vec![0], vec![1]]).unwrap();
+        m.remove_replica(0, 0);
     }
 
     #[test]

@@ -29,7 +29,7 @@
 //! `crates/core/tests` and the workspace integration tests.
 
 use crate::cycle_time::{cycle_times, max_cycle_time};
-use crate::model::{CommModel, Instance, ProcId, StageId};
+use crate::model::{CommModel, Instance, InstanceView, ProcId, StageId};
 use crate::paths::gcd;
 use maxplus::graph::RatioGraph;
 use maxplus::howard::max_cycle_ratio;
@@ -123,8 +123,13 @@ pub fn pattern_info(replicas: &[usize], i: usize) -> PatternInfo {
 /// receiver-step edge `q → q+v (mod uv)` of token-weight `v`, both carrying
 /// the transfer time of row `j` as cost.
 pub fn pattern_graph(inst: &Instance, i: usize, rho: usize) -> RatioGraph {
-    let procs_s = inst.mapping.procs(i);
-    let procs_r = inst.mapping.procs(i + 1);
+    pattern_graph_view(inst.view(), i, rho)
+}
+
+/// [`pattern_graph`] on a borrowed view.
+pub fn pattern_graph_view(view: InstanceView<'_>, i: usize, rho: usize) -> RatioGraph {
+    let procs_s = view.mapping.procs(i);
+    let procs_r = view.mapping.procs(i + 1);
     let (mi, mn) = (procs_s.len(), procs_r.len());
     let g = gcd(mi as u128, mn as u128) as usize;
     let (u, v) = (mi / g, mn / g);
@@ -134,7 +139,7 @@ pub fn pattern_graph(inst: &Instance, i: usize, rho: usize) -> RatioGraph {
         let j = rho + g * q; // a representative row of this pattern cell
         let sender = procs_s[j % mi];
         let receiver = procs_r[j % mn];
-        let t = inst.comm_time(i, sender, receiver);
+        let t = view.comm_time(i, sender, receiver);
         graph.add_edge(q as u32, ((q + u) % nv) as u32, t, u as u32);
         graph.add_edge(q as u32, ((q + v) % nv) as u32, t, v as u32);
     }
@@ -144,15 +149,20 @@ pub fn pattern_graph(inst: &Instance, i: usize, rho: usize) -> RatioGraph {
 /// The period contribution of communication column `F_i` (max over its `g`
 /// components), with the critical component and pattern circuit.
 pub fn comm_column_period(inst: &Instance, i: usize) -> ColumnPeriod {
-    let mi = inst.mapping.replicas(i);
-    let mn = inst.mapping.replicas(i + 1);
+    comm_column_period_view(inst.view(), i)
+}
+
+/// [`comm_column_period`] on a borrowed view.
+pub fn comm_column_period_view(view: InstanceView<'_>, i: usize) -> ColumnPeriod {
+    let mi = view.mapping.replicas(i);
+    let mn = view.mapping.replicas(i + 1);
     let g = gcd(mi as u128, mn as u128) as usize;
     let mut best = ColumnPeriod {
         bottleneck: Bottleneck::Communication { file: i, residue: 0, pattern_rows: Vec::new() },
         period: f64::NEG_INFINITY,
     };
     for rho in 0..g {
-        let graph = pattern_graph(inst, i, rho);
+        let graph = pattern_graph_view(view, i, rho);
         let sol = max_cycle_ratio(&graph)
             .expect("pattern graph is well-formed")
             .expect("pattern graph always has circuits");
@@ -175,22 +185,29 @@ pub fn comm_column_period(inst: &Instance, i: usize) -> ColumnPeriod {
 /// under the **overlap one-port** model, in time polynomial in the
 /// replication factors (never in `m`).
 pub fn overlap_period(inst: &Instance) -> OverlapAnalysis {
-    let n = inst.num_stages();
+    overlap_period_view(inst.view())
+}
+
+/// [`overlap_period`] on a borrowed view — the allocation path taken by
+/// `PeriodEngine::compute_view`, which never materializes an owned
+/// [`Instance`] for its candidates.
+pub fn overlap_period_view(view: InstanceView<'_>) -> OverlapAnalysis {
+    let n = view.num_stages();
     let mut columns = Vec::new();
     // Computation columns: processor u of stage i serves every m_i-th data
     // set; its circuit contributes comp_time / m_i.
     for i in 0..n {
-        let m_i = inst.mapping.replicas(i);
-        for &u in inst.mapping.procs(i) {
+        let m_i = view.mapping.replicas(i);
+        for &u in view.mapping.procs(i) {
             columns.push(ColumnPeriod {
                 bottleneck: Bottleneck::Computation { stage: i, proc: u },
-                period: inst.comp_time(i, u) / m_i as f64,
+                period: view.comp_time(i, u) / m_i as f64,
             });
         }
     }
     // Communication columns.
     for i in 0..n.saturating_sub(1) {
-        columns.push(comm_column_period(inst, i));
+        columns.push(comm_column_period_view(view, i));
     }
     let best = columns
         .iter()

@@ -5,7 +5,7 @@
 //! and the number of distinct paths is `m = lcm(m_0, …, m_{n−1})` — data set
 //! `j` takes the same path as data set `j − m` (Table 1 of the paper).
 
-use crate::model::{Instance, ProcId};
+use crate::model::{Instance, Mapping, ProcId};
 
 /// `gcd` over `u128`.
 pub fn gcd(mut a: u128, mut b: u128) -> u128 {
@@ -32,16 +32,31 @@ pub fn num_paths(replicas: &[usize]) -> Option<u128> {
     replicas.iter().try_fold(1u128, |acc, &m| lcm(acc, m as u128))
 }
 
+/// Number of distinct paths of a mapping (Proposition 1), without
+/// materializing the replica-count vector — the hot-path variant used by
+/// the period engine on every oracle call.
+pub fn mapping_num_paths(mapping: &Mapping) -> Option<u128> {
+    mapping
+        .assignment()
+        .iter()
+        .try_fold(1u128, |acc, procs| lcm(acc, procs.len() as u128))
+}
+
 /// Number of distinct paths of an instance (Proposition 1).
 pub fn instance_num_paths(inst: &Instance) -> Option<u128> {
-    num_paths(&inst.mapping.replica_counts())
+    mapping_num_paths(&inst.mapping)
 }
 
 /// The path followed by data set `j`: one processor per stage.
 pub fn path_of(inst: &Instance, j: u128) -> Vec<ProcId> {
-    (0..inst.num_stages())
+    path_of_view(inst.view(), j)
+}
+
+/// [`path_of`] on a borrowed view.
+pub fn path_of_view(view: crate::model::InstanceView<'_>, j: u128) -> Vec<ProcId> {
+    (0..view.num_stages())
         .map(|i| {
-            let procs = inst.mapping.procs(i);
+            let procs = view.mapping.procs(i);
             procs[(j % procs.len() as u128) as usize]
         })
         .collect()

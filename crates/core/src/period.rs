@@ -4,7 +4,7 @@
 //! all its numbers in this normalization; the raw TPN critical-cycle ratio
 //! is `m·P̂` since all `m` rows complete per TPN period).
 
-use crate::model::{CommModel, Instance};
+use crate::model::{CommModel, Instance, ModelError};
 use crate::tpn_build::{BuildError, BuildOptions};
 use std::fmt;
 use tpn::analysis::AnalysisError;
@@ -72,6 +72,12 @@ impl PeriodReport {
 /// Errors from [`compute_period`].
 #[derive(Debug, Clone, PartialEq)]
 pub enum PeriodError {
+    /// The (pipeline, platform, mapping) triple failed validation — only
+    /// produced by the mapping-oracle entry points
+    /// ([`crate::engine::PeriodEngine::compute_mapping`],
+    /// [`crate::engine::MappingOracle`]), which validate candidates
+    /// instead of requiring a pre-validated [`Instance`].
+    Model(ModelError),
     /// TPN construction failed (too large / overflow).
     Build(BuildError),
     /// TPN analysis failed (deadlock cannot happen for well-formed
@@ -85,6 +91,7 @@ pub enum PeriodError {
 impl fmt::Display for PeriodError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
+            PeriodError::Model(e) => write!(f, "{e}"),
             PeriodError::Build(e) => write!(f, "{e}"),
             PeriodError::Analysis(e) => write!(f, "{e}"),
             PeriodError::PolynomialNeedsOverlap => {
@@ -99,6 +106,12 @@ impl std::error::Error for PeriodError {}
 impl From<BuildError> for PeriodError {
     fn from(e: BuildError) -> Self {
         PeriodError::Build(e)
+    }
+}
+
+impl From<ModelError> for PeriodError {
+    fn from(e: ModelError) -> Self {
+        PeriodError::Model(e)
     }
 }
 

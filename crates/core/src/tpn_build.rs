@@ -19,8 +19,8 @@
 //!
 //! Construction is `O(m·n)`, as stated in the paper.
 
-use crate::model::{CommModel, Instance};
-use crate::paths::instance_num_paths;
+use crate::model::{CommModel, Instance, InstanceView};
+use crate::paths::{instance_num_paths, mapping_num_paths};
 use std::fmt;
 use tpn::net::{TimedEventGraph, TransitionId};
 
@@ -109,9 +109,9 @@ impl BuiltTpn {
     }
 }
 
-fn checked_dims(inst: &Instance, opts: &BuildOptions) -> Result<(usize, usize), BuildError> {
-    let m = instance_num_paths(inst).ok_or(BuildError::PathCountOverflow)?;
-    let cols = (2 * inst.num_stages() - 1) as u128;
+fn checked_dims(view: InstanceView<'_>, opts: &BuildOptions) -> Result<(usize, usize), BuildError> {
+    let m = mapping_num_paths(view.mapping).ok_or(BuildError::PathCountOverflow)?;
+    let cols = (2 * view.num_stages() - 1) as u128;
     let transitions = m.checked_mul(cols).ok_or(BuildError::PathCountOverflow)?;
     if transitions > opts.max_transitions as u128 {
         return Err(BuildError::TooLarge { m, transitions, cap: opts.max_transitions });
@@ -137,8 +137,20 @@ pub fn build_tpn_into(
     opts: &BuildOptions,
     net: &mut TimedEventGraph,
 ) -> Result<(usize, usize), BuildError> {
-    let (rows, cols) = checked_dims(inst, opts)?;
-    let n = inst.num_stages();
+    build_tpn_view_into(inst.view(), model, opts, net)
+}
+
+/// [`build_tpn_into`] on a borrowed [`InstanceView`] — no owned `Instance`
+/// required, which is how the period engine evaluates candidate mappings
+/// without cloning pipeline/platform/mapping.
+pub fn build_tpn_view_into(
+    view: InstanceView<'_>,
+    model: CommModel,
+    opts: &BuildOptions,
+    net: &mut TimedEventGraph,
+) -> Result<(usize, usize), BuildError> {
+    let (rows, cols) = checked_dims(view, opts)?;
+    let n = view.num_stages();
     net.clear();
 
     // --- transitions, row-major ---
@@ -146,14 +158,14 @@ pub fn build_tpn_into(
         for c in 0..cols {
             let i = c / 2;
             if c % 2 == 0 {
-                let u = inst.mapping.procs(i)[j % inst.mapping.replicas(i)];
+                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
                 let label = if opts.labels { format!("S{i}/P{u} r{j}") } else { String::new() };
-                net.add_transition(inst.comp_time(i, u), label);
+                net.add_transition(view.comp_time(i, u), label);
             } else {
-                let u = inst.mapping.procs(i)[j % inst.mapping.replicas(i)];
-                let v = inst.mapping.procs(i + 1)[j % inst.mapping.replicas(i + 1)];
+                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
+                let v = view.mapping.procs(i + 1)[j % view.mapping.replicas(i + 1)];
                 let label = if opts.labels { format!("F{i}:P{u}>P{v} r{j}") } else { String::new() };
-                net.add_transition(inst.comm_time(i, u, v), label);
+                net.add_transition(view.comm_time(i, u, v), label);
             }
         }
     }
@@ -182,14 +194,14 @@ pub fn build_tpn_into(
     match model {
         CommModel::Overlap => {
             for i in 0..n {
-                let m_i = inst.mapping.replicas(i);
+                let m_i = view.mapping.replicas(i);
                 // constraint 2: computation round-robin per processor
                 for beta in 0..m_i {
                     let group: Vec<usize> = (beta..rows).step_by(m_i).collect();
                     circuit(net, &group, 2 * i, 2 * i, &format!("cpu S{i}#{beta}"));
                 }
                 if i + 1 < n {
-                    let m_next = inst.mapping.replicas(i + 1);
+                    let m_next = view.mapping.replicas(i + 1);
                     // constraint 3: out-port round-robin per sender
                     for alpha in 0..m_i {
                         let group: Vec<usize> = (alpha..rows).step_by(m_i).collect();
@@ -205,7 +217,7 @@ pub fn build_tpn_into(
         }
         CommModel::Strict => {
             for i in 0..n {
-                let m_i = inst.mapping.replicas(i);
+                let m_i = view.mapping.replicas(i);
                 // Last operation of the processor in a row, first in the next.
                 let last_col = if i + 1 == n { 2 * i } else { 2 * i + 1 };
                 let first_col = if i == 0 { 0 } else { 2 * i - 1 };
@@ -218,6 +230,50 @@ pub fn build_tpn_into(
     }
 
     Ok((rows, cols))
+}
+
+/// Re-times a net previously produced by [`build_tpn_view_into`] for a
+/// **shape-preserving** mapping change, instead of clearing and rebuilding
+/// it: recomputes every transition's firing time from `view` (the same
+/// expressions the builder uses, so values are bit-identical to a fresh
+/// build) and patches them in place, appending the ids of transitions
+/// whose time actually changed to `changed` (cleared first).
+///
+/// A mapping change preserves the TPN shape iff the communication model
+/// and every per-stage replica count `m_i` are unchanged — the place
+/// structure (row order + round-robin circuits) depends only on those, so
+/// swapping which processors occupy the slots only re-times transitions.
+/// The caller ([`crate::engine::PeriodEngine`]) is responsible for that
+/// check; this function `debug_assert`s the grid dimensions. Labels (if
+/// any) are left stale — only patch label-free nets.
+pub fn retime_tpn_into(
+    view: InstanceView<'_>,
+    net: &mut TimedEventGraph,
+    changed: &mut Vec<TransitionId>,
+) {
+    changed.clear();
+    let n = view.num_stages();
+    let cols = 2 * n - 1;
+    let rows = net.num_transitions() / cols;
+    debug_assert_eq!(rows * cols, net.num_transitions(), "net is not a {cols}-column grid");
+    for j in 0..rows {
+        for c in 0..cols {
+            let i = c / 2;
+            let time = if c % 2 == 0 {
+                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
+                view.comp_time(i, u)
+            } else {
+                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
+                let v = view.mapping.procs(i + 1)[j % view.mapping.replicas(i + 1)];
+                view.comm_time(i, u, v)
+            };
+            let t = grid_transition(cols, j, c);
+            let old = net.patch(t, time);
+            if old.to_bits() != time.to_bits() {
+                changed.push(t);
+            }
+        }
+    }
 }
 
 /// Builds only the sub-TPN of communication `F_i` under the overlap model

@@ -13,7 +13,13 @@
 //! Each worker thread owns one [`repwf_core::engine::PeriodEngine`]
 //! (created by [`repwf_par::par_map_init`]), so the TPN build arena and
 //! the Howard workspace are allocated `threads` times per campaign instead
-//! of once per experiment. Three properties are guaranteed:
+//! of once per experiment. Draws are evaluated **by reference** through
+//! [`PeriodEngine::compute_mapping`] (no owned `Instance` unless the
+//! simulator fallback needs one), and when consecutive draws on a worker
+//! happen to share their replica-count shape the engine re-times the TPN
+//! in place instead of rebuilding it — the patched state is bit-for-bit a
+//! rebuild, so this never leaks the schedule into the numbers. Three
+//! properties are guaranteed:
 //!
 //! * **Determinism at any thread count** — experiment `k` derives *all* of
 //!   its randomness from `StdRng::seed_from_u64(seed_base + k)`, results
@@ -36,11 +42,11 @@
 //!   slightly different instants; the final snapshot (`done == total`) is
 //!   exact in every field.
 
-use crate::sampler::{sample_instance, GenConfig};
+use crate::sampler::{sample_parts, GenConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use repwf_core::engine::PeriodEngine;
-use repwf_core::model::CommModel;
+use repwf_core::model::{CommModel, Instance};
 use repwf_core::period::{Method, PeriodError};
 use repwf_core::tpn_build::{BuildError, BuildOptions};
 use repwf_sim::{simulate, SimOptions};
@@ -166,12 +172,18 @@ pub fn run_one_with(
     engine: &mut PeriodEngine,
 ) -> ExperimentOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
-    let inst = sample_instance(cfg, &mut rng);
+    // The draw is evaluated through the borrowed-view oracle path: no
+    // owned `Instance` is assembled unless the simulator fallback needs
+    // one (and then by move, not clone). Consecutive same-shape draws on a
+    // worker take the engine's incremental patch path — bit-transparent,
+    // so outcomes stay a pure function of the seed regardless of the
+    // work-stealing schedule.
+    let (pipeline, platform, mapping) = sample_parts(cfg, &mut rng);
     let method = match model {
         CommModel::Overlap => Method::Polynomial,
         CommModel::Strict => Method::FullTpn,
     };
-    match engine.compute(&inst, model, method) {
+    match engine.compute_mapping(&pipeline, &platform, &mapping, model, method) {
         Ok(report) => ExperimentOutcome {
             seed,
             mct: report.mct,
@@ -181,6 +193,8 @@ pub fn run_one_with(
         },
         Err(PeriodError::Build(BuildError::TooLarge { m, .. })) => {
             // Simulator fallback: long enough to pass the transient.
+            let inst = Instance::new(pipeline, platform, mapping)
+                .expect("generator produces valid instances");
             let (mct, _) = repwf_core::cycle_time::max_cycle_time(&inst, model);
             let data_sets = 20_000u64;
             let sim = simulate(

@@ -74,6 +74,16 @@ pub struct GenConfig {
 /// processor, all `p` processors used), heterogeneous speeds/bandwidths and
 /// stage/file sizes per the range scheme above.
 pub fn sample_instance<R: Rng>(cfg: &GenConfig, rng: &mut R) -> Instance {
+    let (pipeline, platform, mapping) = sample_parts(cfg, rng);
+    Instance::new(pipeline, platform, mapping).expect("generator produces valid instances")
+}
+
+/// [`sample_instance`] as loose parts: the campaign engine evaluates the
+/// draw through the borrowed-view oracle path
+/// (`PeriodEngine::compute_mapping`), which needs no owned [`Instance`] at
+/// all; the parts are only assembled (by move, not clone) when the
+/// simulator fallback requires ownership.
+pub fn sample_parts<R: Rng>(cfg: &GenConfig, rng: &mut R) -> (Pipeline, Platform, Mapping) {
     assert!(cfg.stages >= 1 && cfg.procs >= cfg.stages, "need at least one proc per stage");
     // Replica counts: start at 1 each, sprinkle the rest uniformly.
     let mut replicas = vec![1usize; cfg.stages];
@@ -109,7 +119,7 @@ pub fn sample_instance<R: Rng>(cfg: &GenConfig, rng: &mut R) -> Instance {
     }
 
     let mapping = Mapping::new(assignment).expect("generator produces valid mappings");
-    Instance::new(pipeline, platform, mapping).expect("generator produces valid instances")
+    (pipeline, platform, mapping)
 }
 
 #[cfg(test)]

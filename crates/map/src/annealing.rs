@@ -8,12 +8,12 @@
 //! the classical tradeoff of the literature the paper builds on
 //! (Subhlok & Vondran, SPAA'96).
 
-use crate::{evaluate_with, random_mapping, SearchOptions, SearchResult};
+use crate::{apply_move, oracle_eval, random_mapping, undo_move, Move, SearchOptions, SearchResult};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use repwf_core::engine::PeriodEngine;
-use repwf_core::latency::latency_report;
-use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
+use repwf_core::engine::MappingOracle;
+use repwf_core::latency::latency_report_view;
+use repwf_core::model::{CommModel, InstanceView, Mapping, Pipeline, Platform};
 
 /// Annealing parameters.
 #[derive(Debug, Clone)]
@@ -48,23 +48,21 @@ impl Default for AnnealOptions {
 
 fn latency_ok(pipeline: &Pipeline, platform: &Platform, mapping: &Mapping, cap: Option<f64>) -> bool {
     let Some(cap) = cap else { return true };
-    let Ok(inst) = Instance::new(pipeline.clone(), platform.clone(), mapping.clone()) else {
+    let Ok(view) = InstanceView::new(pipeline, platform, mapping) else {
         return false;
     };
-    latency_report(&inst, 512).max <= cap
+    latency_report_view(view, 512).max <= cap
 }
 
-/// Proposes a random neighbour of `mapping` (add / remove / move / swap).
-fn propose<R: Rng>(
-    mapping: &Mapping,
-    num_procs: usize,
-    rng: &mut R,
-) -> Option<Mapping> {
-    let mut assignment = mapping.assignment().to_vec();
-    let n = assignment.len();
+/// Proposes a random neighbour [`Move`] (add / remove / move / swap). The
+/// RNG draw sequence is the historical one, so annealing runs are
+/// bit-compatible with the clone-per-proposal implementation this
+/// replaced.
+fn propose<R: Rng>(mapping: &Mapping, num_procs: usize, rng: &mut R) -> Option<Move> {
+    let n = mapping.num_stages();
     let mut used = vec![false; num_procs];
-    for procs in &assignment {
-        for &u in procs {
+    for i in 0..n {
+        for &u in mapping.procs(i) {
             used[u] = true;
         }
     }
@@ -73,28 +71,25 @@ fn propose<R: Rng>(
         0 if !unused.is_empty() => {
             // add an unused processor to a random stage
             let u = unused[rng.gen_range(0..unused.len())];
-            assignment[rng.gen_range(0..n)].push(u);
+            Some(Move::Add { stage: rng.gen_range(0..n), proc: u })
         }
         1 => {
             // remove a random replica (keep ≥ 1 per stage)
             let i = rng.gen_range(0..n);
-            if assignment[i].len() > 1 {
-                let k = rng.gen_range(0..assignment[i].len());
-                assignment[i].remove(k);
+            if mapping.replicas(i) > 1 {
+                Some(Move::Remove { stage: i, slot: rng.gen_range(0..mapping.replicas(i)) })
             } else {
-                return None;
+                None
             }
         }
         2 => {
             // move a replica between stages
             let i = rng.gen_range(0..n);
             let j = rng.gen_range(0..n);
-            if i != j && assignment[i].len() > 1 {
-                let k = rng.gen_range(0..assignment[i].len());
-                let u = assignment[i].remove(k);
-                assignment[j].push(u);
+            if i != j && mapping.replicas(i) > 1 {
+                Some(Move::Shift { from: i, slot: rng.gen_range(0..mapping.replicas(i)), to: j })
             } else {
-                return None;
+                None
             }
         }
         _ => {
@@ -104,17 +99,19 @@ fn propose<R: Rng>(
             if i == j {
                 return None;
             }
-            let ki = rng.gen_range(0..assignment[i].len());
-            let kj = rng.gen_range(0..assignment[j].len());
-            let (a, b) = (assignment[i][ki], assignment[j][kj]);
-            assignment[i][ki] = b;
-            assignment[j][kj] = a;
+            let si = rng.gen_range(0..mapping.replicas(i));
+            let sj = rng.gen_range(0..mapping.replicas(j));
+            Some(Move::Swap { i, si, j, sj })
         }
     }
-    Mapping::new(assignment).ok()
 }
 
 /// Runs simulated annealing from `start`.
+///
+/// Holds **one owned mapping**: each proposal is applied in place,
+/// evaluated through a warm-started [`MappingOracle`] (swap proposals —
+/// the bulk of the walk — re-solve on the engine's incremental patch
+/// path), and undone on rejection. Only a new incumbent is ever cloned.
 pub fn anneal(
     pipeline: &Pipeline,
     platform: &Platform,
@@ -123,37 +120,42 @@ pub fn anneal(
 ) -> SearchResult {
     let mut rng = StdRng::seed_from_u64(opts.seed);
     let mut evals = 0usize;
-    // One warm-started engine across all proposal evaluations: annealing
+    // One warm-started oracle across all proposal evaluations: annealing
     // mostly proposes same-shape cost perturbations (swaps), the best case
     // for warm-started policy iteration.
-    let mut engine = PeriodEngine::new().warm_start(true);
-    let mut eval = |m: &Mapping, evals: &mut usize| -> Option<f64> {
+    let mut oracle = MappingOracle::new(pipeline, platform).warm_start(true);
+    let eval = |m: &Mapping, oracle: &mut MappingOracle<'_>, evals: &mut usize| -> Option<f64> {
         if !latency_ok(pipeline, platform, m, opts.max_latency) {
             return None;
         }
         *evals += 1;
-        evaluate_with(pipeline, platform, m, opts.model, &mut engine)
+        oracle_eval(oracle, m, opts.model)
     };
     let mut current = start;
-    let mut current_p = eval(&current, &mut evals).unwrap_or(f64::INFINITY);
+    let mut current_p = eval(&current, &mut oracle, &mut evals).unwrap_or(f64::INFINITY);
     let mut best = current.clone();
     let mut best_p = current_p;
     let mut temp = current_p.max(1e-9) * opts.t0_fraction;
 
     for _ in 0..opts.steps {
         temp *= opts.cooling;
-        let Some(candidate) = propose(&current, platform.num_procs(), &mut rng) else {
+        let Some(mv) = propose(&current, platform.num_procs(), &mut rng) else {
             continue;
         };
-        let Some(p) = eval(&candidate, &mut evals) else { continue };
+        let applied = apply_move(&mut current, mv);
+        let Some(p) = eval(&current, &mut oracle, &mut evals) else {
+            undo_move(&mut current, applied);
+            continue;
+        };
         let delta = p - current_p;
         if delta <= 0.0 || rng.gen::<f64>() < (-delta / temp.max(1e-12)).exp() {
-            current = candidate;
             current_p = p;
             if p < best_p {
                 best_p = p;
                 best = current.clone();
             }
+        } else {
+            undo_move(&mut current, applied);
         }
     }
     SearchResult { mapping: best, period: best_p, evaluations: evals }
@@ -212,6 +214,8 @@ pub fn optimize_bicriteria(
 mod tests {
     use super::*;
     use crate::{greedy, local_search};
+    use repwf_core::latency::latency_report;
+    use repwf_core::model::Instance;
 
     fn setup() -> (Pipeline, Platform) {
         let pipeline = Pipeline::new(vec![8.0, 24.0, 8.0], vec![0.01, 0.01]).unwrap();
@@ -243,10 +247,28 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let mut m = greedy(&pipe, &plat);
         for _ in 0..500 {
-            if let Some(next) = propose(&m, plat.num_procs(), &mut rng) {
-                assert_eq!(next.num_stages(), pipe.num_stages());
-                assert!(next.replica_counts().iter().all(|&c| c >= 1));
-                m = next;
+            if let Some(mv) = propose(&m, plat.num_procs(), &mut rng) {
+                apply_move(&mut m, mv);
+                assert_eq!(m.num_stages(), pipe.num_stages());
+                assert!(m.replica_counts().iter().all(|&c| c >= 1));
+                // The mutated mapping still satisfies every structural
+                // invariant `Mapping::new` enforces.
+                assert!(Mapping::new(m.assignment().to_vec()).is_ok());
+            }
+        }
+    }
+
+    #[test]
+    fn apply_undo_round_trips() {
+        let (pipe, plat) = setup();
+        let mut rng = StdRng::seed_from_u64(8);
+        let mut m = greedy(&pipe, &plat);
+        for _ in 0..500 {
+            let reference = m.clone();
+            if let Some(mv) = propose(&m, plat.num_procs(), &mut rng) {
+                let applied = apply_move(&mut m, mv);
+                undo_move(&mut m, applied);
+                assert_eq!(m, reference, "undo must restore the exact mapping for {mv:?}");
             }
         }
     }

@@ -49,8 +49,8 @@ pub mod annealing;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
-use repwf_core::engine::PeriodEngine;
-use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
+use repwf_core::engine::{MappingOracle, PeriodEngine};
+use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform, ProcId, StageId};
 use repwf_core::period::{Method, PeriodError};
 
 /// Options for the mapping search.
@@ -83,11 +83,43 @@ pub struct SearchResult {
     pub evaluations: usize,
 }
 
+/// Evaluates a candidate mapping through a [`MappingOracle`] session,
+/// adding the simulator fallback for TPNs above the size cap; `None` when
+/// the mapping is invalid or the oracle fails for another reason.
+///
+/// This is the search-loop oracle: the only clones on any path are in the
+/// rare simulator fallback (which needs an owned [`Instance`]).
+pub(crate) fn oracle_eval(
+    oracle: &mut MappingOracle<'_>,
+    mapping: &Mapping,
+    model: CommModel,
+) -> Option<f64> {
+    match oracle.compute(mapping, model, Method::Auto) {
+        Ok(r) => Some(r.period),
+        Err(PeriodError::Build(_)) => {
+            // TPN too large: fall back to the simulator estimate.
+            let inst = Instance::new(
+                oracle.pipeline().clone(),
+                oracle.platform().clone(),
+                mapping.clone(),
+            )
+            .ok()?;
+            let sim = repwf_sim::simulate(
+                &inst,
+                model,
+                &repwf_sim::SimOptions { data_sets: 4000, record_ops: false },
+            );
+            Some(sim.exact_period(1e-9).unwrap_or_else(|| sim.period_estimate()))
+        }
+        Err(_) => None,
+    }
+}
+
 /// Evaluates a candidate mapping; `None` when the mapping is invalid or the
 /// oracle fails (e.g. TPN too large for the strict model).
 ///
 /// One-shot convenience over [`evaluate_with`]: allocates a fresh engine
-/// per call. The search loops keep a warm engine instead.
+/// per call. The search loops keep a warm [`MappingOracle`] instead.
 pub fn evaluate(
     pipeline: &Pipeline,
     platform: &Platform,
@@ -99,7 +131,8 @@ pub fn evaluate(
 
 /// [`evaluate`] on a caller-owned [`PeriodEngine`]: repeated candidate
 /// evaluations reuse the engine's TPN arena and Howard workspace (and its
-/// warm-start policy, when enabled).
+/// warm-start policy and patch state, when enabled). Thin wrapper over a
+/// [`MappingOracle`] borrowing the engine for the call.
 pub fn evaluate_with(
     pipeline: &Pipeline,
     platform: &Platform,
@@ -107,19 +140,106 @@ pub fn evaluate_with(
     model: CommModel,
     engine: &mut PeriodEngine,
 ) -> Option<f64> {
-    let inst = Instance::new(pipeline.clone(), platform.clone(), mapping.clone()).ok()?;
-    match engine.compute(&inst, model, Method::Auto) {
-        Ok(r) => Some(r.period),
-        Err(PeriodError::Build(_)) => {
-            // TPN too large: fall back to the simulator estimate.
-            let sim = repwf_sim::simulate(
-                &inst,
-                model,
-                &repwf_sim::SimOptions { data_sets: 4000, record_ops: false },
-            );
-            Some(sim.exact_period(1e-9).unwrap_or_else(|| sim.period_estimate()))
+    let mut oracle = MappingOracle::with_engine(pipeline, platform, std::mem::take(engine));
+    let out = oracle_eval(&mut oracle, mapping, model);
+    *engine = oracle.into_engine();
+    out
+}
+
+/// One in-place neighbor move over a [`Mapping`] — the search loops apply
+/// a move, evaluate the mutated mapping through the oracle, and undo it,
+/// so exploring a neighborhood never clones the assignment.
+///
+/// `Swap` preserves every per-stage replica count, so the period engine
+/// evaluates it on the incremental patch path; the other three change a
+/// count and trigger a TPN rebuild.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Move {
+    /// Map the (unused) processor `proc` onto `stage` (appended last in
+    /// round-robin order).
+    Add {
+        /// Target stage.
+        stage: StageId,
+        /// Processor to map; must not appear in the mapping.
+        proc: ProcId,
+    },
+    /// Unmap the replica at `slot` of `stage` (which must keep ≥ 1).
+    Remove {
+        /// Stage losing a replica.
+        stage: StageId,
+        /// Round-robin slot to remove.
+        slot: usize,
+    },
+    /// Move the replica at `slot` of stage `from` to the end of stage `to`.
+    Shift {
+        /// Stage losing the replica (must keep ≥ 1).
+        from: StageId,
+        /// Round-robin slot to move.
+        slot: usize,
+        /// Stage receiving the replica.
+        to: StageId,
+    },
+    /// Swap slot `si` of stage `i` with slot `sj` of stage `j`.
+    Swap {
+        /// First stage.
+        i: StageId,
+        /// Slot in the first stage.
+        si: usize,
+        /// Second stage.
+        j: StageId,
+        /// Slot in the second stage.
+        sj: usize,
+    },
+}
+
+/// The record needed to exactly invert an applied [`Move`]
+/// (round-robin order is significant, so undo restores exact slots).
+#[derive(Debug, Clone, Copy)]
+pub struct AppliedMove {
+    mv: Move,
+    /// The processor displaced by `Remove`/`Shift` (unused otherwise).
+    proc: ProcId,
+}
+
+/// Applies `mv` to `mapping` in place. Preconditions are those of the
+/// underlying [`Mapping`] mutators (`Add` needs an unused processor,
+/// `Remove`/`Shift` a stage with ≥ 2 replicas) — the move generators
+/// below only produce satisfying moves.
+pub fn apply_move(mapping: &mut Mapping, mv: Move) -> AppliedMove {
+    let proc = match mv {
+        Move::Add { stage, proc } => {
+            mapping.push_replica(stage, proc);
+            proc
         }
-        Err(_) => None,
+        Move::Remove { stage, slot } => mapping.remove_replica(stage, slot),
+        Move::Shift { from, slot, to } => {
+            let u = mapping.remove_replica(from, slot);
+            mapping.push_replica(to, u);
+            u
+        }
+        Move::Swap { i, si, j, sj } => {
+            mapping.swap_replicas(i, si, j, sj);
+            0
+        }
+    };
+    AppliedMove { mv, proc }
+}
+
+/// Exactly inverts [`apply_move`].
+pub fn undo_move(mapping: &mut Mapping, applied: AppliedMove) {
+    match applied.mv {
+        Move::Add { stage, .. } => {
+            let last = mapping.replicas(stage) - 1;
+            mapping.remove_replica(stage, last);
+        }
+        Move::Remove { stage, slot } => mapping.insert_replica(stage, slot, applied.proc),
+        Move::Shift { from, slot, to } => {
+            let last = mapping.replicas(to) - 1;
+            let u = mapping.remove_replica(to, last);
+            debug_assert_eq!(u, applied.proc);
+            mapping.insert_replica(from, slot, u);
+        }
+        Move::Swap { i, si, j, sj } => mapping.swap_replicas(i, si, j, sj),
     }
 }
 
@@ -184,22 +304,72 @@ pub fn random_mapping<R: Rng>(
     Mapping::new(assignment).expect("random mapping is valid")
 }
 
+/// Enumerates the neighborhood of `mapping` in the canonical order of the
+/// hill climber: add-unused, remove, shift, swap. `counts` are the
+/// per-stage replica counts of `mapping` (the pass-start snapshot).
+fn neighborhood(counts: &[usize], used: &[bool], moves: &mut Vec<Move>) {
+    let n = counts.len();
+    let p = used.len();
+    moves.clear();
+    // add an unused processor to any stage
+    for u in (0..p).filter(|&u| !used[u]) {
+        for i in 0..n {
+            moves.push(Move::Add { stage: i, proc: u });
+        }
+    }
+    // remove a replica (keep ≥ 1)
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 1 {
+            for k in 0..c {
+                moves.push(Move::Remove { stage: i, slot: k });
+            }
+        }
+    }
+    // move a replica to another stage
+    for (i, &c) in counts.iter().enumerate() {
+        if c > 1 {
+            for k in 0..c {
+                for j in 0..n {
+                    if j != i {
+                        moves.push(Move::Shift { from: i, slot: k, to: j });
+                    }
+                }
+            }
+        }
+    }
+    // swap two replicas across stages
+    for i in 0..n {
+        for j in (i + 1)..n {
+            for k in 0..counts[i] {
+                for l in 0..counts[j] {
+                    moves.push(Move::Swap { i, si: k, j, sj: l });
+                }
+            }
+        }
+    }
+}
+
 /// Hill climbing from `start`: tries add-unused / remove / move / swap moves
 /// until a full pass yields no improvement (or `max_passes` is hit).
+///
+/// The climb holds **one owned mapping** and explores each neighborhood by
+/// applying a [`Move`], evaluating through a warm-started
+/// [`MappingOracle`], and undoing it — no per-candidate assignment clone,
+/// no per-candidate `Instance`, and swap candidates re-solve on the
+/// engine's incremental patch path.
 pub fn local_search(
     pipeline: &Pipeline,
     platform: &Platform,
     start: Mapping,
     opts: &SearchOptions,
 ) -> SearchResult {
-    let n = pipeline.num_stages();
     let p = platform.num_procs();
-    // One warm-started engine for the whole climb: same-shape neighbor
+    // One warm-started oracle for the whole climb: same-shape neighbor
     // mappings re-solve from the previous Howard policy.
-    let mut engine = PeriodEngine::new().warm_start(true);
-    let mut best = start;
+    let mut oracle = MappingOracle::new(pipeline, platform).warm_start(true);
+    let mut current = start;
     let mut evals = 0usize;
-    let mut best_period = match evaluate_with(pipeline, platform, &best, opts.model, &mut engine) {
+    let mut best_period = match oracle_eval(&mut oracle, &current, opts.model) {
         Some(v) => {
             evals += 1;
             v
@@ -207,86 +377,44 @@ pub fn local_search(
         None => f64::INFINITY,
     };
 
+    let mut moves: Vec<Move> = Vec::new();
+    let mut used = vec![false; p];
     for _ in 0..opts.max_passes {
         let mut improved = false;
-        let current = best.assignment().to_vec();
-        let used: Vec<bool> = {
-            let mut used = vec![false; p];
-            for procs in &current {
-                for &u in procs {
-                    used[u] = true;
-                }
-            }
-            used
-        };
-        let mut candidates: Vec<Vec<Vec<usize>>> = Vec::new();
-        // add an unused processor to any stage
-        for u in (0..p).filter(|&u| !used[u]) {
-            for i in 0..n {
-                let mut cand = current.clone();
-                cand[i].push(u);
-                candidates.push(cand);
+        // Pass-start snapshot: the whole neighborhood is generated from it,
+        // even though `current` keeps improving the acceptance threshold.
+        let counts = current.replica_counts();
+        used.fill(false);
+        for procs in current.assignment() {
+            for &u in procs {
+                used[u] = true;
             }
         }
-        // remove a replica (keep ≥ 1)
-        for i in 0..n {
-            if current[i].len() > 1 {
-                for k in 0..current[i].len() {
-                    let mut cand = current.clone();
-                    cand[i].remove(k);
-                    candidates.push(cand);
-                }
-            }
-        }
-        // move a replica to another stage
-        for i in 0..n {
-            if current[i].len() > 1 {
-                for k in 0..current[i].len() {
-                    for j in 0..n {
-                        if j != i {
-                            let mut cand = current.clone();
-                            let u = cand[i].remove(k);
-                            cand[j].push(u);
-                            candidates.push(cand);
-                        }
-                    }
-                }
-            }
-        }
-        // swap two replicas across stages
-        for i in 0..n {
-            for j in (i + 1)..n {
-                for k in 0..current[i].len() {
-                    for l in 0..current[j].len() {
-                        let mut cand = current.clone();
-                        let a = cand[i][k];
-                        let b = cand[j][l];
-                        cand[i][k] = b;
-                        cand[j][l] = a;
-                        candidates.push(cand);
-                    }
-                }
-            }
-        }
+        neighborhood(&counts, &used, &mut moves);
 
-        for cand in candidates {
-            let Ok(mapping) = Mapping::new(cand) else { continue };
-            let Some(period) = evaluate_with(pipeline, platform, &mapping, opts.model, &mut engine)
-            else {
-                continue;
-            };
+        let mut best_move: Option<Move> = None;
+        for &mv in &moves {
+            let applied = apply_move(&mut current, mv);
+            let period = oracle_eval(&mut oracle, &current, opts.model);
+            undo_move(&mut current, applied);
+            let Some(period) = period else { continue };
             evals += 1;
             if period < best_period - 1e-12 {
                 best_period = period;
-                best = mapping;
+                best_move = Some(mv);
                 improved = true;
             }
+        }
+        // Commit the last improving candidate (the historical semantics of
+        // the pass: later improvements overwrite earlier ones).
+        if let Some(mv) = best_move {
+            apply_move(&mut current, mv);
         }
         if !improved {
             break;
         }
     }
-    SearchResult { mapping: best, period: best_period, evaluations: evals }
+    SearchResult { mapping: current, period: best_period, evaluations: evals }
 }
 
 /// Multi-start optimization: greedy seed plus `restarts` random seeds, each

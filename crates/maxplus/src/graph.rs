@@ -125,6 +125,15 @@ impl RatioGraph {
         &self.edges
     }
 
+    /// Overwrites the cost of edge `idx` (insertion order) in place,
+    /// leaving endpoints and tokens untouched — the delta-update primitive
+    /// behind `tpn::analysis::period_patched_with`, which re-weights a
+    /// structurally unchanged graph instead of rebuilding it.
+    pub fn set_edge_cost(&mut self, idx: usize, cost: f64) {
+        debug_assert!(cost.is_finite());
+        self.edges[idx].cost = cost;
+    }
+
     /// Validates endpoints and costs.
     pub fn validate(&self) -> Result<(), RatioGraphError> {
         for e in &self.edges {

@@ -27,6 +27,12 @@
 //! global vertex ids, slicing the shared CSR and filtering edges by
 //! component id — no per-SCC subgraph is ever materialized (the old
 //! implementation re-allocated a restricted [`RatioGraph`] per component).
+//!
+//! The CSR keeps the edge data in **structure-of-arrays** form
+//! ([`Csr::targets`] / [`Csr::costs`] / [`Csr::token_counts`], one entry
+//! per CSR position): the Howard improvement loops — the hottest code in
+//! every campaign — stream three contiguous arrays per vertex range
+//! instead of gathering `Edge` structs through the edge-index indirection.
 
 use crate::graph::{CycleSolution, Edge, RatioGraph, RatioGraphError};
 use crate::howard::RatioResult;
@@ -35,6 +41,12 @@ use crate::howard::RatioResult;
 /// `v` are `edge_indices()[offsets()[v]..offsets()[v+1]]`, preserving the
 /// insertion order of [`RatioGraph::add_edge`].
 ///
+/// Besides the index view, the build materializes a **structure-of-arrays
+/// mirror** of the edge list in CSR order — [`Csr::targets`],
+/// [`Csr::costs`], [`Csr::token_counts`] — so the Howard improvement loops
+/// stream three contiguous arrays instead of gathering 24-byte `Edge`
+/// structs through an index indirection.
+///
 /// Built into owned buffers so repeated builds on same-sized graphs do not
 /// allocate.
 #[derive(Debug, Clone, Default)]
@@ -42,6 +54,10 @@ pub struct Csr {
     offsets: Vec<u32>,
     eidx: Vec<u32>,
     cursor: Vec<u32>,
+    // SoA mirror of the edge list in CSR order (index = CSR position).
+    to: Vec<u32>,
+    cost: Vec<f64>,
+    tokens: Vec<u32>,
 }
 
 impl Csr {
@@ -53,6 +69,7 @@ impl Csr {
     /// (Re)builds the adjacency of `g`, reusing the internal buffers.
     pub fn build(&mut self, g: &RatioGraph) {
         let n = g.num_vertices();
+        let ne = g.num_edges();
         self.offsets.clear();
         self.offsets.resize(n + 1, 0);
         for e in g.edges() {
@@ -64,10 +81,20 @@ impl Csr {
         self.cursor.clear();
         self.cursor.extend_from_slice(&self.offsets[..n]);
         self.eidx.clear();
-        self.eidx.resize(g.num_edges(), 0);
+        self.eidx.resize(ne, 0);
+        self.to.clear();
+        self.to.resize(ne, 0);
+        self.cost.clear();
+        self.cost.resize(ne, 0.0);
+        self.tokens.clear();
+        self.tokens.resize(ne, 0);
         for (i, e) in g.edges().iter().enumerate() {
             let c = &mut self.cursor[e.from as usize];
-            self.eidx[*c as usize] = i as u32;
+            let pos = *c as usize;
+            self.eidx[pos] = i as u32;
+            self.to[pos] = e.to;
+            self.cost[pos] = e.cost;
+            self.tokens[pos] = e.tokens;
             *c += 1;
         }
     }
@@ -84,8 +111,28 @@ impl Csr {
 
     /// Out-edge indices of vertex `v`.
     pub fn out_edges(&self, v: u32) -> &[u32] {
-        let (a, b) = (self.offsets[v as usize], self.offsets[v as usize + 1]);
-        &self.eidx[a as usize..b as usize]
+        &self.eidx[self.range(v)]
+    }
+
+    /// The CSR position range of vertex `v`'s out-edges (indexes
+    /// [`Csr::targets`] / [`Csr::costs`] / [`Csr::token_counts`]).
+    pub fn range(&self, v: u32) -> std::ops::Range<usize> {
+        self.offsets[v as usize] as usize..self.offsets[v as usize + 1] as usize
+    }
+
+    /// Edge target vertices in CSR order.
+    pub fn targets(&self) -> &[u32] {
+        &self.to
+    }
+
+    /// Edge costs in CSR order.
+    pub fn costs(&self) -> &[f64] {
+        &self.cost
+    }
+
+    /// Edge token counts in CSR order.
+    pub fn token_counts(&self) -> &[u32] {
+        &self.tokens
     }
 }
 
@@ -139,7 +186,8 @@ pub struct Workspace {
     on_stack: Vec<bool>,
     vstack: Vec<u32>,
     frames: Vec<(u32, u32)>,
-    // Howard policy iteration.
+    // Howard policy iteration. `policy[v]` is a CSR *position* (an index
+    // into the SoA arrays of `csr`), always inside `csr.range(v)`.
     policy: Vec<u32>,
     lambda: Vec<f64>,
     potential: Vec<f64>,
@@ -240,7 +288,6 @@ impl Workspace {
         self.walk_pos.clear();
         self.walk_pos.resize(n, 0);
 
-        let edges = g.edges();
         // Generous bound: each iteration strictly improves (λ, x); policies
         // are finite. Guards against floating-point livelock.
         let max_iters = 64 + 8 * n + ne;
@@ -264,13 +311,13 @@ impl Workspace {
             let members =
                 &comp_vertices[comp_offsets[c] as usize..comp_offsets[c + 1] as usize];
             let cyclic = members.len() > 1
-                || csr.out_edges(members[0]).iter().any(|&ei| edges[ei as usize].to == members[0]);
+                || csr.targets()[csr.range(members[0])].contains(&members[0]);
             if !cyclic {
                 continue;
             }
             let sol = howard_component(
-                edges, csr, comp, c as u32, members, warm_ok, policy, lambda, potential,
-                state, walk_pos, path, max_iters,
+                csr, comp, c as u32, members, warm_ok, policy, lambda, potential, state,
+                walk_pos, path, max_iters,
             )?;
             if best.as_ref().is_none_or(|b| sol.ratio > b.ratio) {
                 best = Some(sol);
@@ -529,10 +576,12 @@ fn tarjan_flat(
 }
 
 /// Howard's iteration on one strongly connected component, operating on
-/// global vertex ids with edges filtered by component membership.
+/// global vertex ids with edges filtered by component membership. All edge
+/// data is read from the CSR's structure-of-arrays mirror
+/// (`targets`/`costs`/`token_counts`), so the improvement loops stream
+/// three contiguous arrays; `policy` holds CSR positions.
 #[allow(clippy::too_many_arguments)]
 fn howard_component(
-    edges: &[Edge],
     csr: &Csr,
     comp: &[u32],
     cid: u32,
@@ -546,16 +595,19 @@ fn howard_component(
     path: &mut Vec<u32>,
     max_iters: usize,
 ) -> Result<CycleSolution, RatioGraphError> {
+    let to = csr.targets();
+    let cost = csr.costs();
+    let tokens = csr.token_counts();
+
     // Improvement tolerance scaled to THIS component's costs: a huge-cost
     // component elsewhere in the graph must not inflate eps here and
     // suppress genuine improvements (per-SCC scale, as in the historical
     // per-subgraph implementation).
     let mut scale = 1.0f64;
     for &vu in members {
-        for &ei in csr.out_edges(vu) {
-            let e = &edges[ei as usize];
-            if comp[e.to as usize] == cid {
-                scale = scale.max(e.cost.abs());
+        for p in csr.range(vu) {
+            if comp[to[p] as usize] == cid {
+                scale = scale.max(cost[p].abs());
             }
         }
     }
@@ -564,57 +616,55 @@ fn howard_component(
     // Policy: one in-component out-edge per vertex. Cold start picks the
     // max-cost edge (last one on ties, mirroring the historical `max_by`);
     // warm start keeps the previous policy edge when it is still valid for
-    // this vertex and component.
+    // this vertex and component (its position lies in the vertex's CSR
+    // range — same-shape graphs produce identical CSR layouts, so a kept
+    // position denotes the structurally same edge as in the prior solve).
     for &vu in members {
         let v = vu as usize;
+        let range = csr.range(vu);
         let keep = warm_ok && {
-            let pe = policy[v] as usize;
-            pe < edges.len() && {
-                let e = &edges[pe];
-                e.from == vu && comp[e.to as usize] == cid
-            }
+            let p = policy[v] as usize;
+            range.contains(&p) && comp[to[p] as usize] == cid
         };
         if keep {
             continue;
         }
-        let mut best_e = u32::MAX;
+        let mut best_p = u32::MAX;
         let mut best_cost = f64::NEG_INFINITY;
-        for &ei in csr.out_edges(vu) {
-            let e = &edges[ei as usize];
-            if comp[e.to as usize] != cid {
+        for p in range {
+            if comp[to[p] as usize] != cid {
                 continue;
             }
-            if e.cost >= best_cost {
-                best_cost = e.cost;
-                best_e = ei;
+            if cost[p] >= best_cost {
+                best_cost = cost[p];
+                best_p = p as u32;
             }
         }
-        debug_assert!(best_e != u32::MAX, "SCC vertex must have an in-component out-edge");
-        policy[v] = best_e;
+        debug_assert!(best_p != u32::MAX, "SCC vertex must have an in-component out-edge");
+        policy[v] = best_p;
     }
 
     for _ in 0..max_iters {
-        evaluate_policy(edges, members, policy, lambda, potential, state, walk_pos, path)?;
+        evaluate_policy(csr, members, policy, lambda, potential, state, walk_pos, path)?;
 
         // Phase 1: improve by cycle-ratio value.
         let mut changed = false;
         for &vu in members {
             let v = vu as usize;
-            let mut best_e = policy[v];
-            let mut best_l = lambda[edges[best_e as usize].to as usize];
-            for &ei in csr.out_edges(vu) {
-                let e = &edges[ei as usize];
-                if comp[e.to as usize] != cid {
+            let mut best_p = policy[v];
+            let mut best_l = lambda[to[best_p as usize] as usize];
+            for p in csr.range(vu) {
+                if comp[to[p] as usize] != cid {
                     continue;
                 }
-                let l = lambda[e.to as usize];
+                let l = lambda[to[p] as usize];
                 if l > best_l + eps {
                     best_l = l;
-                    best_e = ei;
+                    best_p = p as u32;
                 }
             }
-            if best_e != policy[v] {
-                policy[v] = best_e;
+            if best_p != policy[v] {
+                policy[v] = best_p;
                 changed = true;
             }
         }
@@ -626,31 +676,31 @@ fn howard_component(
         for &vu in members {
             let v = vu as usize;
             let cur = policy[v] as usize;
-            let cur_val = edges[cur].cost - lambda[v] * f64::from(edges[cur].tokens)
-                + potential[edges[cur].to as usize];
-            let mut best_e = policy[v];
+            let cur_val =
+                cost[cur] - lambda[v] * f64::from(tokens[cur]) + potential[to[cur] as usize];
+            let mut best_p = policy[v];
             let mut best_val = cur_val;
-            for &ei in csr.out_edges(vu) {
-                let e = &edges[ei as usize];
-                if comp[e.to as usize] != cid {
+            for p in csr.range(vu) {
+                let w = to[p] as usize;
+                if comp[w] != cid {
                     continue;
                 }
-                if lambda[e.to as usize] < lambda[v] - eps {
+                if lambda[w] < lambda[v] - eps {
                     continue;
                 }
-                let val = e.cost - lambda[v] * f64::from(e.tokens) + potential[e.to as usize];
+                let val = cost[p] - lambda[v] * f64::from(tokens[p]) + potential[w];
                 if val > best_val + eps {
                     best_val = val;
-                    best_e = ei;
+                    best_p = p as u32;
                 }
             }
-            if best_e != policy[v] {
-                policy[v] = best_e;
+            if best_p != policy[v] {
+                policy[v] = best_p;
                 changed = true;
             }
         }
         if !changed {
-            return extract_witness(edges, members, policy, lambda, state);
+            return extract_witness(csr, members, policy, lambda, state);
         }
     }
     Err(RatioGraphError::NoConvergence)
@@ -662,7 +712,7 @@ fn howard_component(
 /// arbitrary vertex of each policy cycle.
 #[allow(clippy::too_many_arguments)]
 fn evaluate_policy(
-    edges: &[Edge],
+    csr: &Csr,
     members: &[u32],
     policy: &[u32],
     lambda: &mut [f64],
@@ -671,6 +721,9 @@ fn evaluate_policy(
     walk_pos: &mut [u32],
     path: &mut Vec<u32>,
 ) -> Result<(), RatioGraphError> {
+    let to = csr.targets();
+    let cost = csr.costs();
+    let tok = csr.token_counts();
     // 0 = unvisited, 1 = on current walk, 2 = finished.
     for &v in members {
         state[v as usize] = 0;
@@ -685,32 +738,32 @@ fn evaluate_policy(
             state[u as usize] = 1;
             walk_pos[u as usize] = path.len() as u32;
             path.push(u);
-            u = edges[policy[u as usize] as usize].to;
+            u = to[policy[u as usize] as usize];
         }
 
         let settle_from = if state[u as usize] == 1 {
             // New policy cycle: path[pos..] are its vertices in order.
             let pos = walk_pos[u as usize] as usize;
             let cycle = &path[pos..];
-            let mut cost = 0.0;
-            let mut tokens: u64 = 0;
+            let mut c = 0.0;
+            let mut t: u64 = 0;
             for &v in cycle {
-                let e = &edges[policy[v as usize] as usize];
-                cost += e.cost;
-                tokens += u64::from(e.tokens);
+                let p = policy[v as usize] as usize;
+                c += cost[p];
+                t += u64::from(tok[p]);
             }
-            if tokens == 0 {
+            if t == 0 {
                 return Err(RatioGraphError::ZeroTokenCycle { cycle: cycle.to_vec() });
             }
-            let lam = cost / tokens as f64;
+            let lam = c / t as f64;
             // Root the potential at the cycle entry point `u = cycle[0]`.
             lambda[u as usize] = lam;
             potential[u as usize] = 0.0;
             for i in (1..cycle.len()).rev() {
                 let v = cycle[i] as usize;
-                let e = &edges[policy[v] as usize];
+                let p = policy[v] as usize;
                 lambda[v] = lam;
-                potential[v] = e.cost - lam * f64::from(e.tokens) + potential[e.to as usize];
+                potential[v] = cost[p] - lam * f64::from(tok[p]) + potential[to[p] as usize];
                 state[v] = 2;
             }
             state[u as usize] = 2;
@@ -723,9 +776,9 @@ fn evaluate_policy(
         // Settle the tail of the walk (path[..settle_from]) backwards.
         for i in (0..settle_from).rev() {
             let v = path[i] as usize;
-            let e = &edges[policy[v] as usize];
-            lambda[v] = lambda[e.to as usize];
-            potential[v] = e.cost - lambda[v] * f64::from(e.tokens) + potential[e.to as usize];
+            let p = policy[v] as usize;
+            lambda[v] = lambda[to[p] as usize];
+            potential[v] = cost[p] - lambda[v] * f64::from(tok[p]) + potential[to[p] as usize];
             state[v] = 2;
         }
     }
@@ -736,12 +789,15 @@ fn evaluate_policy(
 /// from the member with maximal λ until a vertex repeats. Reuses `state`
 /// (all members are at 2 after evaluation) with mark value 3.
 fn extract_witness(
-    edges: &[Edge],
+    csr: &Csr,
     members: &[u32],
     policy: &[u32],
     lambda: &[f64],
     state: &mut [u8],
 ) -> Result<CycleSolution, RatioGraphError> {
+    let to = csr.targets();
+    let cost = csr.costs();
+    let tok = csr.token_counts();
     let mut start = members[0];
     for &v in &members[1..] {
         if lambda[v as usize] >= lambda[start as usize] {
@@ -751,25 +807,25 @@ fn extract_witness(
     let mut u = start;
     while state[u as usize] != 3 {
         state[u as usize] = 3;
-        u = edges[policy[u as usize] as usize].to;
+        u = to[policy[u as usize] as usize];
     }
     // `u` is on the cycle; walk it once more to collect it.
     let mut cycle = Vec::new();
-    let mut cost = 0.0;
-    let mut tokens: u64 = 0;
+    let mut c = 0.0;
+    let mut t: u64 = 0;
     let first = u;
     loop {
         cycle.push(u);
-        let e = &edges[policy[u as usize] as usize];
-        cost += e.cost;
-        tokens += u64::from(e.tokens);
-        u = e.to;
+        let p = policy[u as usize] as usize;
+        c += cost[p];
+        t += u64::from(tok[p]);
+        u = to[p];
         if u == first {
             break;
         }
     }
-    debug_assert!(tokens > 0, "converged policy cycle must carry tokens");
-    Ok(CycleSolution { ratio: cost / tokens as f64, cycle, cost, tokens })
+    debug_assert!(t > 0, "converged policy cycle must carry tokens");
+    Ok(CycleSolution { ratio: c / t as f64, cycle, cost: c, tokens: t })
 }
 
 /// Karp on one component with **two rolling rows** instead of the full

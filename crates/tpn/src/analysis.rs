@@ -83,6 +83,13 @@ pub fn ratio_graph_into(net: &TimedEventGraph, g: &mut RatioGraph) {
 pub struct PeriodScratch {
     graph: RatioGraph,
     ws: maxplus::Workspace,
+    // Place indices grouped by *pre* transition (CSR layout): the edges of
+    // `graph` whose cost must change when that transition is re-timed.
+    // Built lazily on the first patched solve after a rebuild (the place
+    // structure is intact in the net, so it can always be derived there).
+    pre_offsets: Vec<u32>,
+    pre_places: Vec<u32>,
+    pre_valid: bool,
 }
 
 impl PeriodScratch {
@@ -94,6 +101,27 @@ impl PeriodScratch {
     /// Forgets the warm-start policy of the previous solve.
     pub fn clear_warm_start(&mut self) {
         self.ws.clear_warm_start();
+    }
+
+    fn build_pre_index(&mut self, net: &TimedEventGraph) {
+        let n = net.num_transitions();
+        self.pre_offsets.clear();
+        self.pre_offsets.resize(n + 1, 0);
+        for p in net.places() {
+            self.pre_offsets[p.pre.0 as usize + 1] += 1;
+        }
+        for i in 0..n {
+            self.pre_offsets[i + 1] += self.pre_offsets[i];
+        }
+        let mut cursor: Vec<u32> = self.pre_offsets[..n].to_vec();
+        self.pre_places.clear();
+        self.pre_places.resize(net.num_places(), 0);
+        for (i, p) in net.places().iter().enumerate() {
+            let c = &mut cursor[p.pre.0 as usize];
+            self.pre_places[*c as usize] = i as u32;
+            *c += 1;
+        }
+        self.pre_valid = true;
     }
 }
 
@@ -113,6 +141,60 @@ pub fn period_with(
     warm: bool,
 ) -> Result<Option<PeriodSolution>, AnalysisError> {
     ratio_graph_into(net, &mut scratch.graph);
+    // The place structure may have changed: the patch index of any previous
+    // net no longer applies.
+    scratch.pre_valid = false;
+    solve(scratch, warm)
+}
+
+/// Incremental variant of [`period_with`]: instead of rebuilding the
+/// cycle-ratio view, re-weights the edges fed by the `changed` transitions
+/// with their current firing times and re-solves.
+///
+/// **Caller contract:** the last rebuild solve on this `scratch`
+/// ([`period_with`]) must have been for a net with the *identical place
+/// structure* (same `pre`/`post`/`tokens` per place, in order) — only
+/// firing times may differ, and every transition whose time differs from
+/// that last solve must be listed in `changed` (duplicates and unchanged
+/// entries are harmless). Under that contract the patched graph is
+/// bit-for-bit the graph a full rebuild would produce, so the result — and,
+/// with `warm`, the whole solver trajectory — is identical to the
+/// rebuild path. The contract is upheld by
+/// `repwf_core::engine::PeriodEngine`, which only patches when the mapping
+/// change provably preserves the TPN shape.
+pub fn period_patched_with(
+    net: &TimedEventGraph,
+    scratch: &mut PeriodScratch,
+    warm: bool,
+    changed: &[TransitionId],
+) -> Result<Option<PeriodSolution>, AnalysisError> {
+    assert_eq!(
+        scratch.graph.num_vertices(),
+        net.num_transitions(),
+        "patched solve requires a scratch graph built from this net"
+    );
+    assert_eq!(
+        scratch.graph.num_edges(),
+        net.num_places(),
+        "patched solve requires a scratch graph built from this net"
+    );
+    if !scratch.pre_valid {
+        scratch.build_pre_index(net);
+    }
+    for &t in changed {
+        let time = net.transition(t).firing_time;
+        let (a, b) = (
+            scratch.pre_offsets[t.0 as usize] as usize,
+            scratch.pre_offsets[t.0 as usize + 1] as usize,
+        );
+        for &place in &scratch.pre_places[a..b] {
+            scratch.graph.set_edge_cost(place as usize, time);
+        }
+    }
+    solve(scratch, warm)
+}
+
+fn solve(scratch: &mut PeriodScratch, warm: bool) -> Result<Option<PeriodSolution>, AnalysisError> {
     let res = if warm {
         scratch.ws.max_cycle_ratio_warm(&scratch.graph)
     } else {
@@ -249,6 +331,58 @@ mod tests {
             let sol = period_with(&net, &mut scratch, true).unwrap().unwrap();
             assert!((sol.period - 1.5 * f64::from(k)).abs() < 1e-12, "k={k}");
         }
+    }
+
+    #[test]
+    fn patched_solve_matches_rebuild_bitwise() {
+        // Same structure, re-timed transitions: the patched path must equal
+        // a full rebuild bit for bit, warm or cold.
+        let build = |net: &mut TimedEventGraph, ta: f64, tb: f64| {
+            net.clear();
+            let a = net.add_transition(ta, "a");
+            let b = net.add_transition(tb, "b");
+            let c = net.add_transition(6.0, "c");
+            net.add_place(a, b, 0, "ab");
+            net.add_place(b, c, 0, "bc");
+            net.add_place(c, a, 2, "ca");
+            net.add_place(b, b, 1, "bb");
+        };
+        let mut net = TimedEventGraph::new();
+        let mut patched = PeriodScratch::new();
+        let mut rebuilt = PeriodScratch::new();
+        build(&mut net, 2.0, 4.0);
+        for warm in [false, true] {
+            let a = period_with(&net, &mut patched, warm).unwrap().unwrap();
+            let b = period_with(&net, &mut rebuilt, warm).unwrap().unwrap();
+            assert_eq!(a.period.to_bits(), b.period.to_bits());
+            for k in 1..=4u32 {
+                let (ta, tb) = (2.0 + f64::from(k), 4.0 + 0.5 * f64::from(k));
+                net.patch(TransitionId(0), ta);
+                net.patch(TransitionId(1), tb);
+                let p = period_patched_with(
+                    &net,
+                    &mut patched,
+                    warm,
+                    &[TransitionId(0), TransitionId(1)],
+                )
+                .unwrap()
+                .unwrap();
+                let r = period_with(&net, &mut rebuilt, warm).unwrap().unwrap();
+                assert_eq!(p.period.to_bits(), r.period.to_bits(), "warm={warm} k={k}");
+                assert_eq!(p.critical, r.critical);
+                assert_eq!(p.tokens, r.tokens);
+            }
+        }
+    }
+
+    #[test]
+    fn patch_returns_previous_time_and_updates() {
+        let mut net = TimedEventGraph::new();
+        let a = net.add_transition(3.0, "a");
+        net.add_place(a, a, 1, "self");
+        assert_eq!(net.patch(a, 9.0), 3.0);
+        let sol = period(&net).unwrap().unwrap();
+        assert!((sol.period - 9.0).abs() < 1e-12);
     }
 
     #[test]

@@ -78,6 +78,26 @@ impl TimedEventGraph {
         id
     }
 
+    /// Overwrites the firing time of transition `t` in place, returning the
+    /// previous value. Panics like [`TimedEventGraph::add_transition`] on a
+    /// negative or non-finite time.
+    ///
+    /// This is the delta-update primitive behind incremental period
+    /// analysis: a shape-preserving mapping change (e.g. swapping the
+    /// processors of two replica slots) re-times transitions of an
+    /// otherwise identical net, so callers patch firing times instead of
+    /// clearing and rebuilding the whole net. Note that the transition's
+    /// label is left untouched — patch only nets built without labels (or
+    /// accept stale ones).
+    pub fn patch(&mut self, t: TransitionId, firing_time: f64) -> f64 {
+        assert!(
+            firing_time.is_finite() && firing_time >= 0.0,
+            "firing time must be finite and non-negative, got {firing_time}"
+        );
+        let slot = &mut self.transitions[t.0 as usize].firing_time;
+        std::mem::replace(slot, firing_time)
+    }
+
     /// Adds a place from `pre` to `post` with `tokens` initial tokens.
     pub fn add_place(
         &mut self,
