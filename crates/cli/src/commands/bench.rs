@@ -1,11 +1,12 @@
 //! `repwf bench` — the tracked benchmark suite of the period engine.
 //!
-//! Times the four hot kernels of the reproduction — single-instance
+//! Times the five hot kernels of the reproduction — single-instance
 //! period solves (cold / engine-reused / warm-started), the parallel
-//! campaign, annealing over mapping space, and the neighbor-move oracle
-//! (incremental patched solves vs. cold one-shot evaluations) — and
-//! writes the results to `BENCH_period.json` so the perf trajectory of
-//! the repository is recorded in-tree and CI can compare runs against the
+//! campaign, annealing over mapping space, the neighbor-move oracle
+//! (incremental patched solves vs. cold one-shot evaluations), and the
+//! shape-cached patched solve vs. a forced full rebuild — and writes the
+//! results to `BENCH_period.json` so the perf trajectory of the
+//! repository is recorded in-tree and CI can compare runs against the
 //! committed baseline.
 //!
 //! Two kinds of numbers are reported:
@@ -259,6 +260,42 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let patched = oracle.into_engine().patched_solves();
     assert!(patched > 0, "neighbor walk must exercise the patch path (got {patched})");
 
+    // --- kernel 5: shape-cached patched solve vs forced full rebuild ---
+    //
+    // The same swap walk through the same engine configuration; the only
+    // difference is that the rebuild engine forgets its patch state before
+    // every call, so each solve pays the TPN rebuild, the ratio-graph
+    // rebuild, the CSR construction and the Tarjan condensation that a
+    // shape-preserving patched solve (re-time + cost re-weight + warm
+    // Howard) skips entirely. The ratio is `patched_solve_speedup` — the
+    // price of the structural work the shape cache eliminates.
+    let solve_reps = if quick { 3 } else { 8 };
+    let mut patched_engine = PeriodEngine::new().warm_start(true);
+    lines.push(time_kernel("solve_patched", solve_reps, neighbor_steps as u64, || {
+        for (m, &reference) in walk.iter().zip(&reference_walk) {
+            let r = patched_engine
+                .compute_mapping(&inst.pipeline, &inst.platform, m, CommModel::Strict, Method::FullTpn)
+                .expect("walk mappings solve");
+            assert_eq!(r.period.to_bits(), reference.to_bits());
+        }
+    }));
+    assert_eq!(
+        (patched_engine.csr_builds(), patched_engine.tarjan_runs()),
+        (1, 1),
+        "patched solves must skip CSR builds and Tarjan runs"
+    );
+    let mut rebuild_engine = PeriodEngine::new().warm_start(true);
+    lines.push(time_kernel("solve_rebuild", solve_reps, neighbor_steps as u64, || {
+        for (m, &reference) in walk.iter().zip(&reference_walk) {
+            rebuild_engine.reset_patch_state();
+            let r = rebuild_engine
+                .compute_mapping(&inst.pipeline, &inst.platform, m, CommModel::Strict, Method::FullTpn)
+                .expect("walk mappings solve");
+            assert_eq!(r.period.to_bits(), reference.to_bits());
+        }
+    }));
+    assert_eq!(rebuild_engine.patched_solves(), 0, "rebuild engine must never patch");
+
     // --- dimensionless indices (what --check gates on) ---
     let per_iter = |name: &str| {
         lines
@@ -272,6 +309,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ("warm_start_speedup", per_iter("period_full_tpn_cold") / per_iter("period_full_tpn_warm")),
         ("campaign_parallel_speedup", campaign_speedup),
         ("neighbor_eval_speedup", per_iter("neighbor_eval_cold") / per_iter("neighbor_eval_incremental")),
+        ("patched_solve_speedup", per_iter("solve_rebuild") / per_iter("solve_patched")),
     ];
 
     // --- report ---

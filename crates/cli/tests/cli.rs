@@ -89,10 +89,13 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
         "anneal_strict",
         "neighbor_eval_cold",
         "neighbor_eval_incremental",
+        "solve_patched",
+        "solve_rebuild",
         "engine_reuse_speedup",
         "warm_start_speedup",
         "campaign_parallel_speedup",
         "neighbor_eval_speedup",
+        "patched_solve_speedup",
     ] {
         assert!(doc.contains(name), "missing {name} in:\n{doc}");
     }

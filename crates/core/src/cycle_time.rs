@@ -56,34 +56,47 @@ pub fn partner_residues(m_prev: usize, m_cur: usize, beta: usize) -> (Vec<usize>
     (senders, l)
 }
 
+/// Computes the cycle-time decomposition of the replicas of one stage into
+/// a caller-owned buffer (cleared first) — the per-stage primitive behind
+/// [`cycle_times_view`] and the incremental [`MctCache`]. A stage's
+/// decomposition depends only on its own processor list and those of its
+/// immediate neighbors (the round-robin partners feeding `C_in`/`C_out`).
+pub fn stage_cycle_times_into(v: InstanceView<'_>, i: StageId, out: &mut Vec<CycleTime>) {
+    out.clear();
+    let n = v.num_stages();
+    let procs = v.mapping.procs(i);
+    let m_i = procs.len();
+    for (beta, &u) in procs.iter().enumerate() {
+        let c_comp = v.comp_time(i, u) / m_i as f64;
+        let c_in = if i == 0 {
+            0.0
+        } else {
+            let prev = v.mapping.procs(i - 1);
+            let (senders, l) = partner_residues(prev.len(), m_i, beta);
+            let total: f64 = senders.iter().map(|&a| v.comm_time(i - 1, prev[a], u)).sum();
+            total / l as f64
+        };
+        let c_out = if i + 1 == n {
+            0.0
+        } else {
+            let next = v.mapping.procs(i + 1);
+            let (receivers, l) = partner_residues(next.len(), m_i, beta);
+            let total: f64 = receivers.iter().map(|&b| v.comm_time(i, u, next[b])).sum();
+            total / l as f64
+        };
+        out.push(CycleTime { proc: u, stage: i, replica_index: beta, c_in, c_comp, c_out });
+    }
+}
+
 /// Computes the cycle-time decomposition of every mapped processor of a
 /// borrowed view.
 pub fn cycle_times_view(v: InstanceView<'_>) -> Vec<CycleTime> {
     let n = v.num_stages();
     let mut out = Vec::new();
+    let mut stage = Vec::new();
     for i in 0..n {
-        let procs = v.mapping.procs(i);
-        let m_i = procs.len();
-        for (beta, &u) in procs.iter().enumerate() {
-            let c_comp = v.comp_time(i, u) / m_i as f64;
-            let c_in = if i == 0 {
-                0.0
-            } else {
-                let prev = v.mapping.procs(i - 1);
-                let (senders, l) = partner_residues(prev.len(), m_i, beta);
-                let total: f64 = senders.iter().map(|&a| v.comm_time(i - 1, prev[a], u)).sum();
-                total / l as f64
-            };
-            let c_out = if i + 1 == n {
-                0.0
-            } else {
-                let next = v.mapping.procs(i + 1);
-                let (receivers, l) = partner_residues(next.len(), m_i, beta);
-                let total: f64 = receivers.iter().map(|&b| v.comm_time(i, u, next[b])).sum();
-                total / l as f64
-            };
-            out.push(CycleTime { proc: u, stage: i, replica_index: beta, c_in, c_comp, c_out });
-        }
+        stage_cycle_times_into(v, i, &mut stage);
+        out.append(&mut stage);
     }
     out
 }
@@ -107,6 +120,115 @@ pub fn max_cycle_time_view(v: InstanceView<'_>, model: CommModel) -> (f64, Cycle
 /// The maximum cycle-time `M_ct` and the processor attaining it.
 pub fn max_cycle_time(inst: &Instance, model: CommModel) -> (f64, CycleTime) {
     max_cycle_time_view(inst.view(), model)
+}
+
+/// Incremental `M_ct` tracker for a mapping search: caches the per-stage
+/// cycle-time decompositions and, on each call, recomputes only the stages
+/// whose processor lists changed since the previous call — plus their
+/// immediate neighbors, whose `C_in`/`C_out` depend on the partners there.
+/// A swap move touches two stages, so an evaluation re-examines at most
+/// six of them instead of rescanning every mapped processor.
+///
+/// **Contract:** one cache serves one fixed pipeline/platform pair (the
+/// [`crate::engine::MappingOracle`] session guarantee) — only the
+/// *mapping* may vary between calls. The communication model may vary
+/// freely: the cached decompositions are model-independent.
+///
+/// Results are bit-for-bit those of [`max_cycle_time_view`], including the
+/// tie-breaking choice of the critical processor (the *last* maximum in
+/// stage-major slot order, matching `Iterator::max_by`); debug builds
+/// cross-check every call against the full rescan.
+#[derive(Debug, Clone, Default)]
+pub struct MctCache {
+    /// Cached per-stage decompositions (slot-major), valid for `prev`.
+    times: Vec<Vec<CycleTime>>,
+    /// The per-stage processor lists the cache was computed against.
+    prev: Vec<Vec<ProcId>>,
+    /// Scratch: which stages' processor lists changed since `prev`.
+    changed: Vec<bool>,
+    /// Total per-stage recomputations performed (diagnostics: tests assert
+    /// locality through this).
+    stage_recomputes: u64,
+    /// Total evaluations served.
+    evals: u64,
+}
+
+impl MctCache {
+    /// An empty cache (the first evaluation recomputes every stage).
+    pub fn new() -> Self {
+        MctCache::default()
+    }
+
+    /// Drops every cached decomposition: the next call recomputes all
+    /// stages. Required if the pipeline or platform behind the views ever
+    /// changes (see the type-level contract).
+    pub fn invalidate(&mut self) {
+        self.prev.clear();
+        self.times.clear();
+    }
+
+    /// Number of per-stage recomputations performed over the cache's
+    /// lifetime. A full rescan costs `num_stages` of these; a cached
+    /// evaluation after a swap costs at most six.
+    pub fn stage_recomputes(&self) -> u64 {
+        self.stage_recomputes
+    }
+
+    /// Number of evaluations served.
+    pub fn evals(&self) -> u64 {
+        self.evals
+    }
+
+    /// The maximum cycle-time `M_ct` of `v` and the processor attaining
+    /// it, recomputing only the stages touched since the previous call.
+    pub fn max_cycle_time(&mut self, v: InstanceView<'_>, model: CommModel) -> (f64, CycleTime) {
+        self.evals += 1;
+        let n = v.num_stages();
+        let full = self.prev.len() != n;
+        if full {
+            self.prev.resize(n, Vec::new());
+            self.times.resize(n, Vec::new());
+        }
+        self.changed.clear();
+        self.changed.resize(n, false);
+        for i in 0..n {
+            self.changed[i] = full || self.prev[i][..] != *v.mapping.procs(i);
+        }
+        for i in 0..n {
+            let dirty = self.changed[i]
+                || (i > 0 && self.changed[i - 1])
+                || (i + 1 < n && self.changed[i + 1]);
+            if dirty {
+                stage_cycle_times_into(v, i, &mut self.times[i]);
+                self.stage_recomputes += 1;
+            }
+            if self.changed[i] {
+                self.prev[i].clear();
+                self.prev[i].extend_from_slice(v.mapping.procs(i));
+            }
+        }
+        // Scan in the exact order of `max_cycle_time_view` (stage-major,
+        // slot order), keeping the LAST maximum on ties like
+        // `Iterator::max_by` — bit-identical winner, bit-identical value.
+        let mut best: Option<&CycleTime> = None;
+        for stage in &self.times {
+            for ct in stage {
+                if best.is_none_or(|b| ct.exec(model) >= b.exec(model)) {
+                    best = Some(ct);
+                }
+            }
+        }
+        let best = best.expect("instance has at least one stage and processor").clone();
+        let out = (best.exec(model), best);
+        debug_assert!(
+            {
+                let (m, who) = max_cycle_time_view(v, model);
+                m.to_bits() == out.0.to_bits() && who == out.1
+            },
+            "incremental M_ct diverged from the full rescan"
+        );
+        out
+    }
 }
 
 #[cfg(test)]
@@ -190,6 +312,101 @@ mod tests {
         let p0 = cts.iter().find(|c| c.proc == 0).unwrap();
         assert!((p0.exec(CommModel::Strict) - (100.0 + 418.0 / 12.0)).abs() < 1e-12);
         assert!((p0.exec(CommModel::Overlap) - 100.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn mct_cache_matches_full_rescan_under_random_mutations() {
+        use rand::rngs::StdRng;
+        use rand::{Rng, SeedableRng};
+        let mut rng = StdRng::seed_from_u64(42);
+        let n = 4;
+        let p = 9;
+        let pipeline =
+            Pipeline::new((0..n).map(|_| 1.0 + 9.0 * rng.gen::<f64>()).collect(), vec![1.0; n - 1])
+                .unwrap();
+        let mut platform = Platform::uniform(p, 1.0, 1.0);
+        for u in 0..p {
+            platform.set_speed(u, 0.5 + rng.gen::<f64>());
+            for v in 0..p {
+                platform.set_bandwidth(u, v, 0.3 + rng.gen::<f64>());
+            }
+        }
+        let mut assignment: Vec<Vec<usize>> = (0..n).map(|i| vec![i]).collect();
+        for u in n..p {
+            assignment[rng.gen_range(0..n)].push(u);
+        }
+        let mut cache = MctCache::new();
+        for step in 0..200 {
+            // Random in-place mutation: usually a swap, sometimes a shift.
+            let (i, j) = (rng.gen_range(0..n), rng.gen_range(0..n));
+            if i != j {
+                if rng.gen_range(0..4) == 0 && assignment[i].len() > 1 {
+                    let k = rng.gen_range(0..assignment[i].len());
+                    let u = assignment[i].remove(k);
+                    assignment[j].push(u);
+                } else {
+                    let ki = rng.gen_range(0..assignment[i].len());
+                    let kj = rng.gen_range(0..assignment[j].len());
+                    let (a, b) = (assignment[i][ki], assignment[j][kj]);
+                    assignment[i][ki] = b;
+                    assignment[j][kj] = a;
+                }
+            }
+            let mapping = Mapping::new(assignment.clone()).unwrap();
+            let view = InstanceView::new(&pipeline, &platform, &mapping).unwrap();
+            // Alternate the model call-to-call: the cached decompositions
+            // are model-independent and must serve both.
+            let model = if step % 2 == 0 { CommModel::Strict } else { CommModel::Overlap };
+            let (inc, who_inc) = cache.max_cycle_time(view, model);
+            let (cold, who_cold) = max_cycle_time_view(view, model);
+            assert_eq!(inc.to_bits(), cold.to_bits(), "step {step}");
+            assert_eq!(who_inc, who_cold, "step {step}");
+        }
+        assert_eq!(cache.evals(), 200);
+        assert!(
+            cache.stage_recomputes() < 200 * n as u64,
+            "cache never skipped a stage: {} recomputes",
+            cache.stage_recomputes()
+        );
+    }
+
+    #[test]
+    fn mct_cache_recomputes_only_touched_stages() {
+        // 8 stages, two replicas each; swapping between stages 0 and 1
+        // must re-examine exactly stages 0, 1 and 2.
+        let n = 8;
+        let pipeline = Pipeline::new(vec![4.0; n], vec![1.0; n - 1]).unwrap();
+        let mut platform = Platform::uniform(2 * n, 1.0, 1.0);
+        for u in 0..2 * n {
+            platform.set_speed(u, 1.0 + 0.05 * u as f64);
+        }
+        let mut assignment: Vec<Vec<usize>> = (0..n).map(|i| vec![2 * i, 2 * i + 1]).collect();
+        let mut cache = MctCache::new();
+        let view = |a: &[Vec<usize>]| Mapping::new(a.to_vec()).unwrap();
+        let m0 = view(&assignment);
+        cache.max_cycle_time(InstanceView::new(&pipeline, &platform, &m0).unwrap(), CommModel::Strict);
+        assert_eq!(cache.stage_recomputes(), n as u64, "first call recomputes everything");
+        for k in 0..10u64 {
+            assignment[0].swap(0, 1);
+            assignment[1].swap(0, 1);
+            let (a, b) = (assignment[0][0], assignment[1][0]);
+            assignment[0][0] = b;
+            assignment[1][0] = a;
+            let m = view(&assignment);
+            cache.max_cycle_time(
+                InstanceView::new(&pipeline, &platform, &m).unwrap(),
+                CommModel::Strict,
+            );
+            assert_eq!(
+                cache.stage_recomputes(),
+                n as u64 + 3 * (k + 1),
+                "swap between stages 0 and 1 must touch stages 0..=2 only"
+            );
+        }
+        // A stage-count change forces a full recompute.
+        cache.invalidate();
+        cache.max_cycle_time(InstanceView::new(&pipeline, &platform, &view(&assignment)).unwrap(), CommModel::Overlap);
+        assert_eq!(cache.stage_recomputes(), n as u64 + 30 + n as u64);
     }
 
     #[test]

@@ -36,12 +36,25 @@
 //! in place ([`crate::tpn_build::retime_tpn_into`]), re-weight the edges
 //! of the cycle-ratio graph fed by the changed transitions
 //! (`tpn::analysis::period_patched_with`), and re-solve — no TPN rebuild,
-//! no ratio-graph rebuild. The patched state is bit-for-bit what a
-//! rebuild would produce, so results (and warm-started solver
-//! trajectories) are identical to the cold path; this is pinned by the
-//! property tests in `crates/core/tests/incremental_props.rs`. Changes
-//! that alter any replica count (add/remove/move a replica) or the
-//! communication model fall back to the full rebuild transparently.
+//! no ratio-graph rebuild. The solve itself is **shape-cached**: the
+//! engine's shape signature is threaded down to the `maxplus::Workspace`
+//! as a structure token, so a patched solve also skips the CSR
+//! construction and Tarjan's condensation entirely (zero CSR builds, zero
+//! Tarjan runs — asserted through [`PeriodEngine::csr_builds`] /
+//! [`PeriodEngine::tarjan_runs`]) and jumps straight to warm Howard after
+//! one cost sweep. The patched state is bit-for-bit what a rebuild would
+//! produce, so results (and warm-started solver trajectories) are
+//! identical to the cold path; this is pinned by the property tests in
+//! `crates/core/tests/incremental_props.rs`. Changes that alter any
+//! replica count (add/remove/move a replica) or the communication model
+//! fall back to the full rebuild transparently, and any errored call
+//! drops both the patch precondition and the cached condensation.
+//!
+//! On top of the solver, [`MappingOracle`] keeps the `M_ct` side
+//! incremental too: a per-session [`MctCache`] caches per-stage
+//! cycle-times and re-examines only the stages a candidate actually
+//! changed (plus their round-robin partners), instead of rescanning every
+//! mapped processor per oracle call.
 //!
 //! # Warm starts
 //!
@@ -63,7 +76,7 @@
 //! the bit-identical-at-any-thread-count guarantee. Sequential searches
 //! (`repwf_map::local_search`, `repwf_map::annealing`) enable warm starts.
 
-use crate::cycle_time::max_cycle_time_view;
+use crate::cycle_time::{max_cycle_time_view, MctCache};
 use crate::model::{CommModel, Instance, InstanceView, Mapping, ModelError, Pipeline, Platform};
 use crate::overlap_poly::{overlap_period_view, Bottleneck};
 use crate::paths::mapping_num_paths;
@@ -173,6 +186,29 @@ impl PeriodEngine {
         self.patched_solves
     }
 
+    /// Number of CSR adjacency builds the solver workspace has performed.
+    /// A shape-preserving patched solve performs **zero** — the structure
+    /// cache serves the condensation of the last rebuild — so on a swap
+    /// walk this stays at the number of rebuild solves. Diagnostics for
+    /// tests and the tracked benchmark suite.
+    pub fn csr_builds(&self) -> u64 {
+        self.scratch.csr_builds()
+    }
+
+    /// Number of Tarjan condensation runs the solver workspace has
+    /// performed (see [`PeriodEngine::csr_builds`]).
+    pub fn tarjan_runs(&self) -> u64 {
+        self.scratch.tarjan_runs()
+    }
+
+    /// Forgets the patch precondition: the next full-TPN solve rebuilds
+    /// the arena net, the ratio graph and the condensation from scratch
+    /// (results are unaffected — the patched state is always bit-for-bit a
+    /// rebuild). Used by the tracked benches to price the rebuild path.
+    pub fn reset_patch_state(&mut self) {
+        self.shape = None;
+    }
+
     /// Computes the per-data-set period of a mapped workflow, reusing the
     /// engine's arenas. Results are identical to
     /// [`crate::period::compute_period_with`] with the same options.
@@ -196,7 +232,38 @@ impl PeriodEngine {
         model: CommModel,
         method: Method,
     ) -> Result<PeriodReport, PeriodError> {
-        let (mct, who) = max_cycle_time_view(view, model);
+        self.compute_view_mct(view, model, method, None)
+    }
+
+    /// [`PeriodEngine::compute_view`] with an optional incremental
+    /// [`MctCache`] (the [`MappingOracle`] owns one per session). Any
+    /// errored call — build failure, solver failure, method mismatch —
+    /// forgets the patch precondition, so the next solve rebuilds cold.
+    fn compute_view_mct(
+        &mut self,
+        view: InstanceView<'_>,
+        model: CommModel,
+        method: Method,
+        mct_cache: Option<&mut MctCache>,
+    ) -> Result<PeriodReport, PeriodError> {
+        let res = self.compute_view_impl(view, model, method, mct_cache);
+        if res.is_err() {
+            self.shape = None;
+        }
+        res
+    }
+
+    fn compute_view_impl(
+        &mut self,
+        view: InstanceView<'_>,
+        model: CommModel,
+        method: Method,
+        mct_cache: Option<&mut MctCache>,
+    ) -> Result<PeriodReport, PeriodError> {
+        let (mct, who) = match mct_cache {
+            Some(cache) => cache.max_cycle_time(view, model),
+            None => max_cycle_time_view(view, model),
+        };
         let m = mapping_num_paths(view.mapping).ok_or(BuildError::PathCountOverflow)?;
 
         let resolved = match method {
@@ -264,23 +331,23 @@ impl PeriodEngine {
                         &self.changed,
                     )
                 } else {
-                    self.shape = None;
+                    // Reuse the previous shape's count buffer for the new
+                    // signature (the take also drops the stale patch
+                    // precondition before the arena is overwritten).
+                    let mut replicas =
+                        self.shape.take().map(|s| s.replicas).unwrap_or_default();
                     build_tpn_view_into(view, model, &self.opts, &mut self.net)?;
                     let res = tpn::analysis::period_with(&self.net, &mut self.scratch, self.warm);
                     if res.is_ok() && !self.opts.labels {
-                        self.shape =
-                            Some(TpnShape { model, replicas: view.mapping.replica_counts() });
+                        view.mapping.replica_counts_into(&mut replicas);
+                        self.shape = Some(TpnShape { model, replicas });
                     }
                     res
                 };
-                let sol = match solved {
-                    Ok(sol) => sol,
-                    Err(e) => {
-                        self.shape = None;
-                        return Err(e.into());
-                    }
-                }
-                .expect("mapping TPNs always contain circuits");
+                // On error `compute_view_mct` forgets the patch state (and
+                // the workspace already dropped its structure cache).
+                let sol = solved.map_err(PeriodError::from)?
+                    .expect("mapping TPNs always contain circuits");
                 let critical = if self.opts.labels {
                     let names: Vec<&str> = sol
                         .critical
@@ -387,6 +454,11 @@ pub struct MappingOracle<'a> {
     speed_ok: Vec<bool>,
     /// `bw_ok[u·p + v]`: link `u → v` has a positive finite bandwidth.
     bw_ok: Vec<bool>,
+    /// Incremental `M_ct`: per-stage cycle-times cached across candidate
+    /// evaluations; a move re-examines only the stages it touched (and
+    /// their neighbors). Sound here because the oracle pins one
+    /// pipeline/platform pair for its whole lifetime.
+    mct: MctCache,
 }
 
 impl<'a> MappingOracle<'a> {
@@ -412,7 +484,7 @@ impl<'a> MappingOracle<'a> {
                 b.is_finite() && b > 0.0
             })
             .collect();
-        MappingOracle { pipeline, platform, engine, speed_ok, bw_ok }
+        MappingOracle { pipeline, platform, engine, speed_ok, bw_ok, mct: MctCache::new() }
     }
 
     /// Enables/disables warm-started policy iteration on the owned engine
@@ -440,6 +512,13 @@ impl<'a> MappingOracle<'a> {
     /// Releases the engine (its arenas stay warm for the next oracle).
     pub fn into_engine(self) -> PeriodEngine {
         self.engine
+    }
+
+    /// The oracle's incremental `M_ct` cache (diagnostics: its counters
+    /// let tests assert that a move re-examined only the stages it
+    /// touched).
+    pub fn mct_cache(&self) -> &MctCache {
+        &self.mct
     }
 
     /// Validates a candidate against the borrowed pair — exactly the
@@ -491,7 +570,7 @@ impl<'a> MappingOracle<'a> {
         self.validate(mapping)?;
         let view =
             InstanceView { pipeline: self.pipeline, platform: self.platform, mapping };
-        self.engine.compute_view(view, model, method)
+        self.engine.compute_view_mct(view, model, method, Some(&mut self.mct))
     }
 }
 
@@ -591,6 +670,88 @@ mod tests {
             // All but the first solve share the shape: 7 patched solves.
             assert_eq!(incremental.patched_solves(), 7, "{model}");
         }
+    }
+
+    #[test]
+    fn patched_solves_skip_csr_and_tarjan() {
+        // The tentpole acceptance check: after the first (rebuild) solve,
+        // every shape-preserving solve performs zero CSR builds and zero
+        // Tarjan runs — the structure cache serves the condensation.
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let mut engine = PeriodEngine::new().warm_start(true);
+            engine.compute(&swapped(0), model, Method::FullTpn).unwrap();
+            assert_eq!((engine.csr_builds(), engine.tarjan_runs()), (1, 1), "{model}");
+            for k in 1..8 {
+                engine.compute(&swapped(k), model, Method::FullTpn).unwrap();
+            }
+            assert_eq!(engine.patched_solves(), 7, "{model}");
+            assert_eq!(
+                (engine.csr_builds(), engine.tarjan_runs()),
+                (1, 1),
+                "{model}: patched solves must not rebuild CSR or rerun Tarjan"
+            );
+        }
+    }
+
+    #[test]
+    fn errored_solve_clears_patch_state_and_rebuilds_cold() {
+        // An errored call — even one that leaves the arenas untouched,
+        // like a method/model mismatch — must drop the patch precondition
+        // AND the cached condensation, so the next call rebuilds cold.
+        let mut engine = PeriodEngine::new().warm_start(true);
+        let a = swapped(0);
+        engine.compute(&a, CommModel::Strict, Method::FullTpn).unwrap();
+        engine.compute(&swapped(1), CommModel::Strict, Method::FullTpn).unwrap();
+        assert_eq!(engine.patched_solves(), 1);
+        assert_eq!(engine.csr_builds(), 1);
+        assert!(matches!(
+            engine.compute(&a, CommModel::Strict, Method::Polynomial),
+            Err(PeriodError::PolynomialNeedsOverlap)
+        ));
+        let before = engine.patched_solves();
+        let r = engine.compute(&swapped(2), CommModel::Strict, Method::FullTpn).unwrap();
+        assert_eq!(engine.patched_solves(), before, "errored solve must force a rebuild");
+        assert_eq!(engine.csr_builds(), 2);
+        let cold = PeriodEngine::new().compute(&swapped(2), CommModel::Strict, Method::FullTpn).unwrap();
+        assert_eq!(r.period.to_bits(), cold.period.to_bits());
+        // And the engine patches again from the fresh state.
+        engine.compute(&swapped(3), CommModel::Strict, Method::FullTpn).unwrap();
+        assert_eq!(engine.patched_solves(), before + 1);
+    }
+
+    #[test]
+    fn reset_patch_state_forces_full_rebuild() {
+        let mut engine = PeriodEngine::new().warm_start(true);
+        engine.compute(&swapped(0), CommModel::Strict, Method::FullTpn).unwrap();
+        engine.reset_patch_state();
+        let r = engine.compute(&swapped(1), CommModel::Strict, Method::FullTpn).unwrap();
+        assert_eq!(engine.patched_solves(), 0);
+        assert_eq!(engine.csr_builds(), 2);
+        let cold = PeriodEngine::new().compute(&swapped(1), CommModel::Strict, Method::FullTpn).unwrap();
+        assert_eq!(r.period.to_bits(), cold.period.to_bits());
+    }
+
+    #[test]
+    fn oracle_mct_cache_matches_rescan_and_stays_local() {
+        let pipeline = Pipeline::new(vec![5.0, 7.0], vec![3.0]).unwrap();
+        let mut platform = Platform::uniform(5, 1.0, 2.0);
+        for u in 0..5 {
+            platform.set_speed(u, 1.0 + 0.2 * u as f64);
+        }
+        let mut oracle = MappingOracle::new(&pipeline, &platform).warm_start(true);
+        for k in 0..6 {
+            let i = swapped(k);
+            let r = oracle.compute(&i.mapping, CommModel::Strict, Method::FullTpn).unwrap();
+            let (mct, _) = crate::cycle_time::max_cycle_time_view(
+                InstanceView::new(&pipeline, &platform, &i.mapping).unwrap(),
+                CommModel::Strict,
+            );
+            assert_eq!(r.mct.to_bits(), mct.to_bits(), "k={k}");
+        }
+        assert_eq!(oracle.mct_cache().evals(), 6);
+        // 2 stages: even a full recompute is 2 stages; the first eval pays
+        // 2, the rest at most 2 each — just pin that the cache is live.
+        assert!(oracle.mct_cache().stage_recomputes() >= 2);
     }
 
     #[test]

@@ -253,7 +253,18 @@ impl Mapping {
 
     /// All replication factors `(m_0, …, m_{n−1})`.
     pub fn replica_counts(&self) -> Vec<usize> {
-        self.assignment.iter().map(Vec::len).collect()
+        let mut out = Vec::new();
+        self.replica_counts_into(&mut out);
+        out
+    }
+
+    /// Writes the replication factors into `out` (cleared first) — the
+    /// allocation-free form of [`Mapping::replica_counts`] for callers
+    /// that snapshot counts in a hot loop (the period engine's shape
+    /// signature, the search loops' pass snapshots).
+    pub fn replica_counts_into(&self, out: &mut Vec<usize>) {
+        out.clear();
+        out.extend(self.assignment.iter().map(Vec::len));
     }
 
     /// True iff no stage is replicated (`m_i = 1` for all `i`).

@@ -3,7 +3,11 @@
 //! bit** with a cold engine that rebuilds the TPN from scratch at every
 //! step — for both communication models, across shape-preserving moves
 //! (swaps: the patch path) and shape-changing moves (add/remove/shift: the
-//! rebuild fallback), interleaved arbitrarily.
+//! rebuild fallback), interleaved arbitrarily. The comparison covers the
+//! period, the incremental `M_ct` (the oracle's `MctCache` vs. the cold
+//! engine's full rescan) and the critical-resource description, and the
+//! workspace counters pin that every patched solve was structurally free:
+//! zero CSR builds, zero Tarjan runs.
 //!
 //! "Bit for bit" is exact: the patched TPN and re-weighted cycle-ratio
 //! graph are required to be indistinguishable from freshly built ones, and
@@ -119,8 +123,22 @@ fn check_walk(model: CommModel, seed: u64, moves: usize) -> u64 {
         assert_eq!(incremental.num_paths, cold.num_paths);
         assert_eq!(incremental.critical, cold.critical, "{model} seed {seed} step {step}");
     }
-    let patched = oracle.into_engine().patched_solves();
+    assert_eq!(oracle.mct_cache().evals(), moves as u64);
+    let engine = oracle.into_engine();
+    let patched = engine.patched_solves();
     assert!(patched > 0, "{model} seed {seed}: walk never exercised the patch path");
+    // Every solve is a full-TPN solve; rebuild solves condense exactly
+    // once, patched solves must not touch the structure at all.
+    assert_eq!(
+        engine.csr_builds(),
+        moves as u64 - patched,
+        "{model} seed {seed}: a patched solve built a CSR"
+    );
+    assert_eq!(
+        engine.tarjan_runs(),
+        moves as u64 - patched,
+        "{model} seed {seed}: a patched solve ran Tarjan"
+    );
     patched
 }
 

@@ -79,8 +79,21 @@ pub struct ExperimentOutcome {
 
 impl ExperimentOutcome {
     /// Relative gap `(P̂ − M_ct)/M_ct` (0 when a critical resource exists).
+    ///
+    /// Clamped at 0.0: float noise when the period sits exactly on `M_ct`
+    /// — or a simulator-fallback estimate landing just *below* it — must
+    /// never produce a negative gap (whose sign bit would out-rank every
+    /// positive pattern in the bitwise streaming maximum), and a NaN from
+    /// a degenerate draw clamps to 0.0 too. An infinite period passes
+    /// through (visible in the CSV dump); the aggregates reject
+    /// non-finite gaps separately.
     pub fn gap(&self) -> f64 {
-        ((self.period - self.mct) / self.mct).max(0.0)
+        let g = (self.period - self.mct) / self.mct;
+        if g > 0.0 {
+            g
+        } else {
+            0.0
+        }
     }
 
     /// True iff no resource is critical: the period strictly exceeds `M_ct`.
@@ -105,11 +118,14 @@ impl CampaignResult {
             .count()
     }
 
-    /// Maximum relative gap over all experiments.
+    /// Maximum relative gap over all experiments. Non-finite gaps (an
+    /// infinite period from a degenerate draw) are skipped, matching the
+    /// streaming aggregate of [`run_campaign_with`].
     pub fn max_gap(&self) -> f64 {
         self.outcomes
             .iter()
             .map(ExperimentOutcome::gap)
+            .filter(|g| g.is_finite())
             .fold(0.0, f64::max)
     }
 
@@ -143,6 +159,23 @@ pub struct Progress {
 
 /// Progress callback type: invoked from worker threads.
 pub type ProgressFn<'a> = &'a (dyn Fn(Progress) + Sync);
+
+/// Folds one gap into the bitwise streaming maximum.
+///
+/// For **non-negative finite** IEEE-754 doubles the bit pattern is
+/// monotone in the value, so `fetch_max` on the bits is a numeric max —
+/// but only on that domain: a negative value's sign bit out-ranks every
+/// positive pattern, and NaN/∞ patterns sit above every real gap. The
+/// guard rejects those outright instead of trusting a `debug_assert`
+/// (release builds used to fold the raw bits unconditionally and could
+/// silently report a bogus maximum). [`ExperimentOutcome::gap`] already
+/// clamps at 0.0; this keeps the aggregate safe even for degenerate
+/// outcomes such as an infinite simulator-fallback period.
+fn fold_max_gap(max_gap_bits: &AtomicU64, gap: f64) {
+    if gap.is_finite() && gap > 0.0 {
+        max_gap_bits.fetch_max(gap.to_bits(), Ordering::SeqCst);
+    }
+}
 
 /// Runs one experiment (public for reuse by benches/tests).
 ///
@@ -267,8 +300,7 @@ pub fn run_campaign_with(
                     usize::from(outcome.resolution == Resolution::Simulated),
                     Ordering::SeqCst,
                 );
-                debug_assert!(outcome.gap() >= 0.0);
-                max_gap_bits.fetch_max(outcome.gap().to_bits(), Ordering::SeqCst);
+                fold_max_gap(&max_gap_bits, outcome.gap());
                 let d = done.fetch_add(1, Ordering::SeqCst) + 1;
                 callback(Progress {
                     done: d,
@@ -348,6 +380,44 @@ mod tests {
             let other = run_campaign(&small_cfg(), CommModel::Strict, 24, 900, threads, 200_000);
             assert_eq!(reference, other, "threads={threads}");
         }
+    }
+
+    fn outcome(mct: f64, period: f64) -> ExperimentOutcome {
+        ExperimentOutcome { seed: 0, mct, period, resolution: Resolution::Simulated, num_paths: 4 }
+    }
+
+    #[test]
+    fn period_below_mct_clamps_gap_through_the_aggregates() {
+        // Regression: a simulator-fallback period just below M_ct (or
+        // float noise at period ≈ M_ct) must aggregate as gap 0, not as a
+        // negative bit pattern that out-ranks every real maximum.
+        let below = outcome(1295.0 / 6.0, 1295.0 / 6.0 - 1e-9);
+        assert_eq!(below.gap(), 0.0);
+        assert!(!below.no_critical_resource(GAP_REL_TOL));
+        let res = CampaignResult { outcomes: vec![below, outcome(100.0, 100.5)] };
+        assert_eq!(res.count_no_critical(GAP_REL_TOL), 1);
+        assert!((res.max_gap() - 0.005).abs() < 1e-12);
+
+        // Degenerate draws must not poison the aggregates either.
+        assert_eq!(outcome(100.0, f64::NAN).gap(), 0.0);
+        let degenerate = CampaignResult {
+            outcomes: vec![outcome(100.0, f64::INFINITY), outcome(100.0, 99.0)],
+        };
+        assert_eq!(degenerate.max_gap(), 0.0, "non-finite gaps are skipped");
+    }
+
+    #[test]
+    fn streaming_maximum_rejects_degenerate_gaps() {
+        let bits = AtomicU64::new(0f64.to_bits());
+        for g in [-0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0] {
+            fold_max_gap(&bits, g);
+        }
+        assert_eq!(f64::from_bits(bits.load(Ordering::SeqCst)), 0.0);
+        fold_max_gap(&bits, 0.25);
+        for g in [-1.0, f64::NAN, 0.1] {
+            fold_max_gap(&bits, g);
+        }
+        assert_eq!(f64::from_bits(bits.load(Ordering::SeqCst)), 0.25);
     }
 
     #[test]

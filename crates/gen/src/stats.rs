@@ -84,10 +84,19 @@ pub fn outcomes_csv(res: &CampaignResult) -> String {
 }
 
 /// Gap distribution of a campaign (only experiments with a strictly
-/// positive gap), or `None` when every experiment had a critical resource.
+/// positive **finite** gap), or `None` when nothing survives — either
+/// every experiment had a critical resource, or the only positive gaps
+/// were non-finite (degenerate draws: an infinite simulator-fallback
+/// period yields gap ∞, which would otherwise reach [`quantiles`]' sort
+/// and poison — or, combined with NaN, panic — the order statistics).
 pub fn gap_quantiles(res: &CampaignResult, rel_tol: f64) -> Option<Quantiles> {
-    let gaps: Vec<f64> =
-        res.outcomes.iter().filter(|o| o.no_critical_resource(rel_tol)).map(|o| o.gap()).collect();
+    let gaps: Vec<f64> = res
+        .outcomes
+        .iter()
+        .filter(|o| o.no_critical_resource(rel_tol))
+        .map(|o| o.gap())
+        .filter(|g| g.is_finite())
+        .collect();
     if gaps.is_empty() {
         None
     } else {
@@ -134,6 +143,35 @@ mod tests {
     fn histogram_constant_sample() {
         let h = histogram(&[2.0, 2.0, 2.0], 3, 10);
         assert_eq!(h.lines().count(), 3);
+    }
+
+    #[test]
+    fn gap_quantiles_filter_non_finite_gaps() {
+        use crate::campaign::{ExperimentOutcome, Resolution};
+        let outcome = |mct: f64, period: f64| ExperimentOutcome {
+            seed: 0,
+            mct,
+            period,
+            resolution: Resolution::Simulated,
+            num_paths: 2,
+        };
+        // Only non-finite positive gaps: nothing survives the filter.
+        let degenerate = CampaignResult {
+            outcomes: vec![outcome(10.0, f64::INFINITY), outcome(10.0, 10.0)],
+        };
+        assert_eq!(gap_quantiles(&degenerate, 1e-7), None);
+        // Mixed: the order statistics come from the finite gaps alone.
+        let mixed = CampaignResult {
+            outcomes: vec![
+                outcome(10.0, f64::INFINITY),
+                outcome(10.0, 11.0),
+                outcome(10.0, 12.0),
+            ],
+        };
+        let q = gap_quantiles(&mixed, 1e-7).expect("finite gaps survive");
+        assert!((q.min - 0.1).abs() < 1e-12);
+        assert!((q.max - 0.2).abs() < 1e-12);
+        assert!(q.mean.is_finite());
     }
 
     #[test]

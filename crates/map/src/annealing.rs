@@ -110,8 +110,10 @@ fn propose<R: Rng>(mapping: &Mapping, num_procs: usize, rng: &mut R) -> Option<M
 ///
 /// Holds **one owned mapping**: each proposal is applied in place,
 /// evaluated through a warm-started [`MappingOracle`] (swap proposals —
-/// the bulk of the walk — re-solve on the engine's incremental patch
-/// path), and undone on rejection. Only a new incumbent is ever cloned.
+/// the bulk of the walk — re-solve on the engine's shape-cached patch
+/// path: no TPN rebuild, no CSR build, no Tarjan run, and the oracle's
+/// incremental `M_ct` re-examines only the stages the proposal touched),
+/// and undone on rejection. Only a new incumbent is ever cloned.
 pub fn anneal(
     pipeline: &Pipeline,
     platform: &Platform,

@@ -19,8 +19,12 @@
 //! search never dead-ends on large `lcm` replication patterns. The search
 //! loops ([`local_search`], [`annealing::anneal`]) hold one
 //! **warm-started** engine for their whole run: neighbor mappings of the
-//! same shape re-solve from the previous Howard policy, and every TPN /
-//! solver buffer is reused across the thousands of oracle calls.
+//! same shape re-solve on the shape-cached patch path (re-time + cost
+//! re-weight + warm Howard — no TPN rebuild, no CSR build, no Tarjan
+//! run), the oracle's incremental `M_ct` re-examines only the stages a
+//! [`Move`] touched ([`Move::touched_stages`] and their neighbors), and
+//! every TPN / solver buffer is reused across the thousands of oracle
+//! calls.
 //!
 //! A subtlety worth noting (and property-tested): because replicas serve
 //! data sets in **round-robin**, adding a slow processor to a stage can
@@ -190,6 +194,22 @@ pub enum Move {
         /// Slot in the second stage.
         sj: usize,
     },
+}
+
+impl Move {
+    /// The stages whose processor lists change when this move is applied
+    /// (one for `Add`/`Remove`, two otherwise). These are the stages the
+    /// oracle's incremental `M_ct` detects as changed; it re-examines them
+    /// plus their immediate neighbors, whose in/out-port times depend on
+    /// the round-robin partners here — so an evaluation after a move
+    /// recomputes at most six stages' cycle-times, not all of them.
+    pub fn touched_stages(self) -> (StageId, Option<StageId>) {
+        match self {
+            Move::Add { stage, .. } | Move::Remove { stage, .. } => (stage, None),
+            Move::Shift { from, to, .. } => (from, Some(to)),
+            Move::Swap { i, j, .. } => (i, Some(j)),
+        }
+    }
 }
 
 /// The record needed to exactly invert an applied [`Move`]
@@ -513,6 +533,44 @@ mod tests {
                 (a, b) => assert_eq!(a, b),
             }
         }
+    }
+
+    #[test]
+    fn oracle_mct_recomputes_only_stages_touched_by_a_move() {
+        // A deep pipeline where swaps stay between stages 0 and 1: the
+        // oracle's incremental M_ct must re-examine only the touched
+        // stages and their neighbors (≤ 3 here), never all 8.
+        let n = 8;
+        let pipeline = Pipeline::new(vec![4.0; n], vec![0.5; n - 1]).unwrap();
+        let mut platform = Platform::uniform(2 * n, 1.0, 10.0);
+        for u in 0..2 * n {
+            platform.set_speed(u, 1.0 + 0.05 * u as f64);
+        }
+        let mut mapping =
+            Mapping::new((0..n).map(|i| vec![2 * i, 2 * i + 1]).collect()).unwrap();
+        let mut oracle = MappingOracle::new(&pipeline, &platform).warm_start(true);
+        oracle.compute(&mapping, CommModel::Strict, Method::FullTpn).unwrap();
+        let after_first = oracle.mct_cache().stage_recomputes();
+        assert_eq!(after_first, n as u64, "first evaluation recomputes every stage");
+        let steps = 12u64;
+        for k in 0..steps {
+            let mv = Move::Swap { i: 0, si: (k % 2) as usize, j: 1, sj: ((k / 2) % 2) as usize };
+            let (a, b) = mv.touched_stages();
+            assert_eq!((a, b), (0, Some(1)));
+            apply_move(&mut mapping, mv);
+            oracle.compute(&mapping, CommModel::Strict, Method::FullTpn).unwrap();
+        }
+        // Touched stages {0, 1} dirty their neighborhood {0, 1, 2}: three
+        // per-stage recomputations per evaluation, exactly.
+        assert_eq!(
+            oracle.mct_cache().stage_recomputes(),
+            after_first + 3 * steps,
+            "a swap between stages 0 and 1 must re-examine stages 0..=2 only"
+        );
+        // And the swaps all re-solved on the structurally-free patch path.
+        let engine = oracle.into_engine();
+        assert_eq!(engine.patched_solves(), steps);
+        assert_eq!((engine.csr_builds(), engine.tarjan_runs()), (1, 1));
     }
 
     #[test]

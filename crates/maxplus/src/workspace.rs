@@ -28,6 +28,21 @@
 //! component id — no per-SCC subgraph is ever materialized (the old
 //! implementation re-allocated a restricted [`RatioGraph`] per component).
 //!
+//! The top reuse tier is the **structure cache**:
+//! [`Workspace::max_cycle_ratio_cached`] takes a caller-supplied structure
+//! token and, when it matches the token of the previous successful cached
+//! solve (and the graph dimensions agree), skips the CSR construction *and*
+//! Tarjan's condensation entirely — only the structure-of-arrays cost
+//! mirror is refreshed from the graph's (possibly re-weighted) edge list
+//! before jumping straight into (optionally warm-started) Howard. This is
+//! what makes a shape-preserving patched oracle call structurally free:
+//! the whole per-solve cost is one cost sweep plus the policy iterations.
+//! The cache is invalidated on any token or dimension miss, on a solve
+//! error, and whenever another solver rebuilds the CSR; the
+//! [`Workspace::csr_builds`] / [`Workspace::tarjan_runs`] counters let
+//! callers (and the test suite) assert that patched solves really skip the
+//! structural work.
+//!
 //! The CSR keeps the edge data in **structure-of-arrays** form
 //! ([`Csr::targets`] / [`Csr::costs`] / [`Csr::token_counts`], one entry
 //! per CSR position): the Howard improvement loops — the hottest code in
@@ -134,6 +149,20 @@ impl Csr {
     pub fn token_counts(&self) -> &[u32] {
         &self.tokens
     }
+
+    /// Re-reads every edge cost of `g` into the structure-of-arrays cost
+    /// mirror, leaving offsets, edge indices, targets and token counts
+    /// untouched. Only valid when `g` is structurally identical to the
+    /// graph this CSR was last [built](Csr::build) from (same vertex count
+    /// and the same `from`/`to`/`tokens` per edge index) — the cheap
+    /// re-weighting step of a shape-cached solve.
+    pub fn refresh_costs(&mut self, g: &RatioGraph) {
+        let edges = g.edges();
+        debug_assert_eq!(edges.len(), self.cost.len(), "cost refresh requires an unchanged edge set");
+        for (pos, &ei) in self.eidx.iter().enumerate() {
+            self.cost[pos] = edges[ei as usize].cost;
+        }
+    }
 }
 
 /// A view of an SCC decomposition stored in a [`Workspace`].
@@ -197,6 +226,16 @@ pub struct Workspace {
     /// `(num_vertices, num_edges)` of the graph the converged `policy`
     /// belongs to; `None` until a solve completes.
     warm_sig: Option<(usize, usize)>,
+    /// `(structure token, num_vertices, num_edges)` of the graph whose CSR
+    /// adjacency and Tarjan condensation are currently cached; `None`
+    /// whenever the cached arrays may not describe the next graph (after a
+    /// solve error, a token/dimension miss, or any other solver rebuilding
+    /// the CSR). See [`Workspace::max_cycle_ratio_cached`].
+    struct_sig: Option<(u64, usize, usize)>,
+    /// How many times the CSR adjacency was (re)built.
+    csr_builds: u64,
+    /// How many times Tarjan's condensation ran.
+    tarjan_runs: u64,
     // Karp rolling rows (O(V) — see `crate::karp`).
     row_prev: Vec<f64>,
     row_cur: Vec<f64>,
@@ -219,7 +258,26 @@ impl Workspace {
     /// Computes the SCC decomposition of `g` into the workspace buffers and
     /// returns a borrowed view (no per-call allocation after warm-up).
     pub fn scc(&mut self, g: &RatioGraph) -> SccView<'_> {
+        self.condense(g);
+        SccView {
+            comp: &self.comp,
+            comp_offsets: &self.comp_offsets,
+            comp_vertices: &self.comp_vertices,
+        }
+    }
+
+    /// (Re)builds the CSR adjacency of `g`, bumping the build counter and
+    /// forgetting the structure cache (the cached condensation may no
+    /// longer describe the CSR contents).
+    fn rebuild_csr(&mut self, g: &RatioGraph) {
+        self.struct_sig = None;
         self.csr.build(g);
+        self.csr_builds += 1;
+    }
+
+    /// CSR build + Tarjan condensation into the workspace buffers.
+    fn condense(&mut self, g: &RatioGraph) {
+        self.rebuild_csr(g);
         tarjan_flat(
             g,
             &self.csr,
@@ -232,18 +290,27 @@ impl Workspace {
             &mut self.comp_offsets,
             &mut self.comp_vertices,
         );
-        SccView {
-            comp: &self.comp,
-            comp_offsets: &self.comp_offsets,
-            comp_vertices: &self.comp_vertices,
-        }
+        self.tarjan_runs += 1;
+    }
+
+    /// Number of CSR adjacency (re)builds performed by this workspace.
+    /// With [`Workspace::max_cycle_ratio_cached`], a structure hit performs
+    /// none — the counter (with [`Workspace::tarjan_runs`]) is how tests
+    /// and benches assert that patched solves skip the structural work.
+    pub fn csr_builds(&self) -> u64 {
+        self.csr_builds
+    }
+
+    /// Number of Tarjan condensation runs performed by this workspace.
+    pub fn tarjan_runs(&self) -> u64 {
+        self.tarjan_runs
     }
 
     /// Howard's policy iteration with cold-started (deterministic) policy
     /// initialization. Semantics match [`crate::howard::max_cycle_ratio`];
     /// only the allocation behavior differs.
     pub fn max_cycle_ratio(&mut self, g: &RatioGraph) -> RatioResult {
-        self.howard(g, false)
+        self.howard(g, false, None)
     }
 
     /// Howard's policy iteration seeded with the converged policy of the
@@ -256,7 +323,37 @@ impl Workspace {
     /// for the eps-level-tie caveat — and on families of related graphs
     /// (neighbor mappings in a search) convergence is typically immediate.
     pub fn max_cycle_ratio_warm(&mut self, g: &RatioGraph) -> RatioResult {
-        self.howard(g, true)
+        self.howard(g, true, None)
+    }
+
+    /// Howard's policy iteration with a **shape-cached** structural phase:
+    /// when `structure` equals the token of the previous successful cached
+    /// solve and the vertex/edge counts match, the CSR adjacency and the
+    /// Tarjan condensation are reused as-is — only the structure-of-arrays
+    /// cost mirror is refreshed from `g` ([`Csr::refresh_costs`]) before
+    /// policy iteration starts. Zero CSR builds, zero Tarjan runs on a hit
+    /// (assert via [`Workspace::csr_builds`] / [`Workspace::tarjan_runs`]).
+    ///
+    /// **Token contract:** two calls presenting the same token and the
+    /// same dimensions must present *structurally identical* graphs — the
+    /// same `from`/`to`/`tokens` for every edge index, in the same
+    /// insertion order; only edge costs may differ. The caller owns that
+    /// guarantee (`tpn::analysis::PeriodScratch` bumps a generation
+    /// counter on every ratio-graph rebuild). The cache is dropped on any
+    /// miss, on a solve error, and whenever another solver of this
+    /// workspace rebuilds the CSR, so a violated contract can only result
+    /// from re-using a token for a structurally different graph.
+    ///
+    /// Results are bit-for-bit those of [`Workspace::max_cycle_ratio`] /
+    /// [`Workspace::max_cycle_ratio_warm`] on the same graph: the cached
+    /// arrays are exactly what a rebuild would produce.
+    pub fn max_cycle_ratio_cached(
+        &mut self,
+        g: &RatioGraph,
+        structure: u64,
+        warm: bool,
+    ) -> RatioResult {
+        self.howard(g, warm, Some(structure))
     }
 
     /// Forgets the stored policy: the next warm call behaves like a cold
@@ -265,15 +362,25 @@ impl Workspace {
         self.warm_sig = None;
     }
 
-    fn howard(&mut self, g: &RatioGraph, warm: bool) -> RatioResult {
+    fn howard(&mut self, g: &RatioGraph, warm: bool, structure: Option<u64>) -> RatioResult {
         g.validate()?;
         let n = g.num_vertices();
         let ne = g.num_edges();
         let warm_ok = warm && self.warm_sig == Some((n, ne)) && self.policy.len() == n;
+        let structure_ok =
+            structure.is_some() && self.struct_sig == structure.map(|t| (t, n, ne));
         // Invalidate until this solve completes (an early error must not
-        // leave a half-updated policy marked reusable).
+        // leave a half-updated policy — or a condensation of unknown
+        // provenance — marked reusable).
         self.warm_sig = None;
-        self.scc(g);
+        self.struct_sig = None;
+        if structure_ok {
+            // Structure hit: the CSR and condensation describe `g` already;
+            // only the costs may have been re-weighted since.
+            self.csr.refresh_costs(g);
+        } else {
+            self.condense(g);
+        }
 
         if !warm_ok {
             self.policy.clear();
@@ -324,6 +431,9 @@ impl Workspace {
             }
         }
         self.warm_sig = Some((n, ne));
+        if let Some(token) = structure {
+            self.struct_sig = Some((token, n, ne));
+        }
         Ok(best)
     }
 
@@ -431,7 +541,7 @@ impl Workspace {
     /// of the check in [`crate::lawler`].
     fn zero_token_cycle(&mut self, g: &RatioGraph) -> Option<Vec<u32>> {
         let n = g.num_vertices();
-        self.csr.build(g);
+        self.rebuild_csr(g);
         self.color.clear();
         self.color.resize(n, 0);
         self.parent.clear();
@@ -1122,6 +1232,79 @@ mod tests {
         assert!((sol.ratio - 10.4).abs() < 1e-9, "got {}", sol.ratio);
         let cross = crate::lawler::max_cycle_ratio_lawler(&g).unwrap().unwrap();
         assert!((sol.ratio - cross.ratio).abs() < 1e-9);
+    }
+
+    #[test]
+    fn cached_solve_skips_csr_and_tarjan_and_matches_bitwise() {
+        let mut ws = Workspace::new();
+        let mut g = diamond();
+        let first = ws.max_cycle_ratio_cached(&g, 7, true).unwrap().unwrap();
+        assert_eq!(first.ratio.to_bits(), max_cycle_ratio(&g).unwrap().unwrap().ratio.to_bits());
+        assert_eq!((ws.csr_builds(), ws.tarjan_runs()), (1, 1));
+        // Re-weight every edge in place (structure untouched): the cached
+        // solve must skip CSR + Tarjan and still match a cold solve bit
+        // for bit.
+        for k in 0..6 {
+            for (i, c) in [4.0, 6.0, 5.0, 2.5, 3.0, 1.0].iter().enumerate() {
+                g.set_edge_cost(i, c * (1.3 + 0.1 * f64::from(k)));
+            }
+            let cached = ws.max_cycle_ratio_cached(&g, 7, true).unwrap().unwrap();
+            let cold = max_cycle_ratio(&g).unwrap().unwrap();
+            assert_eq!(cached.ratio.to_bits(), cold.ratio.to_bits(), "k={k}");
+            assert_eq!(cached.cycle, cold.cycle);
+        }
+        assert_eq!((ws.csr_builds(), ws.tarjan_runs()), (1, 1), "hits must not rebuild");
+    }
+
+    #[test]
+    fn cached_solve_token_or_dimension_miss_rebuilds() {
+        let mut ws = Workspace::new();
+        let g = diamond();
+        ws.max_cycle_ratio_cached(&g, 1, false).unwrap();
+        assert_eq!(ws.csr_builds(), 1);
+        // Token miss: same graph, different token.
+        ws.max_cycle_ratio_cached(&g, 2, false).unwrap();
+        assert_eq!(ws.csr_builds(), 2);
+        // Dimension miss: same token, different graph size.
+        let mut small = RatioGraph::new(2);
+        small.add_edge(0, 1, 3.0, 1);
+        small.add_edge(1, 0, 5.0, 1);
+        let sol = ws.max_cycle_ratio_cached(&small, 2, false).unwrap().unwrap();
+        assert_eq!(ws.csr_builds(), 3);
+        assert!((sol.ratio - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn cached_solve_error_clears_structure_cache() {
+        let mut ws = Workspace::new();
+        let mut bad = RatioGraph::new(2);
+        bad.add_edge(0, 1, 1.0, 0);
+        bad.add_edge(1, 0, 1.0, 0);
+        assert!(ws.max_cycle_ratio_cached(&bad, 9, false).is_err());
+        let builds = ws.csr_builds();
+        // Same token and dimensions again: the failed solve must not have
+        // recorded a reusable structure, so this call rebuilds.
+        assert!(ws.max_cycle_ratio_cached(&bad, 9, false).is_err());
+        assert_eq!(ws.csr_builds(), builds + 1, "errored solve must clear the cache");
+        // And the workspace stays fully usable.
+        let g = diamond();
+        let sol = ws.max_cycle_ratio_cached(&g, 10, true).unwrap().unwrap();
+        assert_eq!(sol.ratio.to_bits(), max_cycle_ratio(&g).unwrap().unwrap().ratio.to_bits());
+    }
+
+    #[test]
+    fn other_solvers_invalidate_structure_cache() {
+        let mut ws = Workspace::new();
+        let g = diamond();
+        ws.max_cycle_ratio_cached(&g, 4, false).unwrap();
+        let builds = ws.csr_builds();
+        // Lawler rebuilds the CSR for its zero-token-cycle check: the
+        // cached condensation may no longer describe it.
+        ws.max_cycle_ratio_lawler(&g).unwrap();
+        assert!(ws.csr_builds() > builds);
+        let builds = ws.csr_builds();
+        ws.max_cycle_ratio_cached(&g, 4, false).unwrap();
+        assert_eq!(ws.csr_builds(), builds + 1, "cache must not survive a foreign rebuild");
     }
 
     #[test]

@@ -90,6 +90,13 @@ pub struct PeriodScratch {
     pre_offsets: Vec<u32>,
     pre_places: Vec<u32>,
     pre_valid: bool,
+    // Structure generation of `graph`: bumped on every rebuild
+    // ([`period_with`]) and handed to the workspace as its structure
+    // token, so patched solves ([`period_patched_with`]) — which only
+    // re-weight edges — reuse the cached CSR adjacency and Tarjan
+    // condensation of the rebuild solve (zero CSR builds, zero Tarjan
+    // runs on the patch path).
+    structure_gen: u64,
 }
 
 impl PeriodScratch {
@@ -101,6 +108,19 @@ impl PeriodScratch {
     /// Forgets the warm-start policy of the previous solve.
     pub fn clear_warm_start(&mut self) {
         self.ws.clear_warm_start();
+    }
+
+    /// Number of CSR adjacency builds the underlying solver workspace has
+    /// performed. A patched solve on an unchanged structure performs none
+    /// — tests and the tracked benches assert it through this counter.
+    pub fn csr_builds(&self) -> u64 {
+        self.ws.csr_builds()
+    }
+
+    /// Number of Tarjan condensation runs the underlying solver workspace
+    /// has performed (see [`PeriodScratch::csr_builds`]).
+    pub fn tarjan_runs(&self) -> u64 {
+        self.ws.tarjan_runs()
     }
 
     fn build_pre_index(&mut self, net: &TimedEventGraph) {
@@ -142,8 +162,10 @@ pub fn period_with(
 ) -> Result<Option<PeriodSolution>, AnalysisError> {
     ratio_graph_into(net, &mut scratch.graph);
     // The place structure may have changed: the patch index of any previous
-    // net no longer applies.
+    // net no longer applies, and the solver must not reuse a condensation
+    // computed for the old structure.
     scratch.pre_valid = false;
+    scratch.structure_gen = scratch.structure_gen.wrapping_add(1);
     solve(scratch, warm)
 }
 
@@ -195,12 +217,11 @@ pub fn period_patched_with(
 }
 
 fn solve(scratch: &mut PeriodScratch, warm: bool) -> Result<Option<PeriodSolution>, AnalysisError> {
-    let res = if warm {
-        scratch.ws.max_cycle_ratio_warm(&scratch.graph)
-    } else {
-        scratch.ws.max_cycle_ratio(&scratch.graph)
-    };
-    convert(res)
+    // Always present the structure generation as the workspace's token:
+    // the rebuild solve records it, and every patched solve until the next
+    // rebuild hits the cached CSR + condensation (the workspace drops the
+    // cache itself on a solve error).
+    convert(scratch.ws.max_cycle_ratio_cached(&scratch.graph, scratch.structure_gen, warm))
 }
 
 fn convert(res: Result<Option<maxplus::CycleSolution>, RatioGraphError>) -> Result<Option<PeriodSolution>, AnalysisError> {
@@ -372,6 +393,68 @@ mod tests {
                 assert_eq!(p.critical, r.critical);
                 assert_eq!(p.tokens, r.tokens);
             }
+        }
+        // The patched scratch solved 10 times but only its 2 rebuild
+        // solves touched the structure; the rebuilding scratch condensed
+        // on every one of its 10 solves.
+        assert_eq!((patched.csr_builds(), patched.tarjan_runs()), (2, 2));
+        assert_eq!((rebuilt.csr_builds(), rebuilt.tarjan_runs()), (10, 10));
+    }
+
+    #[test]
+    fn errored_solve_is_not_reused_by_the_next_patched_solve() {
+        // A deadlocked net errors through both entry points; the failed
+        // solve must leave no cached condensation behind, so the patched
+        // retry condenses again instead of reusing stale state.
+        let mut net = TimedEventGraph::new();
+        let a = net.add_transition(1.0, "a");
+        let b = net.add_transition(1.0, "b");
+        net.add_place(a, b, 0, "ab");
+        net.add_place(b, a, 0, "ba");
+        let mut scratch = PeriodScratch::new();
+        assert!(matches!(
+            period_with(&net, &mut scratch, true),
+            Err(AnalysisError::Deadlock { .. })
+        ));
+        let builds = scratch.csr_builds();
+        assert!(matches!(
+            period_patched_with(&net, &mut scratch, true, &[a]),
+            Err(AnalysisError::Deadlock { .. })
+        ));
+        assert_eq!(scratch.csr_builds(), builds + 1, "error must invalidate the cache");
+        // The scratch recovers fully once the net is live.
+        net.clear();
+        let a = net.add_transition(3.0, "a");
+        let b = net.add_transition(5.0, "b");
+        net.add_place(a, b, 1, "ab");
+        net.add_place(b, a, 1, "ba");
+        let sol = period_with(&net, &mut scratch, true).unwrap().unwrap();
+        assert!((sol.period - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn patched_solves_skip_csr_and_tarjan() {
+        // The headline counter check at this layer: after the rebuild
+        // solve, a run of patched solves performs zero CSR builds and zero
+        // Tarjan runs, warm or cold.
+        for warm in [false, true] {
+            let mut net = TimedEventGraph::new();
+            let a = net.add_transition(2.0, "a");
+            let b = net.add_transition(4.0, "b");
+            net.add_place(a, b, 1, "ab");
+            net.add_place(b, a, 1, "ba");
+            let mut scratch = PeriodScratch::new();
+            period_with(&net, &mut scratch, warm).unwrap();
+            assert_eq!((scratch.csr_builds(), scratch.tarjan_runs()), (1, 1));
+            for k in 1..=8u32 {
+                net.patch(a, 2.0 + f64::from(k));
+                period_patched_with(&net, &mut scratch, warm, &[a]).unwrap();
+            }
+            assert_eq!(
+                (scratch.csr_builds(), scratch.tarjan_runs()),
+                (1, 1),
+                "warm={warm}: patched solves must be structurally free"
+            );
         }
     }
 
