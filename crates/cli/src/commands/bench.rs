@@ -25,6 +25,7 @@ use repwf_core::engine::{MappingOracle, PeriodEngine};
 use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
 use repwf_core::period::{compute_period_with, Method};
 use repwf_core::tpn_build::BuildOptions;
+use repwf_dist::{merge_paths, run_shard, CampaignSpec};
 use repwf_gen::campaign::run_campaign;
 use repwf_gen::{GenConfig, Range};
 use repwf_map::annealing::{anneal, AnnealOptions};
@@ -296,6 +297,45 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }));
     assert_eq!(rebuild_engine.patched_solves(), 0, "rebuild engine must never patch");
 
+    // --- kernel 6: sharded campaign + exact merge vs the unsharded run ---
+    //
+    // The full `repwf-dist` round trip: the campaign runs as 3 seed-range
+    // shards streamed to NDJSON files, which the exact merger validates
+    // (manifests, seed coverage, checksums) and recombines. The
+    // `shard_merge_efficiency` index is the throughput of that round trip
+    // relative to the unsharded N-thread campaign — the price of the
+    // ordered streaming writes, the NDJSON encode/parse and the merge
+    // validation. It sits below (but near) 1; a drop means the
+    // distributed path got more expensive relative to the in-process one.
+    let shard_dir = std::env::temp_dir().join(format!("repwf-bench-shards-{}", std::process::id()));
+    std::fs::create_dir_all(&shard_dir)
+        .map_err(|e| format!("cannot create {}: {e}", shard_dir.display()))?;
+    let shard_paths: Vec<std::path::PathBuf> =
+        (0..3).map(|i| shard_dir.join(format!("s{i}.ndjson"))).collect();
+    let spec = CampaignSpec {
+        cfg,
+        model: CommModel::Strict,
+        count: campaign_count,
+        seed_base: seed,
+        cap,
+    };
+    lines.push(time_kernel("campaign_shard_merge", campaign_reps, campaign_count as u64, || {
+        for path in &shard_paths {
+            let _ = std::fs::remove_file(path);
+        }
+        for (i, path) in shard_paths.iter().enumerate() {
+            run_shard(&spec, i, 3, threads, path, None).expect("bench shard runs");
+        }
+        let merged = merge_paths(&shard_paths).expect("bench shards merge");
+        assert_eq!(merged.result.outcomes.len(), campaign_count);
+    }));
+    // Outside the timer: the merged result must be *exactly* the
+    // unsharded campaign, not merely the right length.
+    let merged = merge_paths(&shard_paths).expect("bench shards merge");
+    let unsharded = run_campaign(&cfg, CommModel::Strict, campaign_count, seed, threads, cap);
+    assert_eq!(merged.result, unsharded, "sharded+merged campaign must be exact");
+    let _ = std::fs::remove_dir_all(&shard_dir);
+
     // --- dimensionless indices (what --check gates on) ---
     let per_iter = |name: &str| {
         lines
@@ -310,6 +350,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ("campaign_parallel_speedup", campaign_speedup),
         ("neighbor_eval_speedup", per_iter("neighbor_eval_cold") / per_iter("neighbor_eval_incremental")),
         ("patched_solve_speedup", per_iter("solve_rebuild") / per_iter("solve_patched")),
+        ("shard_merge_efficiency", per_iter("campaign_strict_nt") / per_iter("campaign_shard_merge")),
     ];
 
     // --- report ---
@@ -317,6 +358,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ("schema", Json::str("repwf-bench/v1")),
         ("quick", Json::Bool(quick)),
         ("threads", Json::UInt(threads as u128)),
+        // Hardware parallelism of the recording box: `--check` uses this
+        // (with `threads`) to decide whether thread-scaling indices are
+        // comparable at all.
+        ("cores", Json::UInt(hw as u128)),
         ("seed", Json::UInt(u128::from(seed))),
         (
             "benchmarks",
@@ -372,7 +417,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(baseline_path) = opts.get("--check") {
-        check_against_baseline(baseline_path, &indices, tolerance, quick, threads)?;
+        check_against_baseline(baseline_path, &indices, tolerance, quick, threads, hw)?;
         eprintln!(
             "check against {baseline_path}: OK (tolerance {:.0}%)",
             tolerance * 100.0
@@ -381,19 +426,36 @@ pub fn run(args: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+/// Indices that measure **thread scaling**: their value is a property of
+/// the `threads` setting and the machine's core count as much as of the
+/// code. Comparing them across different `threads`/cores settings gates
+/// on an apples-to-oranges number (the committed baseline was recorded on
+/// a 1-core container, where any parallel speedup is ≈1), so `--check`
+/// skips them — with a printed notice — when either setting differs from
+/// the baseline's recorded values. `shard_merge_efficiency` belongs here
+/// too: its numerator (the N-thread campaign) scales with cores while its
+/// denominator is partly serial (ordered NDJSON writes + merge scan), so
+/// the ratio itself is a function of the parallelism settings.
+const THREAD_SCALING_INDICES: &[&str] =
+    &["campaign_parallel_speedup", "shard_merge_efficiency"];
+
 /// Compares the dimensionless indices of this run against a committed
 /// baseline report; errors when any index regressed by more than
 /// `tolerance` (relative). A baseline index with no counterpart in the
 /// current run is an error (a renamed index must not turn the gate into a
 /// vacuous pass), and mismatched `quick`/`threads` settings are warned
 /// about (the comparison still runs — the indices are dimensionless, but
-/// workload sizes affect their noise).
+/// workload sizes affect their noise). Exception:
+/// [`THREAD_SCALING_INDICES`] are **skipped with a notice** when the
+/// baseline's recorded `threads` or `cores` differ from this run's —
+/// those indices are not comparable across parallelism settings.
 fn check_against_baseline(
     baseline_path: &str,
     indices: &[(&'static str, f64)],
     tolerance: f64,
     quick: bool,
     threads: usize,
+    cores: usize,
 ) -> Result<(), String> {
     let text = std::fs::read_to_string(baseline_path)
         .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
@@ -420,6 +482,9 @@ fn check_against_baseline(
         .and_then(JsonValue::as_arr)
         .ok_or_else(|| format!("baseline {baseline_path} has no indices array"))?;
 
+    let baseline_threads = baseline.get("threads").and_then(JsonValue::as_f64).map(|x| x as usize);
+    let baseline_cores = baseline.get("cores").and_then(JsonValue::as_f64).map(|x| x as usize);
+
     let mut regressions = Vec::new();
     let mut compared = 0usize;
     for entry in baseline_indices {
@@ -431,6 +496,22 @@ fn check_against_baseline(
             .get("value")
             .and_then(JsonValue::as_f64)
             .ok_or_else(|| format!("baseline {baseline_path}: index {name} has no value"))?;
+        if THREAD_SCALING_INDICES.contains(&name) {
+            // A thread-scaling index recorded under a different `threads`
+            // or core count gates on an apples-to-oranges number: skip.
+            let threads_differ = baseline_threads.is_some_and(|t| t != threads);
+            let cores_differ = baseline_cores.is_some_and(|c| c != cores);
+            if threads_differ || cores_differ {
+                eprintln!(
+                    "notice: skipping thread-scaling index {name}: baseline recorded with \
+                     threads={}, cores={}; this run has threads={threads}, cores={cores} \
+                     (not comparable across parallelism settings)",
+                    baseline_threads.map_or("?".to_string(), |t| t.to_string()),
+                    baseline_cores.map_or("unrecorded".to_string(), |c| c.to_string()),
+                );
+                continue;
+            }
+        }
         let Some(&(_, new)) = indices.iter().find(|(n, _)| *n == name) else {
             return Err(format!(
                 "baseline index {name} is not produced by this bench build — \

@@ -1,13 +1,18 @@
 //! `repwf campaign` — random-experiment campaign on the work-stealing
-//! engine.
+//! engine, optionally as one shard of a distributed run.
 //!
 //! The JSON output deliberately excludes `--threads`: results are
 //! bit-identical at every thread count, and scripted consumers may diff
-//! runs across machines.
+//! runs across machines. With `--shard I/N --out F` the command runs only
+//! the `I`-th deterministic seed slice and streams it to an NDJSON shard
+//! file (resumable after a kill); `repwf merge` recombines shard files
+//! into output byte-identical to the unsharded `--json` document.
 
 use crate::json::Json;
 use crate::opts::{model_name, parse_model, parse_range, parse_threads, Opts};
-use repwf_gen::campaign::{run_campaign_with, Resolution, GAP_REL_TOL};
+use repwf_dist::report::campaign_doc;
+use repwf_dist::{run_shard, CampaignSpec, ShardPlan};
+use repwf_gen::campaign::{run_campaign_with, CampaignResult, GAP_REL_TOL};
 use repwf_gen::{GenConfig, Range};
 use std::io::Write as _;
 
@@ -27,6 +32,11 @@ OPTIONS:
   --csv PATH         write per-experiment outcomes as CSV
   --hist             print an ASCII histogram of the positive gaps
   --json             structured output (identical at any --threads)
+
+DISTRIBUTED (see also `repwf merge`):
+  --shard I/N        run only shard I of N (deterministic seed slice);
+                     requires --out. Re-running resumes a killed shard.
+  --out PATH         stream the shard as NDJSON to PATH (with --shard)
 ";
 
 pub fn run(args: &[String]) -> Result<(), String> {
@@ -34,7 +44,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         args,
         &[
             "--stages", "--procs", "--comp", "--comm", "--count", "--seed", "--threads",
-            "--cap", "--model", "--csv",
+            "--cap", "--model", "--csv", "--shard", "--out",
         ],
         &["--json", "--hist", "--help"],
     )?;
@@ -60,9 +70,20 @@ pub fn run(args: &[String]) -> Result<(), String> {
         repwf_core::model::CommModel::Strict
     };
 
-    let cfg = GenConfig { stages, procs, comp, comm };
+    let spec = CampaignSpec {
+        cfg: GenConfig { stages, procs, comp, comm },
+        model,
+        count,
+        seed_base: seed,
+        cap,
+    };
+
+    if opts.get("--shard").is_some() || opts.get("--out").is_some() {
+        return run_sharded(&opts, &spec, threads);
+    }
+
     let res = run_campaign_with(
-        &cfg,
+        &spec.cfg,
         model,
         count,
         seed,
@@ -87,85 +108,114 @@ pub fn run(args: &[String]) -> Result<(), String> {
         eprintln!("CSV written to {path}");
     }
 
-    let no_critical = res.count_no_critical(GAP_REL_TOL);
-    let max_gap_pct = res.max_gap() * 100.0;
-    let simulated = res.count_simulated();
-
     if opts.has("--json") {
-        let outcomes: Vec<Json> = res
-            .outcomes
-            .iter()
-            .map(|o| {
-                Json::Obj(vec![
-                    ("seed", Json::UInt(u128::from(o.seed))),
-                    ("num_paths", Json::UInt(o.num_paths)),
-                    ("mct", Json::Num(o.mct)),
-                    ("period", Json::Num(o.period)),
-                    ("gap", Json::Num(o.gap())),
-                    (
-                        "resolution",
-                        Json::str(match o.resolution {
-                            Resolution::Exact => "exact",
-                            Resolution::Simulated => "simulated",
-                        }),
-                    ),
-                ])
-            })
-            .collect();
-        let doc = Json::Obj(vec![
-            ("model", Json::str(model_name(model))),
-            (
-                "config",
-                Json::Obj(vec![
-                    ("stages", Json::UInt(stages as u128)),
-                    ("procs", Json::UInt(procs as u128)),
-                    ("comp", range_json(comp)),
-                    ("comm", range_json(comm)),
-                ]),
-            ),
-            ("count", Json::UInt(count as u128)),
-            ("seed", Json::UInt(u128::from(seed))),
-            ("cap", Json::UInt(cap as u128)),
-            ("no_critical", Json::UInt(no_critical as u128)),
-            ("max_gap_pct", Json::Num(max_gap_pct)),
-            ("simulated", Json::UInt(simulated as u128)),
-            ("outcomes", Json::Arr(outcomes)),
-        ]);
-        print!("{}", doc.to_string_pretty());
+        print!("{}", campaign_doc(&spec, &res).to_string_pretty());
     } else {
-        println!(
-            "{model_name} model, {stages} stages on {procs} procs, comp {} comm {}",
-            range_text(comp),
-            range_text(comm),
-            model_name = model_name(model),
-        );
-        println!("experiments        : {count} (seeds {seed}..{})", seed + count as u64);
-        println!(
-            "no critical resource: {no_critical} ({:.2}%)",
-            100.0 * no_critical as f64 / count.max(1) as f64
-        );
-        println!("max gap             : {max_gap_pct:.3}%");
-        println!("simulator fallback  : {simulated}");
-        if opts.has("--hist") {
-            let gaps: Vec<f64> = res
-                .outcomes
-                .iter()
-                .filter(|o| o.no_critical_resource(GAP_REL_TOL))
-                .map(|o| o.gap() * 100.0)
-                .collect();
-            if gaps.is_empty() {
-                println!("\n(no positive gaps to plot)");
-            } else {
-                println!("\ngap distribution (% over M_ct):");
-                print!("{}", repwf_gen::stats::histogram(&gaps, 10, 50));
-            }
-        }
+        print_summary(&spec, &res, opts.has("--hist"));
     }
     Ok(())
 }
 
-fn range_json(r: Range) -> Json {
-    Json::Obj(vec![("lo", Json::Num(r.lo)), ("hi", Json::Num(r.hi))])
+/// Shard mode: run (or resume) one deterministic seed slice into an
+/// NDJSON shard file.
+fn run_sharded(opts: &Opts, spec: &CampaignSpec, threads: usize) -> Result<(), String> {
+    let (shard_index, num_shards) = match opts.get("--shard") {
+        Some(raw) => ShardPlan::parse_fraction(raw)?,
+        None => (0, 1),
+    };
+    let out = opts
+        .get("--out")
+        .ok_or("--shard needs --out PATH (the NDJSON shard file)")?;
+    if opts.get("--csv").is_some() {
+        return Err(
+            "--csv is not available in shard mode — merge first \
+             (`repwf merge <shards...> --csv ...`)"
+                .to_string(),
+        );
+    }
+    if opts.has("--hist") {
+        return Err("--hist is not available in shard mode — merge first".to_string());
+    }
+    let summary = run_shard(
+        spec,
+        shard_index,
+        num_shards,
+        threads,
+        std::path::Path::new(out),
+        Some(&|done, total| {
+            let mut err = std::io::stderr().lock();
+            let _ = write!(err, "\r{done}/{total} experiments (shard {shard_index}/{num_shards})");
+            if done == total {
+                let _ = writeln!(err);
+            }
+        }),
+    )
+    .map_err(|e| e.to_string())?;
+    let plan = summary.manifest.plan;
+    if opts.has("--json") {
+        let doc = Json::Obj(vec![
+            ("shard_index", Json::UInt(plan.shard_index as u128)),
+            ("num_shards", Json::UInt(plan.num_shards as u128)),
+            ("seed_start", Json::UInt(u128::from(plan.seed_start()))),
+            ("seed_end", Json::UInt(u128::from(plan.seed_end()))),
+            ("resumed", Json::UInt(summary.resumed as u128)),
+            ("ran", Json::UInt(summary.ran as u128)),
+            ("out", Json::str(out)),
+        ]);
+        print!("{}", doc.to_string_pretty());
+    } else {
+        println!(
+            "shard {shard_index}/{num_shards}: seeds {}..{} -> {out} \
+             ({} resumed from checkpoint, {} computed)",
+            plan.seed_start(),
+            plan.seed_end(),
+            summary.resumed,
+            summary.ran,
+        );
+        println!("merge with: repwf merge <all {num_shards} shard files> --json");
+    }
+    Ok(())
+}
+
+/// Human-readable campaign summary (shared with `repwf merge`).
+pub(crate) fn print_summary(spec: &CampaignSpec, res: &CampaignResult, hist: bool) {
+    let accum = res.accum();
+    let count = spec.count;
+    let no_critical = accum.no_critical;
+    let max_gap_pct = accum.max_gap() * 100.0;
+    println!(
+        "{model_name} model, {stages} stages on {procs} procs, comp {} comm {}",
+        range_text(spec.cfg.comp),
+        range_text(spec.cfg.comm),
+        model_name = model_name(spec.model),
+        stages = spec.cfg.stages,
+        procs = spec.cfg.procs,
+    );
+    println!(
+        "experiments        : {count} (seeds {}..{})",
+        spec.seed_base,
+        spec.seed_base + count as u64
+    );
+    println!(
+        "no critical resource: {no_critical} ({:.2}%)",
+        100.0 * no_critical as f64 / count.max(1) as f64
+    );
+    println!("max gap             : {max_gap_pct:.3}%");
+    println!("simulator fallback  : {}", accum.simulated);
+    if hist {
+        let gaps: Vec<f64> = res
+            .outcomes
+            .iter()
+            .filter(|o| o.no_critical_resource(GAP_REL_TOL))
+            .map(|o| o.gap() * 100.0)
+            .collect();
+        if gaps.is_empty() {
+            println!("\n(no positive gaps to plot)");
+        } else {
+            println!("\ngap distribution (% over M_ct):");
+            print!("{}", repwf_gen::stats::histogram(&gaps, 10, 50));
+        }
+    }
 }
 
 fn range_text(r: Range) -> String {

@@ -1,0 +1,57 @@
+//! `repwf merge` — recombine campaign shard files exactly.
+//!
+//! The merged `--json` document is **byte-identical** to what the
+//! unsharded `repwf campaign --json` prints for the same campaign
+//! parameters, at any shard and thread count: both commands render
+//! through [`repwf_dist::report::campaign_doc`], the outcomes travel as
+//! exact f64 bit patterns, and the aggregates recombine through the
+//! associative [`repwf_gen::CampaignAccum`]. Inconsistent inputs —
+//! mismatched manifests, missing/duplicate shards, torn or tampered
+//! files — are diagnosed and exit non-zero; a merge never silently
+//! accepts partial data.
+
+use crate::commands::campaign::print_summary;
+use repwf_dist::merge_paths;
+use repwf_dist::report::campaign_doc;
+
+const HELP: &str = "\
+repwf merge — recombine campaign shard files (from `repwf campaign --shard`)
+
+USAGE: repwf merge <shard.ndjson>... [OPTIONS]
+
+Validates that the shards pin the same campaign (config, model, cap, seed
+range) and tile its seed space exactly, then merges. The --json output is
+byte-identical to the unsharded `repwf campaign --json` run.
+
+OPTIONS:
+  --csv PATH         write merged per-experiment outcomes as CSV
+  --hist             print an ASCII histogram of the positive gaps
+  --json             structured output (byte-identical to the unsharded run)
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let opts = crate::opts::Opts::parse(args, &["--csv"], &["--json", "--hist", "--help"])?;
+    if opts.has("--help") {
+        print!("{HELP}");
+        return Ok(());
+    }
+    let shards = opts.positional();
+    if shards.is_empty() {
+        return Err(format!("no shard files given\n\n{HELP}"));
+    }
+    let merged = merge_paths(shards).map_err(|e| e.to_string())?;
+
+    if let Some(path) = opts.get("--csv") {
+        std::fs::write(path, repwf_gen::stats::outcomes_csv(&merged.result))
+            .map_err(|e| format!("cannot write {path}: {e}"))?;
+        eprintln!("CSV written to {path}");
+    }
+
+    if opts.has("--json") {
+        print!("{}", campaign_doc(&merged.spec, &merged.result).to_string_pretty());
+    } else {
+        eprintln!("merged {} shards ({} experiments)", merged.num_shards, merged.accum.done);
+        print_summary(&merged.spec, &merged.result, opts.has("--hist"));
+    }
+    Ok(())
+}

@@ -8,6 +8,8 @@
 //! repwf simulate  [--example a|b|c | --file F] [--model M] [--data-sets N] [--json]
 //! repwf campaign  --stages N --procs P [--comp LO..HI] [--comm LO..HI]
 //!                 [--count N] [--seed S] [--threads K] [--model M] [--json]
+//!                 [--shard I/N --out F.ndjson]
+//! repwf merge     <shard.ndjson>... [--csv F] [--json]
 //! repwf bench     [--quick] [--out F] [--threads K] [--check BASELINE] [--json]
 //! repwf table2    [--scale F | --full] [--threads K] [--seed S] [--csv F] [--json]
 //! repwf gantt     <a-strict|a-overlap|b-overlap> [--periods K] [--svg F]
@@ -15,11 +17,14 @@
 //! ```
 //!
 //! Campaign results are **bit-identical at every `--threads` value**: each
-//! experiment is seeded from its own index on the work-stealing engine.
+//! experiment is seeded from its own index on the work-stealing engine —
+//! and at every shard count: `repwf merge` of `campaign --shard I/N` files
+//! reproduces the unsharded `--json` document byte for byte.
 
 mod commands;
-mod json;
 mod opts;
+
+use repwf_dist::json;
 
 use std::process::ExitCode;
 
@@ -31,7 +36,9 @@ USAGE: repwf <COMMAND> [OPTIONS]
 COMMANDS:
   period     compute the steady-state period P̂ of an instance
   simulate   estimate the period with the discrete-event simulator
-  campaign   run a random-experiment campaign (period vs. M_ct)
+  campaign   run a random-experiment campaign (period vs. M_ct),
+             optionally as one shard of a distributed run (--shard I/N)
+  merge      recombine campaign shard files (byte-identical to unsharded)
   table2     reproduce the paper's Table 2 experiment families
   bench      run the tracked benchmark suite (emits BENCH_period.json)
   gantt      render the paper's Gantt figures (ASCII / SVG)
@@ -58,6 +65,7 @@ fn main() -> ExitCode {
         "period" => commands::period::run(rest),
         "simulate" => commands::simulate::run(rest),
         "campaign" => commands::campaign::run(rest),
+        "merge" => commands::merge::run(rest),
         "bench" => commands::bench::run(rest),
         "table2" => commands::table2::run(rest),
         "gantt" => commands::gantt::run(rest),

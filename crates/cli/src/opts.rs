@@ -93,12 +93,10 @@ pub fn parse_model(opts: &Opts) -> Result<CommModel, String> {
     }
 }
 
-/// Human-readable short name of a model.
+/// Human-readable short name of a model (the spelling shard manifests
+/// and the campaign JSON document use).
 pub fn model_name(model: CommModel) -> &'static str {
-    match model {
-        CommModel::Overlap => "overlap",
-        CommModel::Strict => "strict",
-    }
+    repwf_dist::manifest::model_name(model)
 }
 
 /// Parses `--method` (default: auto).

@@ -65,6 +65,125 @@ fn campaign_json_is_identical_at_any_thread_count() {
 }
 
 #[test]
+fn sharded_campaign_merges_byte_identical_to_unsharded() {
+    // The PR's acceptance criterion: `repwf merge` of an N-shard campaign
+    // is byte-identical to the unsharded `repwf campaign --json` output,
+    // for N in {1, 3} and threads in {1, 2}.
+    let dir = std::env::temp_dir().join(format!("repwf-shard-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = [
+        "campaign", "--stages", "2", "--procs", "6", "--comm", "5..10", "--count", "17",
+        "--seed", "41", "--model", "strict",
+    ];
+    for threads in ["1", "2"] {
+        let (reference, _, ok) =
+            repwf(&[&base[..], &["--threads", threads, "--json"]].concat());
+        assert!(ok);
+        for num_shards in [1usize, 3] {
+            let shard_paths: Vec<String> = (0..num_shards)
+                .map(|i| {
+                    dir.join(format!("t{threads}-n{num_shards}-s{i}.ndjson"))
+                        .to_str()
+                        .unwrap()
+                        .to_string()
+                })
+                .collect();
+            for (i, path) in shard_paths.iter().enumerate() {
+                let shard_arg = format!("{i}/{num_shards}");
+                let (_, err, ok) = repwf(
+                    &[&base[..], &["--threads", threads, "--shard", &shard_arg, "--out", path]]
+                        .concat(),
+                );
+                assert!(ok, "shard {shard_arg}: {err}");
+            }
+            let mut merge_args = vec!["merge"];
+            merge_args.extend(shard_paths.iter().map(String::as_str));
+            merge_args.push("--json");
+            let (merged, err, ok) = repwf(&merge_args);
+            assert!(ok, "{err}");
+            assert_eq!(
+                merged, reference,
+                "threads={threads} shards={num_shards}: merged JSON must be byte-identical"
+            );
+        }
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn killed_shard_resumes_to_the_same_bytes() {
+    let dir = std::env::temp_dir().join(format!("repwf-resume-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let shard = dir.join("s0.ndjson");
+    let shard_s = shard.to_str().unwrap();
+    let args = [
+        "campaign", "--stages", "2", "--procs", "6", "--count", "12", "--seed", "5",
+        "--model", "strict", "--shard", "0/2", "--out", shard_s,
+    ];
+    let (_, err, ok) = repwf(&args);
+    assert!(ok, "{err}");
+    let complete = std::fs::read(&shard).unwrap();
+
+    // Simulate a kill mid-record: drop the last 180 bytes (tears the
+    // footer AND the last record, so the resume must recompute at least
+    // one experiment), then re-run the identical command.
+    std::fs::write(&shard, &complete[..complete.len() - 180]).unwrap();
+    let (out, err, ok) = repwf(&[&args[..], &["--json"]].concat());
+    assert!(ok, "{err}");
+    assert_eq!(std::fs::read(&shard).unwrap(), complete, "resume must converge to same bytes");
+    assert!(out.contains("\"resumed\": "), "{out}");
+    assert!(!out.contains("\"ran\": 0"), "cut must force recomputation:\n{out}");
+
+    // A third run is a validated no-op.
+    let (out, err, ok) = repwf(&[&args[..], &["--json"]].concat());
+    assert!(ok, "{err}");
+    assert!(out.contains("\"ran\": 0"), "{out}");
+    assert_eq!(std::fs::read(&shard).unwrap(), complete);
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn merge_diagnoses_inconsistent_shard_sets() {
+    let dir = std::env::temp_dir().join(format!("repwf-merge-err-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+    let campaign = |seed: &str, shard: &str, out: &str| {
+        let (_, err, ok) = repwf(&[
+            "campaign", "--stages", "2", "--procs", "6", "--count", "10", "--seed", seed,
+            "--shard", shard, "--out", out,
+        ]);
+        assert!(ok, "{err}");
+    };
+    let (s0, s1) = (path("s0.ndjson"), path("s1.ndjson"));
+    campaign("3", "0/2", &s0);
+    campaign("3", "1/2", &s1);
+
+    // Mismatched manifest: same layout, different campaign seed.
+    let foreign = path("foreign.ndjson");
+    campaign("4", "1/2", &foreign);
+    let (_, err, ok) = repwf(&["merge", &s0, &foreign, "--json"]);
+    assert!(!ok, "mismatched manifests must exit non-zero");
+    assert!(err.contains("manifest mismatch") && err.contains("seed_base: 3 vs 4"), "{err}");
+
+    // Missing and duplicate shards.
+    let (_, err, ok) = repwf(&["merge", &s0, "--json"]);
+    assert!(!ok);
+    assert!(err.contains("missing shard(s) 1"), "{err}");
+    let (_, err, ok) = repwf(&["merge", &s0, &s1, &s1, "--json"]);
+    assert!(!ok);
+    assert!(err.contains("duplicate shard 1"), "{err}");
+
+    // Resuming under different parameters must refuse, not overwrite.
+    let (_, err, ok) = repwf(&[
+        "campaign", "--stages", "2", "--procs", "6", "--count", "10", "--seed", "9",
+        "--shard", "0/2", "--out", &s0,
+    ]);
+    assert!(!ok, "foreign resume must exit non-zero");
+    assert!(err.contains("manifest mismatch"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn bench_emits_parseable_report_and_check_passes_against_self() {
     let dir = std::env::temp_dir().join(format!("repwf-bench-test-{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
@@ -80,6 +199,7 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
     let doc = std::fs::read_to_string(&out).expect("report written");
     assert!(doc.contains("\"schema\": \"repwf-bench/v1\""), "{doc}");
     assert!(doc.contains("\"threads\": 2"), "--threads not recorded:\n{doc}");
+    assert!(doc.contains("\"cores\": "), "core count not recorded:\n{doc}");
     for name in [
         "period_full_tpn_cold",
         "period_full_tpn_engine",
@@ -91,11 +211,13 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
         "neighbor_eval_incremental",
         "solve_patched",
         "solve_rebuild",
+        "campaign_shard_merge",
         "engine_reuse_speedup",
         "warm_start_speedup",
         "campaign_parallel_speedup",
         "neighbor_eval_speedup",
         "patched_solve_speedup",
+        "shard_merge_efficiency",
     ] {
         assert!(doc.contains(name), "missing {name} in:\n{doc}");
     }
@@ -135,6 +257,29 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
     // the message alone.
     assert!(err.contains("warm_start_speedup: current "), "{err}");
     assert!(err.contains("vs baseline 10000.000x"), "{err}");
+
+    // Thread-scaling indices are skipped (with a notice) when the
+    // baseline's threads/cores differ from the current run: an absurd
+    // baseline `campaign_parallel_speedup` must NOT fail a run with a
+    // different --threads value — the comparison would be
+    // apples-to-oranges — but every other index is still gated.
+    let mut lines: Vec<String> = doc.lines().map(String::from).collect();
+    for i in 0..lines.len() {
+        if lines[i].contains("campaign_parallel_speedup") {
+            lines[i + 1] = "      \"value\": 10000.0".to_string();
+        }
+    }
+    let scaled = dir.join("BENCH_scaled.json");
+    std::fs::write(&scaled, lines.join("\n")).unwrap();
+    let (_, err, ok) = repwf(&[
+        "bench", "--quick", "--threads", "1", "--out", out2.to_str().unwrap(), "--check",
+        scaled.to_str().unwrap(), "--tolerance", "0.9",
+    ]);
+    assert!(ok, "thread-scaling index must be skipped across thread counts: {err}");
+    assert!(
+        err.contains("skipping thread-scaling index campaign_parallel_speedup"),
+        "{err}"
+    );
 
     let _ = std::fs::remove_dir_all(&dir);
 }

@@ -116,15 +116,22 @@ fn write_escaped(out: &mut String, s: &str) {
 
 /// A parsed JSON value (owned keys, unlike the writer-side [`Json`] whose
 /// object keys are static). Used by `repwf bench --check` to read committed
-/// baselines back in.
+/// baselines back in and by the shard-file readers of this crate.
 #[derive(Debug, Clone, PartialEq)]
 pub enum JsonValue {
     /// `null`
     Null,
     /// `true` / `false`
     Bool(bool),
-    /// Any JSON number.
+    /// A JSON number with a sign, fraction or exponent.
     Num(f64),
+    /// An unsigned-integer JSON number (plain digit run), kept exact.
+    ///
+    /// Shard manifests and records carry f64 **bit patterns** and path
+    /// counts as u64/u128 integers; routing every number through f64
+    /// would silently corrupt values above 2^53, so integer tokens keep
+    /// full precision.
+    UInt(u128),
     /// String.
     Str(String),
     /// Array.
@@ -142,10 +149,28 @@ impl JsonValue {
         }
     }
 
-    /// Numeric value, if this is a number.
+    /// Numeric value, if this is a number (integers convert lossily above
+    /// 2^53, like any f64).
     pub fn as_f64(&self) -> Option<f64> {
         match self {
             JsonValue::Num(x) => Some(*x),
+            JsonValue::UInt(n) => Some(*n as f64),
+            _ => None,
+        }
+    }
+
+    /// Exact unsigned integer, if this is an integer token that fits u64.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            JsonValue::UInt(n) => u64::try_from(*n).ok(),
+            _ => None,
+        }
+    }
+
+    /// Exact unsigned integer, if this is an integer token.
+    pub fn as_u128(&self) -> Option<u128> {
+        match self {
+            JsonValue::UInt(n) => Some(*n),
             _ => None,
         }
     }
@@ -309,6 +334,14 @@ fn parse_value(b: &[u8], pos: &mut usize) -> Result<JsonValue, String> {
                 *pos += 1;
             }
             let raw = std::str::from_utf8(&b[start..*pos]).map_err(|e| e.to_string())?;
+            // A plain digit run is an exact unsigned integer (bit patterns,
+            // seeds, path counts); anything signed/fractional/exponential
+            // is a float.
+            if raw.bytes().all(|c| c.is_ascii_digit()) {
+                if let Ok(n) = raw.parse::<u128>() {
+                    return Ok(JsonValue::UInt(n));
+                }
+            }
             raw.parse::<f64>()
                 .map(JsonValue::Num)
                 .map_err(|_| format!("invalid number {raw:?} at byte {start}"))
@@ -342,6 +375,23 @@ mod tests {
         assert_eq!(xs[0].as_f64().unwrap(), -3.5);
         assert_eq!(xs[1].as_f64().unwrap(), 1e-9);
         assert_eq!(parsed.get("empty_arr").unwrap().as_arr().unwrap().len(), 0);
+    }
+
+    #[test]
+    fn integer_tokens_keep_full_precision() {
+        // 2^63 + 1 is not representable in f64; shard records depend on
+        // u64 bit patterns surviving a parse round-trip exactly.
+        let bits = (1u64 << 63) + 1;
+        let doc = parse(&format!(
+            "{{\"bits\": {bits}, \"big\": {}, \"neg\": -7, \"frac\": 2.0}}",
+            u128::MAX
+        ))
+        .unwrap();
+        assert_eq!(doc.get("bits").unwrap().as_u64(), Some(bits));
+        assert_eq!(doc.get("big").unwrap().as_u128(), Some(u128::MAX));
+        assert_eq!(doc.get("neg").unwrap().as_u64(), None, "negatives are not UInt");
+        assert_eq!(doc.get("neg").unwrap().as_f64(), Some(-7.0));
+        assert_eq!(doc.get("frac").unwrap(), &JsonValue::Num(2.0));
     }
 
     #[test]

@@ -1,0 +1,118 @@
+//! The exact merger: shard files → the unsharded campaign result.
+
+use crate::manifest::CampaignSpec;
+use crate::DistError;
+use repwf_gen::campaign::{CampaignAccum, CampaignResult, ExperimentOutcome};
+use std::path::Path;
+
+/// A merged campaign: the spec every shard agreed on, the concatenated
+/// outcomes, and the recombined associative aggregates.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergedCampaign {
+    /// The campaign all shards belong to.
+    pub spec: CampaignSpec,
+    /// How many shards tiled it.
+    pub num_shards: usize,
+    /// Outcomes in seed order — exactly what the unsharded
+    /// [`repwf_gen::run_campaign`] returns for `spec`.
+    pub result: CampaignResult,
+    /// Aggregates merged shard-by-shard through
+    /// [`CampaignAccum::merge`] — bit-identical to `result.accum()`
+    /// (asserted in debug builds) because every fold is associative.
+    pub accum: CampaignAccum,
+}
+
+/// Reads, validates and merges a set of shard files.
+///
+/// Guarantees on success: the shards share one campaign spec and plan
+/// layout bitwise, their indices are exactly `0..num_shards` (each once),
+/// every shard is complete with a matching checksum, and the
+/// concatenated outcomes cover seeds `seed_base..seed_base+count` with no
+/// gap or duplicate. Anything else is a diagnosed [`DistError`] — a
+/// merge never silently drops or deduplicates data.
+///
+/// The merged result is **bit-identical** to the unsharded campaign: the
+/// outcome list is byte-for-byte the one `run_campaign` produces (each
+/// outcome is a pure function of its seed, transported as exact bit
+/// patterns), and the aggregates recombine associatively.
+pub fn merge_paths<P: AsRef<Path>>(paths: &[P]) -> Result<MergedCampaign, DistError> {
+    if paths.is_empty() {
+        return Err(DistError::ShardSet("no shard files given".to_string()));
+    }
+    // Phase 1 — read every file and parse only its manifest line: all
+    // set-level problems (mismatched campaign, duplicate or missing
+    // indices) are diagnosed from the headers alone, before paying the
+    // record-by-record parse of even one large shard.
+    let mut files: Vec<(String, String, crate::manifest::ShardManifest)> =
+        Vec::with_capacity(paths.len());
+    for path in paths {
+        let path = path.as_ref();
+        let name = path.display().to_string();
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| DistError::Io(format!("cannot read {name}: {e}")))?;
+        let manifest = crate::shard::manifest_of(&text, &name)?;
+        files.push((name, text, manifest));
+    }
+
+    let (first_path, _, first_manifest) = &files[0];
+    for (path, _, manifest) in &files[1..] {
+        if let Some(diff) = first_manifest.campaign_mismatch(manifest) {
+            return Err(DistError::ManifestMismatch {
+                path: path.clone(),
+                reason: format!("disagrees with {first_path} on {diff}"),
+            });
+        }
+    }
+    let spec = first_manifest.spec;
+    let num_shards = first_manifest.plan.num_shards;
+
+    // Exactly one shard per index.
+    let mut slot_of_index: Vec<Option<usize>> = vec![None; num_shards];
+    for (slot, (path, _, manifest)) in files.iter().enumerate() {
+        let index = manifest.plan.shard_index;
+        if let Some(previous) = slot_of_index[index] {
+            return Err(DistError::ShardSet(format!(
+                "duplicate shard {index}/{num_shards}: {} and {path}",
+                files[previous].0
+            )));
+        }
+        slot_of_index[index] = Some(slot);
+    }
+    let missing: Vec<String> = slot_of_index
+        .iter()
+        .enumerate()
+        .filter(|(_, slot)| slot.is_none())
+        .map(|(index, _)| index.to_string())
+        .collect();
+    if !missing.is_empty() {
+        return Err(DistError::ShardSet(format!(
+            "missing shard(s) {} of {num_shards}",
+            missing.join(", ")
+        )));
+    }
+
+    // Phase 2 — full validation (records, seed contiguity, footer,
+    // checksum) and concatenation in shard-index order (= seed order),
+    // recombining the associative aggregates.
+    let mut outcomes: Vec<ExperimentOutcome> = Vec::with_capacity(spec.count);
+    let mut accum = CampaignAccum::new();
+    for slot in slot_of_index {
+        let (name, text, manifest) = &files[slot.expect("all indices covered above")];
+        let (_, mut shard_outcomes) = crate::shard::read_complete(text, name)?;
+        debug_assert_eq!(shard_outcomes.len(), manifest.plan.shard_count());
+        debug_assert_eq!(
+            shard_outcomes.first().map(|o| o.seed),
+            (manifest.plan.shard_count() > 0).then(|| manifest.plan.seed_start()),
+        );
+        let mut shard_accum = CampaignAccum::new();
+        for outcome in &shard_outcomes {
+            shard_accum.push(outcome);
+        }
+        accum.merge(&shard_accum);
+        outcomes.append(&mut shard_outcomes);
+    }
+    debug_assert_eq!(outcomes.len(), spec.count);
+    let result = CampaignResult { outcomes };
+    debug_assert_eq!(accum, result.accum(), "shard-merged aggregates must be exact");
+    Ok(MergedCampaign { spec, num_shards, result, accum })
+}

@@ -1,0 +1,436 @@
+//! The streaming NDJSON shard file: writer, checkpoint/resume, reader.
+//!
+//! # File format (`repwf-shard/v1`)
+//!
+//! One JSON object per line:
+//!
+//! ```text
+//! {"kind":"manifest", ...}                          // header, see manifest.rs
+//! {"kind":"outcome","seed":2043,"num_paths":60,
+//!  "mct_bits":...,"period_bits":...,"resolution":"exact"}   // one per experiment
+//! ...                                               // strictly in seed order
+//! {"kind":"footer","records":33,"checksum":"94cd4b9672a1e3f0"}
+//! ```
+//!
+//! Floating-point fields travel as **u64 bit patterns**, so a record
+//! round-trips bit-for-bit (including infinities from degenerate
+//! simulator-fallback draws, which plain JSON floats cannot carry). The
+//! footer checksum is FNV-1a/64 over the outcome-line bytes (newlines
+//! included), chained in order — cheap, streaming, and enough to catch
+//! torn or hand-edited files at merge time.
+//!
+//! Records are appended **in seed order** even though the campaign runs
+//! on the multi-threaded work-stealing executor (the ordered sink of
+//! [`repwf_gen::campaign::run_campaign_streamed`]); a killed process
+//! therefore leaves `manifest + k complete records`, which is exactly a
+//! checkpoint. [`run_shard`] validates such a prefix — manifest match,
+//! seed contiguity, record shape — drops a torn trailing line, and
+//! resumes from the first missing seed. Because every outcome is a pure
+//! function of its seed, the resumed file converges to the same bytes as
+//! an uninterrupted run.
+
+use crate::json::{parse, JsonValue};
+use crate::manifest::{CampaignSpec, ShardManifest};
+use crate::DistError;
+use repwf_gen::campaign::{run_campaign_streamed, ExperimentOutcome, Resolution};
+use std::io::Write as _;
+use std::path::Path;
+use std::sync::Mutex;
+
+/// FNV-1a 64-bit running checksum.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Checksum(u64);
+
+impl Checksum {
+    /// The empty checksum (FNV offset basis).
+    pub fn new() -> Checksum {
+        Checksum(0xcbf2_9ce4_8422_2325)
+    }
+
+    /// Folds bytes in.
+    pub fn update(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 ^= u64::from(b);
+            self.0 = self.0.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+    }
+
+    /// Lower-case 16-digit hex rendering (the footer format).
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Checksum::new()
+    }
+}
+
+/// Serializes one outcome as its NDJSON line (trailing newline included).
+pub fn outcome_line(o: &ExperimentOutcome) -> String {
+    format!(
+        "{{\"kind\":\"outcome\",\"seed\":{},\"num_paths\":{},\"mct_bits\":{},\
+         \"period_bits\":{},\"resolution\":\"{}\"}}\n",
+        o.seed,
+        o.num_paths,
+        o.mct.to_bits(),
+        o.period.to_bits(),
+        match o.resolution {
+            Resolution::Exact => "exact",
+            Resolution::Simulated => "simulated",
+        },
+    )
+}
+
+fn footer_line(records: usize, checksum: &Checksum) -> String {
+    format!("{{\"kind\":\"footer\",\"records\":{records},\"checksum\":\"{}\"}}\n", checksum.hex())
+}
+
+/// A classified non-manifest shard line.
+enum Record {
+    Outcome(ExperimentOutcome),
+    Footer { records: usize, checksum: String },
+}
+
+fn parse_record(line: &str) -> Result<Record, String> {
+    let doc = parse(line).map_err(|e| format!("unparseable line: {e}"))?;
+    let kind = doc
+        .get("kind")
+        .and_then(JsonValue::as_str)
+        .ok_or("line has no \"kind\" field")?;
+    let u64_field = |key: &str| -> Result<u64, String> {
+        doc.get(key)
+            .and_then(JsonValue::as_u64)
+            .ok_or_else(|| format!("field {key:?} missing or not an integer"))
+    };
+    match kind {
+        "outcome" => Ok(Record::Outcome(ExperimentOutcome {
+            seed: u64_field("seed")?,
+            num_paths: doc
+                .get("num_paths")
+                .and_then(JsonValue::as_u128)
+                .ok_or("field \"num_paths\" missing or not an integer")?,
+            mct: f64::from_bits(u64_field("mct_bits")?),
+            period: f64::from_bits(u64_field("period_bits")?),
+            resolution: match doc.get("resolution").and_then(JsonValue::as_str) {
+                Some("exact") => Resolution::Exact,
+                Some("simulated") => Resolution::Simulated,
+                other => return Err(format!("unknown resolution {other:?}")),
+            },
+        })),
+        "footer" => Ok(Record::Footer {
+            records: u64_field("records")? as usize,
+            checksum: doc
+                .get("checksum")
+                .and_then(JsonValue::as_str)
+                .ok_or("footer has no \"checksum\"")?
+                .to_string(),
+        }),
+        other => Err(format!("unknown line kind {other:?}")),
+    }
+}
+
+/// Validated scan of a shard file's bytes.
+struct Scan {
+    manifest: ShardManifest,
+    outcomes: Vec<ExperimentOutcome>,
+    checksum: Checksum,
+    /// Byte length of the valid prefix (manifest + complete records); a
+    /// torn trailing line sits beyond this.
+    valid_len: usize,
+    /// Whether a valid footer closed the file.
+    complete: bool,
+}
+
+/// Scans shard-file text: validates the manifest, every record's shape
+/// and seed, and the footer. A **torn tail** — a final chunk without its
+/// newline, or a final line that no longer parses — is tolerated and
+/// excluded from `valid_len` (that is the checkpoint a killed writer
+/// leaves); any interior violation, out-of-order seed, or checksum
+/// mismatch is [`DistError::Corrupt`].
+fn scan(text: &str, path: &str) -> Result<Scan, DistError> {
+    let corrupt = |reason: String| DistError::Corrupt { path: path.to_string(), reason };
+    let manifest = manifest_of(text, path)?;
+    let expected = manifest.plan.shard_count();
+    let mut chunks = text.split_inclusive('\n').peekable();
+    let first = chunks.next().expect("manifest_of checked non-emptiness");
+
+    let mut outcomes: Vec<ExperimentOutcome> = Vec::new();
+    let mut checksum = Checksum::new();
+    let mut valid_len = first.len();
+    let mut complete = false;
+    let mut line_no = 1usize;
+    while let Some(chunk) = chunks.next() {
+        line_no += 1;
+        let is_last = chunks.peek().is_none();
+        let torn = |reason: &str| -> Result<(), DistError> {
+            if is_last {
+                Ok(()) // checkpoint boundary: drop the torn tail
+            } else {
+                Err(corrupt(format!("line {line_no}: {reason}")))
+            }
+        };
+        if !chunk.ends_with('\n') {
+            torn("line is truncated")?;
+            break;
+        }
+        let record = match parse_record(chunk.trim_end_matches('\n')) {
+            Ok(r) => r,
+            Err(reason) => {
+                torn(&reason)?;
+                break;
+            }
+        };
+        match record {
+            Record::Outcome(o) => {
+                let expected_seed = manifest.plan.seed_start() + outcomes.len() as u64;
+                if outcomes.len() == expected {
+                    return Err(corrupt(format!(
+                        "line {line_no}: more records than the shard's {expected} seeds"
+                    )));
+                }
+                if o.seed != expected_seed {
+                    return Err(corrupt(format!(
+                        "line {line_no}: record has seed {}, expected {expected_seed} \
+                         (records must be contiguous in seed order)",
+                        o.seed
+                    )));
+                }
+                checksum.update(chunk.as_bytes());
+                valid_len += chunk.len();
+                outcomes.push(o);
+            }
+            Record::Footer { records, checksum: claimed } => {
+                if !is_last {
+                    return Err(corrupt(format!("line {line_no}: footer is not the last line")));
+                }
+                if records != outcomes.len() || records != expected {
+                    return Err(corrupt(format!(
+                        "footer says {records} records, file has {} of the shard's {expected}",
+                        outcomes.len()
+                    )));
+                }
+                if claimed != checksum.hex() {
+                    return Err(corrupt(format!(
+                        "footer checksum {claimed} does not match recomputed {}",
+                        checksum.hex()
+                    )));
+                }
+                valid_len += chunk.len();
+                complete = true;
+            }
+        }
+    }
+    Ok(Scan { manifest, outcomes, checksum, valid_len, complete })
+}
+
+/// Parses just the manifest line of shard-file text — the cheap
+/// first-phase check the merger runs over every file *before* paying the
+/// full record-by-record parse of any of them, so a mismatched or
+/// duplicate shard is diagnosed fast regardless of shard sizes.
+pub(crate) fn manifest_of(text: &str, path: &str) -> Result<ShardManifest, DistError> {
+    let corrupt = |reason: &str| DistError::Corrupt {
+        path: path.to_string(),
+        reason: reason.to_string(),
+    };
+    let first = text
+        .split_inclusive('\n')
+        .next()
+        .ok_or_else(|| corrupt("file is empty"))?;
+    if !first.ends_with('\n') {
+        return Err(corrupt("manifest line is truncated"));
+    }
+    ShardManifest::parse_line(first.trim_end_matches('\n'), path)
+}
+
+/// Validates **complete** shard-file text (manifest, all records, valid
+/// footer). An unfinished shard is an error naming the resume command —
+/// the merger must never silently accept partial data.
+pub(crate) fn read_complete(
+    text: &str,
+    name: &str,
+) -> Result<(ShardManifest, Vec<ExperimentOutcome>), DistError> {
+    let scan = scan(text, name)?;
+    if !scan.complete {
+        return Err(DistError::ShardSet(format!(
+            "{name} is incomplete ({} of {} records, no valid footer) — re-run its \
+             `repwf campaign --shard {}/{}` command to finish it",
+            scan.outcomes.len(),
+            scan.manifest.plan.shard_count(),
+            scan.manifest.plan.shard_index,
+            scan.manifest.plan.num_shards,
+        )));
+    }
+    Ok((scan.manifest, scan.outcomes))
+}
+
+/// Reads a **complete** shard file from disk (see [`read_complete`]).
+pub fn read_shard(path: &Path) -> Result<(ShardManifest, Vec<ExperimentOutcome>), DistError> {
+    let name = path.display().to_string();
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| DistError::Io(format!("cannot read {name}: {e}")))?;
+    read_complete(&text, &name)
+}
+
+/// What [`run_shard`] did.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ShardRunSummary {
+    /// The shard's manifest (plan slice included).
+    pub manifest: ShardManifest,
+    /// Records found valid on disk and kept (checkpoint).
+    pub resumed: usize,
+    /// Records newly computed and appended by this run.
+    pub ran: usize,
+}
+
+/// Progress callback of [`run_shard`]: `(records_on_disk, shard_count)`.
+pub type ShardProgress<'a> = &'a (dyn Fn(usize, usize) + Sync);
+
+/// Runs (or resumes) shard `shard_index` of `num_shards` of the campaign
+/// described by `spec`, streaming records to `path` in seed order.
+///
+/// * No file at `path` → fresh run: manifest, records, footer.
+/// * A partial file → **resume**: the prefix is validated against this
+///   campaign's manifest (a foreign or divergent manifest is a
+///   [`DistError::ManifestMismatch`], never overwritten), a torn
+///   trailing line is truncated away, and the campaign continues from
+///   the first missing seed. Already-valid records are *not* recomputed.
+/// * A complete file → validated, then returned with `ran == 0`.
+///
+/// The resulting bytes are identical for any `threads` value and any
+/// kill/resume history, because records are appended in seed order and
+/// each is a pure function of `(spec, seed)`.
+///
+/// **Single writer per shard file.** Resume is kill-safe, but the file
+/// is not locked against *concurrent* writers: two simultaneous runs of
+/// the same shard command would interleave appends and corrupt the
+/// checkpoint (the damage is diagnosed at the next resume or merge via
+/// the seed-contiguity and checksum validation, never silently
+/// accepted). Schedulers that auto-restart shards must wait for the
+/// previous attempt to exit first. (An exclusive lock file would catch
+/// this earlier, but a kill would then strand a stale lock and break
+/// the re-run-to-resume contract, which is the more common path.)
+pub fn run_shard(
+    spec: &CampaignSpec,
+    shard_index: usize,
+    num_shards: usize,
+    threads: usize,
+    path: &Path,
+    progress: Option<ShardProgress<'_>>,
+) -> Result<ShardRunSummary, DistError> {
+    let name = path.display().to_string();
+    let manifest = ShardManifest::new(*spec, shard_index, num_shards)?;
+    let io = |e: std::io::Error| DistError::Io(format!("{name}: {e}"));
+
+    // Open the checkpoint, if any. A file holding only a torn prefix of
+    // *this shard's own* manifest line is a process killed during the
+    // very first write — restart it fresh (there are zero records to
+    // lose); a torn first line that is NOT our manifest prefix stays an
+    // error, so a foreign file is never silently overwritten.
+    let existing = match std::fs::read_to_string(path) {
+        Ok(text) if text.is_empty() => None,
+        Ok(text)
+            if !text.contains('\n')
+                && format!("{}\n", manifest.to_line()).starts_with(&text) =>
+        {
+            None
+        }
+        Ok(text) => Some(scan(&text, &name)?),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(io(e)),
+    };
+    let (resumed, checksum, file) = match existing {
+        Some(scan) => {
+            if scan.manifest.plan.shard_index != manifest.plan.shard_index {
+                return Err(DistError::ManifestMismatch {
+                    path: name,
+                    reason: format!(
+                        "file holds shard {}/{}, this run is shard {}/{}",
+                        scan.manifest.plan.shard_index,
+                        scan.manifest.plan.num_shards,
+                        manifest.plan.shard_index,
+                        manifest.plan.num_shards,
+                    ),
+                });
+            }
+            if let Some(diff) = scan.manifest.campaign_mismatch(&manifest) {
+                return Err(DistError::ManifestMismatch {
+                    path: name,
+                    reason: format!("existing file vs this run: {diff}"),
+                });
+            }
+            if scan.complete {
+                if let Some(cb) = progress {
+                    cb(scan.outcomes.len(), manifest.plan.shard_count());
+                }
+                return Ok(ShardRunSummary {
+                    manifest,
+                    resumed: scan.outcomes.len(),
+                    ran: 0,
+                });
+            }
+            // Truncate the torn tail, then append from the checkpoint.
+            let truncate = std::fs::OpenOptions::new().write(true).open(path).map_err(io)?;
+            truncate.set_len(scan.valid_len as u64).map_err(io)?;
+            drop(truncate);
+            let file = std::fs::OpenOptions::new().append(true).open(path).map_err(io)?;
+            (scan.outcomes.len(), scan.checksum, file)
+        }
+        None => {
+            let mut file = std::fs::File::create(path).map_err(io)?;
+            // One write for line + newline: the only torn-manifest state a
+            // kill can leave is a prefix of this exact line, which the
+            // restart check above recognizes as ours.
+            file.write_all(format!("{}\n", manifest.to_line()).as_bytes()).map_err(io)?;
+            (0, Checksum::new(), file)
+        }
+    };
+
+    let total = manifest.plan.shard_count();
+    let next_seed = manifest.plan.seed_start() + resumed as u64;
+    let remaining = total - resumed;
+    if let Some(cb) = progress {
+        cb(resumed, total);
+    }
+
+    // Stream the remaining seeds in order; the sink runs under the
+    // executor's reorder lock, so writes land in seed order at any
+    // thread count. An I/O error stops further writes (keeping the
+    // on-disk prefix valid) and is reported after the run.
+    let state = Mutex::new((file, checksum, resumed, None::<String>));
+    run_campaign_streamed(
+        &spec.cfg,
+        spec.model,
+        remaining,
+        next_seed,
+        threads,
+        spec.cap,
+        &|outcome| {
+            let mut s = state.lock().expect("shard writer poisoned");
+            let (file, checksum, written, error) = &mut *s;
+            if error.is_some() {
+                return;
+            }
+            let line = outcome_line(outcome);
+            if let Err(e) = file.write_all(line.as_bytes()) {
+                *error = Some(e.to_string());
+                return;
+            }
+            checksum.update(line.as_bytes());
+            *written += 1;
+            if let Some(cb) = progress {
+                cb(*written, total);
+            }
+        },
+    );
+    let (mut file, checksum, written, error) =
+        state.into_inner().expect("shard writer poisoned");
+    if let Some(e) = error {
+        return Err(DistError::Io(format!("{name}: {e}")));
+    }
+    debug_assert_eq!(written, total);
+    file.write_all(footer_line(total, &checksum).as_bytes()).map_err(io)?;
+    file.flush().map_err(io)?;
+    Ok(ShardRunSummary { manifest, resumed, ran: remaining })
+}

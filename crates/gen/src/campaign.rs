@@ -42,6 +42,7 @@
 //!   slightly different instants; the final snapshot (`done == total`) is
 //!   exact in every field.
 
+use crate::agg;
 use crate::sampler::{sample_parts, GenConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -122,11 +123,7 @@ impl CampaignResult {
     /// infinite period from a degenerate draw) are skipped, matching the
     /// streaming aggregate of [`run_campaign_with`].
     pub fn max_gap(&self) -> f64 {
-        self.outcomes
-            .iter()
-            .map(ExperimentOutcome::gap)
-            .filter(|g| g.is_finite())
-            .fold(0.0, f64::max)
+        agg::max_finite_gap(self.outcomes.iter().map(ExperimentOutcome::gap))
     }
 
     /// Number of experiments resolved by simulation fallback.
@@ -135,6 +132,80 @@ impl CampaignResult {
             .iter()
             .filter(|o| o.resolution == Resolution::Simulated)
             .count()
+    }
+
+    /// The associative aggregates of this result (at [`GAP_REL_TOL`]).
+    pub fn accum(&self) -> CampaignAccum {
+        let mut accum = CampaignAccum::new();
+        for outcome in &self.outcomes {
+            accum.push(outcome);
+        }
+        accum
+    }
+}
+
+/// **Associative** campaign aggregates: what a shard can compute locally
+/// and a merger can recombine without touching the outcomes again.
+///
+/// Every field folds through an operation that is associative and
+/// commutative *bitwise* — integer sums and the guarded bit-pattern
+/// maximum of [`max_gap`](CampaignAccum::max_gap) — so
+/// `merge(accum(s_1), …, accum(s_N))` equals `accum(s_1 ∥ … ∥ s_N)`
+/// **exactly**, for any grouping of the shards. This is the foundation of
+/// the `repwf-dist` exact merger: aggregates of a sharded campaign are
+/// bit-identical to the unsharded run at any `num_shards × threads`
+/// combination. Order statistics (gap quantiles) deliberately do *not*
+/// live here: they are not associative and are computed only after the
+/// full merge, from the concatenated outcomes
+/// ([`crate::stats::gap_quantiles`]).
+///
+/// The no-critical count is fixed at [`GAP_REL_TOL`] — the tolerance the
+/// streaming aggregates and the CLI report use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CampaignAccum {
+    /// Experiments folded in.
+    pub done: usize,
+    /// Experiments without a critical resource (at [`GAP_REL_TOL`]).
+    pub no_critical: usize,
+    /// Experiments resolved by the simulator fallback.
+    pub simulated: usize,
+    /// Bit pattern of the maximum finite positive gap (see
+    /// [`CampaignAccum::max_gap`]).
+    max_gap_bits: u64,
+}
+
+impl CampaignAccum {
+    /// The empty accumulator (the identity of [`merge`](Self::merge)).
+    pub fn new() -> CampaignAccum {
+        CampaignAccum { done: 0, no_critical: 0, simulated: 0, max_gap_bits: 0f64.to_bits() }
+    }
+
+    /// Folds one outcome in.
+    pub fn push(&mut self, outcome: &ExperimentOutcome) {
+        self.done += 1;
+        self.no_critical += usize::from(outcome.no_critical_resource(GAP_REL_TOL));
+        self.simulated += usize::from(outcome.resolution == Resolution::Simulated);
+        self.max_gap_bits = agg::fold_max_gap_bits(self.max_gap_bits, outcome.gap());
+    }
+
+    /// Folds another accumulator in (associative, commutative, exact).
+    pub fn merge(&mut self, other: &CampaignAccum) {
+        self.done += other.done;
+        self.no_critical += other.no_critical;
+        self.simulated += other.simulated;
+        self.max_gap_bits = self.max_gap_bits.max(other.max_gap_bits);
+    }
+
+    /// Maximum finite positive gap folded in so far (0.0 when none);
+    /// equals [`CampaignResult::max_gap`] over the same outcomes.
+    pub fn max_gap(&self) -> f64 {
+        f64::from_bits(self.max_gap_bits)
+    }
+}
+
+impl Default for CampaignAccum {
+    fn default() -> Self {
+        CampaignAccum::new()
     }
 }
 
@@ -160,22 +231,9 @@ pub struct Progress {
 /// Progress callback type: invoked from worker threads.
 pub type ProgressFn<'a> = &'a (dyn Fn(Progress) + Sync);
 
-/// Folds one gap into the bitwise streaming maximum.
-///
-/// For **non-negative finite** IEEE-754 doubles the bit pattern is
-/// monotone in the value, so `fetch_max` on the bits is a numeric max —
-/// but only on that domain: a negative value's sign bit out-ranks every
-/// positive pattern, and NaN/∞ patterns sit above every real gap. The
-/// guard rejects those outright instead of trusting a `debug_assert`
-/// (release builds used to fold the raw bits unconditionally and could
-/// silently report a bogus maximum). [`ExperimentOutcome::gap`] already
-/// clamps at 0.0; this keeps the aggregate safe even for degenerate
-/// outcomes such as an infinite simulator-fallback period.
-fn fold_max_gap(max_gap_bits: &AtomicU64, gap: f64) {
-    if gap.is_finite() && gap > 0.0 {
-        max_gap_bits.fetch_max(gap.to_bits(), Ordering::SeqCst);
-    }
-}
+/// Outcome sink for [`run_campaign_streamed`]: invoked from worker
+/// threads, **in seed order**.
+pub type OutcomeSink<'a> = &'a (dyn Fn(&ExperimentOutcome) + Sync);
 
 /// Runs one experiment (public for reuse by benches/tests).
 ///
@@ -300,7 +358,7 @@ pub fn run_campaign_with(
                     usize::from(outcome.resolution == Resolution::Simulated),
                     Ordering::SeqCst,
                 );
-                fold_max_gap(&max_gap_bits, outcome.gap());
+                agg::fold_max_gap(&max_gap_bits, outcome.gap());
                 let d = done.fetch_add(1, Ordering::SeqCst) + 1;
                 callback(Progress {
                     done: d,
@@ -312,6 +370,36 @@ pub fn run_campaign_with(
             }
             outcome
         },
+    );
+    CampaignResult { outcomes }
+}
+
+/// [`run_campaign`] streaming every outcome to `sink` **in seed order**
+/// as the contiguous prefix of experiments completes (via
+/// [`repwf_par::par_map_init_ordered`]).
+///
+/// This is the entry point of the `repwf-dist` shard runners: the sink
+/// appends NDJSON records to the shard file, and because outcomes arrive
+/// strictly in seed order a killed process always leaves a valid,
+/// resumable prefix — at any thread count, with the same bytes. The sink
+/// runs under the executor's reorder lock; keep it to an append, not a
+/// solve. Outcomes are exactly those of [`run_campaign`] with the same
+/// arguments, bit for bit.
+pub fn run_campaign_streamed(
+    cfg: &GenConfig,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    threads: usize,
+    cap: usize,
+    sink: OutcomeSink<'_>,
+) -> CampaignResult {
+    let outcomes = repwf_par::par_map_init_ordered(
+        threads,
+        count,
+        || engine_for_cap(cap),
+        |engine, k| run_one_with(cfg, model, seed_base + k as u64, engine),
+        |_, outcome| sink(outcome),
     );
     CampaignResult { outcomes }
 }
@@ -410,14 +498,75 @@ mod tests {
     fn streaming_maximum_rejects_degenerate_gaps() {
         let bits = AtomicU64::new(0f64.to_bits());
         for g in [-0.5, f64::NAN, f64::INFINITY, f64::NEG_INFINITY, -0.0] {
-            fold_max_gap(&bits, g);
+            agg::fold_max_gap(&bits, g);
         }
         assert_eq!(f64::from_bits(bits.load(Ordering::SeqCst)), 0.0);
-        fold_max_gap(&bits, 0.25);
+        agg::fold_max_gap(&bits, 0.25);
         for g in [-1.0, f64::NAN, 0.1] {
-            fold_max_gap(&bits, g);
+            agg::fold_max_gap(&bits, g);
         }
         assert_eq!(f64::from_bits(bits.load(Ordering::SeqCst)), 0.25);
+    }
+
+    #[test]
+    fn accum_matches_result_aggregates_and_merges_associatively() {
+        let res = run_campaign(&small_cfg(), CommModel::Strict, 30, 40, 4, 200_000);
+        let whole = res.accum();
+        assert_eq!(whole.done, res.outcomes.len());
+        assert_eq!(whole.no_critical, res.count_no_critical(GAP_REL_TOL));
+        assert_eq!(whole.simulated, res.count_simulated());
+        assert_eq!(whole.max_gap().to_bits(), res.max_gap().to_bits());
+
+        // Any split of the outcome sequence, merged in any grouping, must
+        // reproduce the whole-campaign accumulator exactly.
+        for split in [1, 7, 15, 29] {
+            for second_split in [split + 1, res.outcomes.len()] {
+                let mut left = CampaignAccum::new();
+                res.outcomes[..split].iter().for_each(|o| left.push(o));
+                let mut mid = CampaignAccum::new();
+                res.outcomes[split..second_split].iter().for_each(|o| mid.push(o));
+                let mut right = CampaignAccum::new();
+                res.outcomes[second_split..].iter().for_each(|o| right.push(o));
+
+                let mut left_first = left;
+                left_first.merge(&mid);
+                left_first.merge(&right);
+                let mut right_first = mid;
+                right_first.merge(&right);
+                let mut outer = left;
+                outer.merge(&right_first);
+                assert_eq!(left_first, whole, "split {split}/{second_split}");
+                assert_eq!(outer, whole, "split {split}/{second_split}");
+            }
+        }
+
+        // Degenerate outcomes stay excluded from the merged maximum.
+        let mut degenerate = CampaignAccum::new();
+        degenerate.push(&outcome(100.0, f64::INFINITY));
+        assert_eq!(degenerate.max_gap(), 0.0);
+        let mut merged = whole;
+        merged.merge(&degenerate);
+        assert_eq!(merged.max_gap().to_bits(), whole.max_gap().to_bits());
+    }
+
+    #[test]
+    fn streamed_outcomes_arrive_in_seed_order_and_match_run_campaign() {
+        let reference = run_campaign(&small_cfg(), CommModel::Strict, 18, 70, 1, 200_000);
+        for threads in [1, 3, 8] {
+            let seen: Mutex<Vec<ExperimentOutcome>> = Mutex::new(Vec::new());
+            let res = run_campaign_streamed(
+                &small_cfg(),
+                CommModel::Strict,
+                18,
+                70,
+                threads,
+                200_000,
+                &|o| seen.lock().unwrap().push(o.clone()),
+            );
+            assert_eq!(res, reference, "threads={threads}");
+            let seen = seen.into_inner().unwrap();
+            assert_eq!(seen, reference.outcomes, "sink must stream in seed order");
+        }
     }
 
     #[test]

@@ -21,6 +21,11 @@
 //!   ([`campaign::Progress`]) as experiments finish, and strict-model
 //!   instances whose TPN exceeds the size cap transparently fall back to
 //!   the discrete-event simulator ([`campaign::Resolution::Simulated`]).
+//!   [`campaign::run_campaign_streamed`] additionally hands every outcome
+//!   to a sink **in seed order** while running multi-threaded, and the
+//!   associative [`campaign::CampaignAccum`] makes the aggregates
+//!   mergeable **exactly** — the two hooks the `repwf-dist` crate builds
+//!   its sharded (multi-process / multi-host) campaigns on.
 //! * [`table2`] — the twelve experiment families of Table 2 with the
 //!   paper's counts (5152 experiments total), runnable at any scale, with
 //!   console/CSV reporters.
@@ -54,11 +59,15 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+mod agg;
 pub mod campaign;
 pub mod sampler;
 pub mod stats;
 pub mod table2;
 
-pub use campaign::{run_campaign, run_campaign_with, CampaignResult, ExperimentOutcome, Progress};
+pub use campaign::{
+    run_campaign, run_campaign_streamed, run_campaign_with, CampaignAccum, CampaignResult,
+    ExperimentOutcome, Progress,
+};
 pub use sampler::{sample_instance, GenConfig, Range};
 pub use table2::{table2_rows, Table2Row};

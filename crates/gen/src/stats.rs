@@ -95,7 +95,7 @@ pub fn gap_quantiles(res: &CampaignResult, rel_tol: f64) -> Option<Quantiles> {
         .iter()
         .filter(|o| o.no_critical_resource(rel_tol))
         .map(|o| o.gap())
-        .filter(|g| g.is_finite())
+        .filter(|&g| crate::agg::countable_gap(g))
         .collect();
     if gaps.is_empty() {
         None

@@ -200,6 +200,56 @@ fn steal(me: usize, threads: usize, deques: &[Mutex<VecDeque<Span>>]) -> Option<
     None
 }
 
+/// [`par_map_init`] with an **in-order streaming consumer**: `consume(i,
+/// &result_i)` fires for every index in strictly increasing order (0, 1,
+/// 2, …) as soon as the contiguous prefix of results is complete, while
+/// later indices are still being computed.
+///
+/// This is the primitive behind the shard writers of `repwf-dist`: a
+/// campaign shard streams outcomes to an append-only NDJSON file **in
+/// seed order** regardless of the work-stealing schedule, so a killed
+/// process always leaves a valid, resumable prefix on disk.
+///
+/// Completed out-of-order results wait in a reorder buffer (one slot per
+/// index) guarded by a mutex; `consume` runs under that lock, so it sees
+/// indices in order even when called from different worker threads —
+/// keep it short (an append + checksum update, not a solve). The
+/// returned `Vec` is in index order, exactly like [`par_map_init`].
+pub fn par_map_init_ordered<T, S, I, F, C>(
+    threads: usize,
+    n: usize,
+    init: I,
+    f: F,
+    consume: C,
+) -> Vec<T>
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+    C: Fn(usize, &T) + Sync,
+{
+    struct Reorder<T> {
+        slots: Vec<Option<T>>,
+        /// First index not yet handed to `consume`.
+        next: usize,
+    }
+    let reorder = Mutex::new(Reorder { slots: (0..n).map(|_| None).collect(), next: 0 });
+    par_map_init(threads, n, init, |state, i| {
+        let v = f(state, i);
+        let mut r = reorder.lock().expect("reorder buffer poisoned");
+        debug_assert!(r.slots[i].is_none(), "index {i} computed twice");
+        r.slots[i] = Some(v);
+        while r.next < n {
+            let Some(done) = r.slots[r.next].as_ref() else { break };
+            consume(r.next, done);
+            r.next += 1;
+        }
+    });
+    let r = reorder.into_inner().expect("reorder buffer poisoned");
+    debug_assert_eq!(r.next, n, "ordered drain incomplete");
+    r.slots.into_iter().map(|o| o.expect("all indices computed")).collect()
+}
+
 /// [`par_map`] with a completion callback: `progress(done)` fires after
 /// every finished item with the running completion count (monotone but
 /// unordered — items finish in schedule order, not index order).
@@ -284,6 +334,53 @@ mod tests {
             peak.fetch_max(done, Ordering::Relaxed);
         });
         assert_eq!(peak.load(Ordering::Relaxed), n);
+    }
+
+    #[test]
+    fn ordered_consume_sees_indices_in_order() {
+        // Front-loaded imbalance forces heavy stealing, so late indices
+        // routinely finish before early ones — the consumer must still
+        // observe 0, 1, 2, … and every index exactly once.
+        for threads in [1, 2, 4, 8] {
+            let seen = Mutex::new(Vec::new());
+            let out = par_map_init_ordered(
+                threads,
+                97,
+                || (),
+                |(), i| {
+                    if i < 8 {
+                        let mut acc = 0u64;
+                        for k in 0..100_000u64 {
+                            acc = acc.wrapping_add(k ^ i as u64);
+                        }
+                        std::hint::black_box(acc);
+                    }
+                    i * 2
+                },
+                |i, &v| {
+                    assert_eq!(v, i * 2);
+                    seen.lock().unwrap().push(i);
+                },
+            );
+            assert_eq!(out, (0..97).map(|i| i * 2).collect::<Vec<_>>(), "threads={threads}");
+            let seen = seen.into_inner().unwrap();
+            assert_eq!(seen, (0..97).collect::<Vec<_>>(), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn ordered_consume_handles_empty_and_tiny_inputs() {
+        let calls = AtomicUsize::new(0);
+        let out: Vec<usize> =
+            par_map_init_ordered(4, 0, || (), |(), i| i, |_, _| {
+                calls.fetch_add(1, Ordering::SeqCst);
+            });
+        assert!(out.is_empty());
+        assert_eq!(calls.load(Ordering::SeqCst), 0);
+        let out = par_map_init_ordered(4, 1, || (), |(), i| i + 9, |i, &v| {
+            assert_eq!((i, v), (0, 9));
+        });
+        assert_eq!(out, vec![9]);
     }
 
     #[test]
