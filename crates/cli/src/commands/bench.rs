@@ -1,10 +1,11 @@
 //! `repwf bench` — the tracked benchmark suite of the period engine.
 //!
-//! Times the five hot kernels of the reproduction — single-instance
+//! Times the hot kernels of the reproduction — single-instance
 //! period solves (cold / engine-reused / warm-started), the parallel
 //! campaign, annealing over mapping space, the neighbor-move oracle
-//! (incremental patched solves vs. cold one-shot evaluations), and the
-//! shape-cached patched solve vs. a forced full rebuild — and writes the
+//! (incremental patched solves vs. cold one-shot evaluations), the
+//! shape-cached patched solve vs. a forced full rebuild, and the exact
+//! branch-and-bound optimizer — and writes the
 //! results to `BENCH_period.json` so the perf trajectory of the
 //! repository is recorded in-tree and CI can compare runs against the
 //! committed baseline.
@@ -29,6 +30,7 @@ use repwf_dist::{merge_paths, run_shard, CampaignSpec};
 use repwf_gen::campaign::run_campaign;
 use repwf_gen::{GenConfig, Range};
 use repwf_map::annealing::{anneal, AnnealOptions};
+use repwf_map::exact::{solve, ExactOptions};
 use repwf_map::greedy;
 use std::time::{Duration, Instant};
 
@@ -336,6 +338,52 @@ pub fn run(args: &[String]) -> Result<(), String> {
     assert_eq!(merged.result, unsharded, "sharded+merged campaign must be exact");
     let _ = std::fs::remove_dir_all(&shard_dir);
 
+    // --- kernel 7: exact branch-and-bound vs annealing ---
+    //
+    // A dedicated small instance (3 stages on 6 processors, strict model:
+    // 12720 ordered assignments) solved to certified optimality, next to
+    // a fixed-length annealing run on the same instance. Both the
+    // workload and the two derived indices are **independent of --quick
+    // and --threads**: the B&B counters are scheduling-independent by
+    // construction and the anneal comparison uses a pinned step count, so
+    // `exact_prune_ratio` (fraction of the space the bounds discharged)
+    // and `exact_vs_anneal_nodes` (anneal oracle calls per exact leaf
+    // solve) are exactly reproducible everywhere.
+    let exact_pipeline = Pipeline::new(vec![6.0, 15.0, 9.0], vec![0.5, 0.5]).unwrap();
+    let mut exact_platform = Platform::uniform(6, 1.0, 10.0);
+    for u in 0..6 {
+        exact_platform.set_speed(u, 1.0 + 0.15 * u as f64);
+    }
+    let exact_opts =
+        ExactOptions { model: CommModel::Strict, threads, ..ExactOptions::default() };
+    let exact_reps = if quick { 1 } else { 3 };
+    let mut exact_res = None;
+    let exact_line = time_kernel("exact_bnb_strict", exact_reps, 1, || {
+        exact_res = Some(solve(&exact_pipeline, &exact_platform, &exact_opts).expect("bench exact"));
+    });
+    let exact_res = exact_res.expect("exact kernel ran");
+    let exact_space = exact_res.space.expect("bench exact space fits u128");
+    lines.push(BenchLine { elements: exact_res.stats.evaluated.max(1), ..exact_line });
+    let anneal_vs_exact_opts = AnnealOptions {
+        model: CommModel::Strict,
+        steps: 400, // pinned: the index must not depend on --quick
+        seed,
+        ..AnnealOptions::default()
+    };
+    let exact_anneal = anneal(
+        &exact_pipeline,
+        &exact_platform,
+        greedy(&exact_pipeline, &exact_platform),
+        &anneal_vs_exact_opts,
+    );
+    let (_, exact_optimum) = exact_res.best.as_ref().expect("bench exact instance is feasible");
+    assert!(
+        exact_anneal.period >= *exact_optimum,
+        "annealing cannot beat the certified optimum"
+    );
+    let exact_prune_ratio = 1.0 - exact_res.stats.evaluated as f64 / exact_space as f64;
+    let exact_vs_anneal_nodes = exact_anneal.evaluations as f64 / exact_res.stats.evaluated as f64;
+
     // --- dimensionless indices (what --check gates on) ---
     let per_iter = |name: &str| {
         lines
@@ -351,6 +399,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ("neighbor_eval_speedup", per_iter("neighbor_eval_cold") / per_iter("neighbor_eval_incremental")),
         ("patched_solve_speedup", per_iter("solve_rebuild") / per_iter("solve_patched")),
         ("shard_merge_efficiency", per_iter("campaign_strict_nt") / per_iter("campaign_shard_merge")),
+        ("exact_prune_ratio", exact_prune_ratio),
+        ("exact_vs_anneal_nodes", exact_vs_anneal_nodes),
     ];
 
     // --- report ---

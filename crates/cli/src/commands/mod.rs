@@ -4,6 +4,7 @@ pub mod bench;
 pub mod campaign;
 pub mod dot;
 pub mod gantt;
+pub mod map;
 pub mod merge;
 pub mod period;
 pub mod simulate;

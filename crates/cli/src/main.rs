@@ -9,6 +9,8 @@
 //! repwf campaign  --stages N --procs P [--comp LO..HI] [--comm LO..HI]
 //!                 [--count N] [--seed S] [--threads K] [--model M] [--json]
 //!                 [--shard I/N --out F.ndjson]
+//! repwf map       [--example a|b|c | --file F] [--model M] [--exact | --certify]
+//!                 [--steps N] [--seed S] [--cap N] [--threads K] [--json]
 //! repwf merge     <shard.ndjson>... [--csv F] [--json]
 //! repwf bench     [--quick] [--out F] [--threads K] [--check BASELINE] [--json]
 //! repwf table2    [--scale F | --full] [--threads K] [--seed S] [--csv F] [--json]
@@ -38,6 +40,8 @@ COMMANDS:
   simulate   estimate the period with the discrete-event simulator
   campaign   run a random-experiment campaign (period vs. M_ct),
              optionally as one shard of a distributed run (--shard I/N)
+  map        optimize the mapping (heuristic, --exact B&B, or --certify
+             both with the heuristic's optimality gap)
   merge      recombine campaign shard files (byte-identical to unsharded)
   table2     reproduce the paper's Table 2 experiment families
   bench      run the tracked benchmark suite (emits BENCH_period.json)
@@ -65,6 +69,7 @@ fn main() -> ExitCode {
         "period" => commands::period::run(rest),
         "simulate" => commands::simulate::run(rest),
         "campaign" => commands::campaign::run(rest),
+        "map" => commands::map::run(rest),
         "merge" => commands::merge::run(rest),
         "bench" => commands::bench::run(rest),
         "table2" => commands::table2::run(rest),

@@ -65,6 +65,35 @@ fn campaign_json_is_identical_at_any_thread_count() {
 }
 
 #[test]
+fn map_certify_json_is_identical_at_any_thread_count() {
+    // The exact search's acceptance criterion: `--certify` output —
+    // heuristic, exact optimum, search counters, gap — is byte-identical
+    // at worker counts {1, 2, 4}.
+    let base = ["map", "--example", "a", "--model", "overlap", "--certify", "--json"];
+    let (one, _, ok1) = repwf(&[&base[..], &["--threads", "1"]].concat());
+    assert!(ok1);
+    for threads in ["2", "4"] {
+        let (n, _, okn) = repwf(&[&base[..], &["--threads", threads]].concat());
+        assert!(okn);
+        assert_eq!(one, n, "map --certify output must not depend on --threads");
+    }
+    assert_eq!(json_num(&one, "gap"), 0.0, "Example A certifies at gap 0");
+    assert_eq!(json_num(&one, "period"), 67.0, "free optimization beats the paper mapping");
+    assert!(one.contains("\"feasible\": true"));
+}
+
+#[test]
+fn map_exact_refuses_over_cap_candidates() {
+    // Exactness discipline at the CLI surface: a tiny --cap forces a
+    // strict-model candidate over the TPN limit, and `map --exact` must
+    // fail loudly rather than certify a simulator estimate.
+    let (_, err, ok) =
+        repwf(&["map", "--example", "a", "--model", "strict", "--exact", "--cap", "2"]);
+    assert!(!ok);
+    assert!(err.contains("refusing the simulator fallback"), "stderr was: {err}");
+}
+
+#[test]
 fn sharded_campaign_merges_byte_identical_to_unsharded() {
     // The PR's acceptance criterion: `repwf merge` of an N-shard campaign
     // is byte-identical to the unsharded `repwf campaign --json` output,

@@ -88,6 +88,68 @@ pub fn stage_cycle_times_into(v: InstanceView<'_>, i: StageId, out: &mut Vec<Cyc
     }
 }
 
+/// Lower bound on the `M_ct` (hence on the period) of **any completion**
+/// of a partially-assigned mapping: stages `0..prefix.len()` carry their
+/// final ordered replica tuples, later stages are still open.
+///
+/// Every cycle-time component that is already determined by the prefix —
+/// `C_comp` of every assigned replica, `C_in` between two assigned stages,
+/// `C_out` below the prefix boundary — is computed exactly as
+/// [`stage_cycle_times_into`] would; components that depend on an
+/// unassigned neighbor (the `C_out` of the last prefix stage when the
+/// pipeline continues past it) are bounded below by `0`, which is valid
+/// under both models (`max` over fewer terms, `sum` with a dropped
+/// non-negative term). The result therefore never exceeds the `M_ct` of
+/// any full mapping extending the prefix, and equals it bit-for-bit when
+/// `prefix` covers the whole pipeline.
+///
+/// An invalid prefix resource (zero/negative speed or bandwidth) yields an
+/// infinite bound: every completion inherits the invalid resource and is
+/// rejected by validation, so callers may prune such prefixes outright.
+pub fn prefix_cycle_bound(
+    pipeline: &crate::model::Pipeline,
+    platform: &crate::model::Platform,
+    prefix: &[Vec<ProcId>],
+    model: CommModel,
+) -> f64 {
+    let k = prefix.len();
+    let mut worst = 0.0f64;
+    for (i, procs) in prefix.iter().enumerate() {
+        let m_i = procs.len();
+        for (beta, &u) in procs.iter().enumerate() {
+            let c_comp = pipeline.work(i) / platform.speed(u) / m_i as f64;
+            let c_in = if i == 0 {
+                0.0
+            } else {
+                let prev = &prefix[i - 1];
+                let (senders, l) = partner_residues(prev.len(), m_i, beta);
+                let total: f64 = senders
+                    .iter()
+                    .map(|&a| pipeline.file(i - 1) / platform.bandwidth(prev[a], u))
+                    .sum();
+                total / l as f64
+            };
+            // The boundary stage's out-port partner is unknown unless the
+            // prefix is the whole pipeline (then stage k-1 is the last
+            // stage and its true C_out is 0 anyway).
+            let c_out = if i + 1 < k {
+                let next = &prefix[i + 1];
+                let (receivers, l) = partner_residues(next.len(), m_i, beta);
+                let total: f64 = receivers
+                    .iter()
+                    .map(|&b| pipeline.file(i) / platform.bandwidth(u, next[b]))
+                    .sum();
+                total / l as f64
+            } else {
+                0.0
+            };
+            let ct = CycleTime { proc: u, stage: i, replica_index: beta, c_in, c_comp, c_out };
+            worst = worst.max(ct.exec(model));
+        }
+    }
+    worst
+}
+
 /// Computes the cycle-time decomposition of every mapped processor of a
 /// borrowed view.
 pub fn cycle_times_view(v: InstanceView<'_>) -> Vec<CycleTime> {
@@ -407,6 +469,50 @@ mod tests {
         cache.invalidate();
         cache.max_cycle_time(InstanceView::new(&pipeline, &platform, &view(&assignment)).unwrap(), CommModel::Overlap);
         assert_eq!(cache.stage_recomputes(), n as u64 + 30 + n as u64);
+    }
+
+    #[test]
+    fn prefix_bound_full_prefix_equals_mct_bitwise() {
+        let inst = b_like();
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let (mct, _) = max_cycle_time(&inst, model);
+            let bound = prefix_cycle_bound(
+                &inst.pipeline,
+                &inst.platform,
+                inst.mapping.assignment(),
+                model,
+            );
+            assert_eq!(bound.to_bits(), mct.to_bits(), "{model:?}");
+        }
+    }
+
+    #[test]
+    fn prefix_bound_never_exceeds_any_completion() {
+        // Prefix = stage 0 only; every way of mapping stage 1 onto the
+        // remaining processors must have M_ct (and hence period) at or
+        // above the prefix bound.
+        let inst = b_like();
+        let prefix = vec![vec![0usize, 1, 2]];
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let bound = prefix_cycle_bound(&inst.pipeline, &inst.platform, &prefix, model);
+            for procs in [vec![3], vec![4, 3], vec![6, 5, 4], vec![3, 4, 5, 6], vec![5]] {
+                let mapping = Mapping::new(vec![prefix[0].clone(), procs]).unwrap();
+                let v = InstanceView::new(&inst.pipeline, &inst.platform, &mapping).unwrap();
+                let (mct, _) = max_cycle_time_view(v, model);
+                assert!(bound <= mct + 1e-15, "{model:?}: bound {bound} vs mct {mct}");
+            }
+        }
+    }
+
+    #[test]
+    fn prefix_bound_infinite_on_invalid_prefix_link() {
+        let inst = b_like();
+        let mut platform = inst.platform.clone();
+        platform.set_bandwidth(0, 3, 0.0);
+        let prefix = vec![vec![0usize], vec![3]];
+        let bound =
+            prefix_cycle_bound(&inst.pipeline, &platform, &prefix, CommModel::Overlap);
+        assert!(bound.is_infinite(), "zero-bandwidth prefix link must blow the bound up");
     }
 
     #[test]

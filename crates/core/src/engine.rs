@@ -76,7 +76,7 @@
 //! the bit-identical-at-any-thread-count guarantee. Sequential searches
 //! (`repwf_map::local_search`, `repwf_map::annealing`) enable warm starts.
 
-use crate::cycle_time::{max_cycle_time_view, MctCache};
+use crate::cycle_time::{max_cycle_time_view, prefix_cycle_bound, MctCache};
 use crate::model::{CommModel, Instance, InstanceView, Mapping, ModelError, Pipeline, Platform};
 use crate::overlap_poly::{overlap_period_view, Bottleneck};
 use crate::paths::mapping_num_paths;
@@ -521,6 +521,60 @@ impl<'a> MappingOracle<'a> {
         &self.mct
     }
 
+    /// Lower bound on the period of **any feasible completion** of a
+    /// partially-assigned mapping — the pruning oracle of the exact
+    /// branch-and-bound search (`repwf_map::exact`).
+    ///
+    /// `prefix` holds the final ordered replica tuples of stages
+    /// `0..prefix.len()`; `used[u]` marks the processors already taken
+    /// (including everything in `prefix`). The bound is the maximum of two
+    /// terms, both cheap and both valid under either [`CommModel`]:
+    ///
+    /// 1. the **partial `M_ct`** of the prefix
+    ///    ([`prefix_cycle_bound`]): every cycle-time component already
+    ///    determined by the prefix, with unknown boundary components
+    ///    bounded by `0` — never above the `M_ct` (≤ period) of any
+    ///    completion;
+    /// 2. the **single-stage floor** of each open stage `i`: a stage
+    ///    mapped on `m` replicas has `M_ct ≥ w_i / (m · max_u Π_u)`, and
+    ///    any completion can give stage `i` at most
+    ///    `avail − (open_stages − 1)` of the `avail` unused processors
+    ///    (every other open stage needs at least one), none faster than
+    ///    the fastest unused speed.
+    ///
+    /// Returns `f64::INFINITY` when no completion can be feasible (too few
+    /// processors left, or an invalid resource baked into the prefix) —
+    /// safe to prune unconditionally.
+    pub fn prefix_period_bound(
+        &self,
+        prefix: &[Vec<usize>],
+        used: &[bool],
+        model: CommModel,
+    ) -> f64 {
+        let n = self.pipeline.num_stages();
+        let k = prefix.len();
+        let mut bound = prefix_cycle_bound(self.pipeline, self.platform, prefix, model);
+        if k < n {
+            let mut avail = 0usize;
+            let mut s_max = 0.0f64;
+            for (u, &taken) in used.iter().enumerate() {
+                if !taken {
+                    avail += 1;
+                    s_max = s_max.max(self.platform.speed(u));
+                }
+            }
+            let open = n - k;
+            if avail < open {
+                return f64::INFINITY;
+            }
+            let m_max = (avail - (open - 1)) as f64;
+            for i in k..n {
+                bound = bound.max(self.pipeline.work(i) / (m_max * s_max));
+            }
+        }
+        bound
+    }
+
     /// Validates a candidate against the borrowed pair — exactly the
     /// accept/reject (and error) behavior of [`Instance::new`], but from
     /// the precomputed per-processor/per-link tables.
@@ -752,6 +806,30 @@ mod tests {
         // 2 stages: even a full recompute is 2 stages; the first eval pays
         // 2, the rest at most 2 each — just pin that the cache is live.
         assert!(oracle.mct_cache().stage_recomputes() >= 2);
+    }
+
+    #[test]
+    fn prefix_period_bound_is_a_true_lower_bound() {
+        let pipeline = Pipeline::new(vec![5.0, 7.0], vec![3.0]).unwrap();
+        let mut platform = Platform::uniform(5, 1.0, 1.0);
+        for u in 0..5 {
+            platform.set_speed(u, 1.0 + 0.2 * u as f64);
+        }
+        let mut oracle = MappingOracle::new(&pipeline, &platform);
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let prefix = vec![vec![0usize, 1]];
+            let mut used = vec![false; 5];
+            (used[0], used[1]) = (true, true);
+            let bound = oracle.prefix_period_bound(&prefix, &used, model);
+            assert!(bound.is_finite() && bound > 0.0);
+            for rest in [vec![2], vec![3, 4], vec![4, 2, 3]] {
+                let m = Mapping::new(vec![prefix[0].clone(), rest]).unwrap();
+                let p = oracle.compute(&m, model, Method::Auto).unwrap().period;
+                assert!(bound <= p + 1e-12, "{model:?}: bound {bound} vs period {p}");
+            }
+            // Every processor taken but a stage still open: no completion.
+            assert!(oracle.prefix_period_bound(&prefix, &[true; 5], model).is_infinite());
+        }
     }
 
     #[test]

@@ -265,7 +265,7 @@ pub(crate) fn read_complete(
     Ok((scan.manifest, scan.outcomes))
 }
 
-/// Reads a **complete** shard file from disk (see [`read_complete`]).
+/// Reads a **complete** shard file from disk (see `read_complete`).
 pub fn read_shard(path: &Path) -> Result<(ShardManifest, Vec<ExperimentOutcome>), DistError> {
     let name = path.display().to_string();
     let text = std::fs::read_to_string(path)

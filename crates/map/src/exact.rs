@@ -1,0 +1,469 @@
+//! Exact mapping optimization: deterministic parallel branch-and-bound.
+//!
+//! The mapping problem is NP-hard even without replication (Benoit &
+//! Robert, JPDC 2008 — reference \[3\] of the paper), so the heuristics of
+//! this crate come with no optimality guarantee. For small instances this
+//! module closes that gap: [`solve`] searches the **entire** ordered
+//! replica-assignment space — round-robin order within a stage's
+//! processor list changes the period, so the space is ordered tuples, not
+//! sets — and returns a certified optimum, or `None` when every mapping
+//! is infeasible.
+//!
+//! # Bound hierarchy
+//!
+//! A search node is a *prefix*: stages `0..k` carry their final ordered
+//! tuples, later stages are open. Each node is priced by
+//! [`MappingOracle::prefix_period_bound`], the maximum of two lower
+//! bounds on the period of any completion, checked cheapest-first:
+//!
+//! 1. **partial `M_ct`** — every cycle-time component the prefix already
+//!    determines (`C_comp` of assigned replicas, `C_in`/`C_out` between
+//!    assigned neighbors, via the round-robin partner averages of
+//!    `repwf_core::cycle_time`), with unknown boundary components bounded
+//!    by zero; valid for both [`CommModel`]s because the period is at
+//!    least `M_ct`;
+//! 2. **single-stage floors** for the open stages — stage `i` on `m`
+//!    replicas has `M_ct ≥ w_i / (m · max Π)`, maximized over what the
+//!    unused processors could still provide.
+//!
+//! A subtree is cut when its bound strictly exceeds the **incumbent**
+//! period (never on equality — an equal-period mapping may win the
+//! canonical tie-break), or when the bound is infinite (no feasible
+//! completion exists). Surviving leaves are evaluated through one warm
+//! [`MappingOracle`] per worker, so same-shape siblings re-solve on the
+//! engine's shape-cached patch path.
+//!
+//! # Deterministic parallelism
+//!
+//! The tree is split into **statically-numbered subtree tasks** — one per
+//! (stage-0 tuple length, stage-0 first processor) pair, the scheme Bobpp
+//! uses for reproducible constraint-program search — executed over
+//! `repwf_par`'s work-stealing executor with one engine arena per worker.
+//! Each task starts from a fresh oracle state (warm-start, patch and
+//! `M_ct` caches reset; the arenas' *allocations* are reused, never their
+//! answers) and its own incumbent, so every task's result and counters
+//! are pure functions of its task id. Task results are then folded **in
+//! task-index order** ([`repwf_par::par_map_init_reduce`]) with the
+//! associative best-period / lexicographic-mapping merge. The returned
+//! optimum — period bits, mapping, and every [`ExactStats`] counter — is
+//! therefore identical at 1, 2, or N workers.
+//!
+//! # Exactness discipline
+//!
+//! Unlike the heuristic oracle ([`crate::evaluate_with`]), `solve`
+//! **never** falls back to the discrete-event simulator: a simulated
+//! period is an estimate, and certifying one as optimal would be a lie.
+//! A candidate whose strict-model TPN exceeds the size cap aborts the
+//! search with [`ExactError::CandidateTooLarge`] instead.
+
+use crate::enumerate::better_incumbent;
+use repwf_core::engine::{MappingOracle, PeriodEngine};
+use repwf_core::model::{CommModel, Mapping, Pipeline, Platform};
+use repwf_core::period::{Method, PeriodError};
+use repwf_core::tpn_build::{BuildError, BuildOptions};
+
+/// Options for the exact search.
+#[derive(Debug, Clone)]
+pub struct ExactOptions {
+    /// Communication model to optimize for.
+    pub model: CommModel,
+    /// Worker threads (the result is identical at any value).
+    pub threads: usize,
+    /// Known-achievable upper bound on the optimum (e.g. the *exactly
+    /// re-evaluated* period of a heuristic mapping): subtrees bounded
+    /// strictly above it are pruned from the start. Must be attainable by
+    /// some feasible mapping, otherwise [`ExactResult::best`] may come
+    /// back `None` even though feasible mappings exist.
+    pub initial_bound: Option<f64>,
+    /// TPN transition cap for strict-model leaf evaluations; a leaf above
+    /// it aborts with [`ExactError::CandidateTooLarge`].
+    pub max_transitions: usize,
+}
+
+impl Default for ExactOptions {
+    fn default() -> Self {
+        ExactOptions {
+            model: CommModel::Overlap,
+            threads: 1,
+            initial_bound: None,
+            max_transitions: BuildOptions::default().max_transitions,
+        }
+    }
+}
+
+/// Scheduling-independent search counters: every field is a sum of
+/// per-task values, and each task is a pure function of its task id, so
+/// the whole struct is bit-identical at any worker count.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactStats {
+    /// Statically-numbered subtree tasks the tree was split into.
+    pub tasks: u64,
+    /// Prefix nodes priced by the lower bound (stage-tuple completions,
+    /// leaves included).
+    pub nodes: u64,
+    /// Subtrees cut because their bound exceeded the incumbent (or was
+    /// infinite).
+    pub pruned: u64,
+    /// Leaves whose period the oracle computed.
+    pub evaluated: u64,
+    /// Leaves rejected as infeasible (validation failure).
+    pub infeasible: u64,
+}
+
+impl ExactStats {
+    fn absorb(&mut self, other: &ExactStats) {
+        self.nodes += other.nodes;
+        self.pruned += other.pruned;
+        self.evaluated += other.evaluated;
+        self.infeasible += other.infeasible;
+    }
+}
+
+/// Why an exact search refused to answer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ExactError {
+    /// A candidate's TPN exceeded the transition cap. The heuristic
+    /// oracle would fall back to the simulator here; `exact` refuses —
+    /// a simulated estimate cannot certify an optimum.
+    CandidateTooLarge {
+        /// The candidate that overflowed.
+        mapping: Mapping,
+        /// The underlying build failure (size and cap).
+        error: BuildError,
+    },
+    /// The period solver failed on a candidate (numeric trouble).
+    Analysis {
+        /// The candidate that failed.
+        mapping: Mapping,
+        /// The solver's diagnosis.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ExactError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ExactError::CandidateTooLarge { mapping, error } => write!(
+                f,
+                "exact search aborted: candidate {:?} needs a TPN above the cap ({error}); \
+                 refusing the simulator fallback — an estimate cannot certify an optimum",
+                mapping.assignment()
+            ),
+            ExactError::Analysis { mapping, message } => {
+                write!(f, "exact search aborted on candidate {:?}: {message}", mapping.assignment())
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExactError {}
+
+/// The outcome of an exact search.
+#[derive(Debug, Clone)]
+pub struct ExactResult {
+    /// The optimal mapping and its period — the lexicographically
+    /// smallest assignment among period-optimal ones — or `None` when
+    /// every mapping in the space is infeasible (or none attains
+    /// [`ExactOptions::initial_bound`]).
+    pub best: Option<(Mapping, f64)>,
+    /// Scheduling-independent node/prune counters.
+    pub stats: ExactStats,
+    /// Total number of leaves in the search space
+    /// ([`search_space_size`]); `None` on `u128` overflow.
+    pub space: Option<u128>,
+}
+
+/// Number of ordered replica assignments of `stages` stages onto `procs`
+/// processors: each stage takes a nonempty ordered tuple, tuples are
+/// disjoint, and processors may remain unused. `None` on `u128` overflow.
+///
+/// `f(0, a) = 1`, `f(k, a) = Σ_{m=1}^{a-(k-1)} P(a, m) · f(k-1, a-m)`
+/// with `P(a, m)` the falling factorial — the denominator of the bench
+/// suite's `exact_prune_ratio` index.
+pub fn search_space_size(stages: usize, procs: usize) -> Option<u128> {
+    let mut f = vec![vec![0u128; procs + 1]; stages + 1];
+    for cell in &mut f[0] {
+        *cell = 1;
+    }
+    for k in 1..=stages {
+        for a in 0..=procs {
+            let mut total: u128 = 0;
+            if a >= k {
+                let mut perm: u128 = 1; // P(a, m), built incrementally
+                for m in 1..=(a - (k - 1)) {
+                    perm = perm.checked_mul((a - m + 1) as u128)?;
+                    total = total.checked_add(perm.checked_mul(f[k - 1][a - m])?)?;
+                }
+            }
+            f[k][a] = total;
+        }
+    }
+    Some(f[stages][procs])
+}
+
+/// One task's subtree walk: owns the mutable prefix and the task-local
+/// incumbent. Never shared across tasks — determinism comes from that.
+struct Searcher<'a, 'o> {
+    oracle: &'o mut MappingOracle<'a>,
+    model: CommModel,
+    n: usize,
+    p: usize,
+    /// The prefix under construction; stages past the current one are
+    /// empty placeholders.
+    assignment: Vec<Vec<usize>>,
+    used: Vec<bool>,
+    avail: usize,
+    /// Task-local incumbent (no cross-task sharing: counters must be pure
+    /// functions of the task id).
+    best: Option<(Mapping, f64)>,
+    /// Prune threshold: the incumbent's period, or the caller's
+    /// `initial_bound`, or `+∞`.
+    cutoff: f64,
+    stats: ExactStats,
+}
+
+impl Searcher<'_, '_> {
+    /// The tuple of stage `i` is complete: price the prefix, prune or
+    /// descend (evaluate when `i` is the last stage).
+    fn close_stage(&mut self, i: usize) -> Result<(), ExactError> {
+        self.stats.nodes += 1;
+        let bound =
+            self.oracle.prefix_period_bound(&self.assignment[..=i], &self.used, self.model);
+        // Strictly-greater only: an equal-period completion may still win
+        // the canonical (lexicographic) tie-break. Infinite bound = no
+        // feasible completion at all.
+        if bound > self.cutoff || bound.is_infinite() {
+            self.stats.pruned += 1;
+            return Ok(());
+        }
+        if i + 1 == self.n {
+            self.evaluate_leaf()
+        } else {
+            self.extend_stage(i + 1)
+        }
+    }
+
+    /// Enumerates the ordered tuples of stage `i` in canonical order
+    /// (prefixes before their extensions, processors in ascending id
+    /// order), closing the stage at every nonempty length.
+    fn extend_stage(&mut self, i: usize) -> Result<(), ExactError> {
+        if !self.assignment[i].is_empty() {
+            self.close_stage(i)?;
+        }
+        // Stages after `i` need one processor each; only extend while
+        // that reserve survives.
+        if self.avail > self.n - 1 - i {
+            for u in 0..self.p {
+                if !self.used[u] {
+                    self.push(i, u);
+                    self.extend_stage(i)?;
+                    self.pop(i, u);
+                }
+            }
+        }
+        Ok(())
+    }
+
+    /// Completes stage 0 to exactly `m0` replicas (the task's fixed
+    /// tuple length; the first element is fixed by the task id too).
+    fn fill_stage0(&mut self, m0: usize) -> Result<(), ExactError> {
+        if self.assignment[0].len() == m0 {
+            return self.close_stage(0);
+        }
+        for u in 0..self.p {
+            if !self.used[u] {
+                self.push(0, u);
+                self.fill_stage0(m0)?;
+                self.pop(0, u);
+            }
+        }
+        Ok(())
+    }
+
+    fn push(&mut self, i: usize, u: usize) {
+        self.assignment[i].push(u);
+        self.used[u] = true;
+        self.avail -= 1;
+    }
+
+    fn pop(&mut self, i: usize, u: usize) {
+        self.assignment[i].pop();
+        self.used[u] = false;
+        self.avail += 1;
+    }
+
+    /// Every stage has its tuple: evaluate exactly, **never** through the
+    /// simulator fallback.
+    fn evaluate_leaf(&mut self) -> Result<(), ExactError> {
+        let mapping =
+            Mapping::new(self.assignment.clone()).expect("search builds structurally valid mappings");
+        match self.oracle.compute(&mapping, self.model, Method::Auto) {
+            Ok(r) => {
+                self.stats.evaluated += 1;
+                let tie_break = r.period == self.cutoff
+                    && self
+                        .best
+                        .as_ref()
+                        .is_none_or(|(b, _)| mapping.assignment() < b.assignment());
+                if r.period < self.cutoff || tie_break {
+                    self.cutoff = r.period;
+                    self.best = Some((mapping, r.period));
+                }
+                Ok(())
+            }
+            Err(PeriodError::Model(_)) => {
+                self.stats.infeasible += 1;
+                Ok(())
+            }
+            Err(PeriodError::Build(error)) => {
+                Err(ExactError::CandidateTooLarge { mapping, error })
+            }
+            Err(e) => Err(ExactError::Analysis { mapping, message: e.to_string() }),
+        }
+    }
+}
+
+/// One subtree task's result (a pure function of the task id).
+struct TaskOut {
+    best: Option<(Mapping, f64)>,
+    stats: ExactStats,
+    err: Option<ExactError>,
+}
+
+/// Finds the throughput-optimal mapping by deterministic parallel
+/// branch-and-bound (see the module docs for the bound hierarchy and the
+/// determinism argument). Returns `best: None` when every mapping is
+/// infeasible; errors when any candidate cannot be evaluated *exactly*.
+pub fn solve(
+    pipeline: &Pipeline,
+    platform: &Platform,
+    opts: &ExactOptions,
+) -> Result<ExactResult, ExactError> {
+    let n = pipeline.num_stages();
+    let p = platform.num_procs();
+    let space = search_space_size(n, p);
+    if p < n {
+        return Ok(ExactResult { best: None, stats: ExactStats::default(), space });
+    }
+    // Task (t): stage 0 gets a tuple of length `t / p + 1` starting with
+    // processor `t % p` — numbered before execution, independent of the
+    // schedule.
+    let m0_max = p - (n - 1);
+    let num_tasks = m0_max * p;
+    let threads = opts.threads.max(1);
+    let build = BuildOptions { labels: false, max_transitions: opts.max_transitions };
+
+    let folded = repwf_par::par_map_init_reduce(
+        threads,
+        num_tasks,
+        || PeriodEngine::with_options(build.clone()).warm_start(true),
+        |engine, task| {
+            // Fresh per-task oracle state over the worker's reused arenas:
+            // allocations are cached, answers never are.
+            engine.reset_warm_start();
+            engine.reset_patch_state();
+            let mut oracle =
+                MappingOracle::with_engine(pipeline, platform, std::mem::take(engine));
+            let mut searcher = Searcher {
+                oracle: &mut oracle,
+                model: opts.model,
+                n,
+                p,
+                assignment: vec![Vec::new(); n],
+                used: vec![false; p],
+                avail: p,
+                best: None,
+                cutoff: opts.initial_bound.unwrap_or(f64::INFINITY),
+                stats: ExactStats::default(),
+            };
+            searcher.push(0, task % p);
+            let err = searcher.fill_stage0(task / p + 1).err();
+            let out = TaskOut { best: searcher.best.take(), stats: searcher.stats, err };
+            *engine = oracle.into_engine();
+            out
+        },
+        TaskOut { best: None, stats: ExactStats::default(), err: None },
+        // Index-ordered fold: best-period merge with the lexicographic
+        // tie-break, first error (in task order) wins.
+        |mut acc, _task, out| {
+            acc.stats.absorb(&out.stats);
+            if acc.err.is_none() {
+                acc.err = out.err;
+            }
+            acc.best = better_incumbent(acc.best, out.best);
+            acc
+        },
+    );
+    if let Some(err) = folded.err {
+        return Err(err);
+    }
+    let stats = ExactStats { tasks: num_tasks as u64, ..folded.stats };
+    Ok(ExactResult { best: folded.best, stats, space })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quickstart() -> (Pipeline, Platform) {
+        (
+            Pipeline::new(vec![2.0, 9.0], vec![0.001]).unwrap(),
+            Platform::uniform(4, 1.0, 1000.0),
+        )
+    }
+
+    #[test]
+    fn quickstart_optimum_is_three_replicas_of_the_heavy_stage() {
+        let (pipe, plat) = quickstart();
+        let res = solve(&pipe, &plat, &ExactOptions::default()).unwrap();
+        let (mapping, period) = res.best.expect("feasible");
+        assert_eq!(mapping.replicas(1), 3);
+        assert!((period - 3.0).abs() < 1e-9, "got {period}");
+        assert_eq!(res.space, Some(search_space_size(2, 4).unwrap()));
+        assert!(res.stats.pruned > 0, "{:?}", res.stats);
+        assert!(res.stats.evaluated as u128 <= res.space.unwrap());
+    }
+
+    #[test]
+    fn search_space_size_small_cases_by_hand() {
+        // 1 stage, 2 procs: [0], [1], [0,1], [1,0].
+        assert_eq!(search_space_size(1, 2), Some(4));
+        // 2 stages, 2 procs: ([0],[1]) and ([1],[0]).
+        assert_eq!(search_space_size(2, 2), Some(2));
+        assert_eq!(search_space_size(2, 5), Some(980));
+        assert_eq!(search_space_size(3, 3), Some(6));
+        assert_eq!(search_space_size(2, 1), Some(0));
+        assert_eq!(search_space_size(0, 3), Some(1));
+    }
+
+    #[test]
+    fn too_few_processors_is_infeasible_not_an_error() {
+        let pipe = Pipeline::new(vec![1.0, 1.0, 1.0], vec![1.0, 1.0]).unwrap();
+        let plat = Platform::uniform(2, 1.0, 1.0);
+        let res = solve(&pipe, &plat, &ExactOptions::default()).unwrap();
+        assert!(res.best.is_none());
+        assert_eq!(res.space, Some(0));
+    }
+
+    #[test]
+    fn initial_bound_prunes_without_losing_the_optimum() {
+        let (pipe, plat) = quickstart();
+        let free = solve(&pipe, &plat, &ExactOptions::default()).unwrap();
+        let (free_best, free_period) = free.best.unwrap();
+        let bounded = solve(
+            &pipe,
+            &plat,
+            &ExactOptions { initial_bound: Some(free_period), ..ExactOptions::default() },
+        )
+        .unwrap();
+        let (bounded_best, bounded_period) = bounded.best.unwrap();
+        assert_eq!(bounded_period.to_bits(), free_period.to_bits());
+        assert_eq!(bounded_best, free_best);
+        assert!(
+            bounded.stats.evaluated <= free.stats.evaluated,
+            "bound must not increase work: {:?} vs {:?}",
+            bounded.stats,
+            free.stats
+        );
+    }
+}

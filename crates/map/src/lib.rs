@@ -10,7 +10,10 @@
 //! * [`local_search`] — hill climbing over add/remove/move/swap moves,
 //! * [`optimize`] — multi-start search combining both,
 //! * [`annealing`] — simulated annealing over the same move set, for
-//!   instances where hill climbing stalls in local optima.
+//!   instances where hill climbing stalls in local optima,
+//! * [`exact`] — deterministic parallel branch-and-bound for small
+//!   instances: a certified optimum, bit-identical at any worker count
+//!   (with [`enumerate`], the brute-force oracle its tests diff against).
 //!
 //! The oracle is [`evaluate`] / [`evaluate_with`]: it validates a
 //! candidate, asks a `repwf_core::engine::PeriodEngine` for the period,
@@ -50,6 +53,8 @@
 #![warn(missing_docs)]
 
 pub mod annealing;
+pub mod enumerate;
+pub mod exact;
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};

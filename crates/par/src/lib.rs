@@ -250,6 +250,39 @@ where
     r.slots.into_iter().map(|o| o.expect("all indices computed")).collect()
 }
 
+/// [`par_map_init`] followed by a **sequential fold in index order** on
+/// the calling thread: `fold(acc, i, result_i)` sees index 0, then 1, …
+/// regardless of the work-stealing schedule or the thread count.
+///
+/// This is the deterministic-partitioning primitive of the exact
+/// branch-and-bound search (`repwf_map::exact`, after Bobpp's
+/// statically-numbered subtree scheme): the search tree is split into
+/// tasks numbered *before* execution, each task's result is a pure
+/// function of its index (per-worker state caches allocations, never
+/// answers), and the incumbent merge — which need not be commutative,
+/// e.g. "first error wins" or "lexicographic tie-break against the
+/// current best" — happens here, in a fixed order. The folded value is
+/// therefore bit-identical at 1, 2, or N workers.
+pub fn par_map_init_reduce<T, S, I, F, A, R>(
+    threads: usize,
+    n: usize,
+    init: I,
+    f: F,
+    acc: A,
+    mut fold: R,
+) -> A
+where
+    T: Send,
+    I: Fn() -> S + Sync,
+    F: Fn(&mut S, usize) -> T + Sync,
+    R: FnMut(A, usize, T) -> A,
+{
+    par_map_init(threads, n, init, f)
+        .into_iter()
+        .enumerate()
+        .fold(acc, |acc, (i, v)| fold(acc, i, v))
+}
+
 /// [`par_map`] with a completion callback: `progress(done)` fires after
 /// every finished item with the running completion count (monotone but
 /// unordered — items finish in schedule order, not index order).
@@ -381,6 +414,34 @@ mod tests {
             assert_eq!((i, v), (0, 9));
         });
         assert_eq!(out, vec![9]);
+    }
+
+    #[test]
+    fn reduce_with_noncommutative_fold_is_thread_count_independent() {
+        // String concatenation is order-sensitive: only an index-ordered
+        // fold gives the same answer at every thread count.
+        let reference: String = (0..40).map(|i| format!("[{i}]")).collect();
+        for threads in [1, 2, 4, 16] {
+            let folded = par_map_init_reduce(
+                threads,
+                40,
+                || (),
+                |(), i| {
+                    if i % 7 == 0 {
+                        // Imbalance to provoke out-of-order completion.
+                        std::hint::black_box((0..50_000u64).sum::<u64>());
+                    }
+                    format!("[{i}]")
+                },
+                String::new(),
+                |mut acc, i, s| {
+                    assert_eq!(s, format!("[{i}]"));
+                    acc.push_str(&s);
+                    acc
+                },
+            );
+            assert_eq!(folded, reference, "threads={threads}");
+        }
     }
 
     #[test]
