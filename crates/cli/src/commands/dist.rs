@@ -1,0 +1,116 @@
+//! `repwf dist` — inspect a supervised campaign directory.
+//!
+//! `repwf dist status --dir D` scans the directory's durable files —
+//! the pinned campaign, unit files, leases, done and split markers —
+//! and reports each claim unit's standing without claiming or changing
+//! anything. Safe to run while workers are live.
+
+use crate::json::Json;
+use repwf_dist::status;
+
+const HELP: &str = "\
+repwf dist — inspect distributed campaign state
+
+USAGE: repwf dist status --dir PATH [--json]
+
+Reports each claim unit of a supervised campaign directory (see
+`repwf campaign --supervise`): durable records vs effective length,
+completion, and the current lease (owner, attempt, age, failed flag).
+Read-only; safe while workers are running.
+
+OPTIONS:
+  --dir PATH         the shared campaign directory
+  --json             structured output
+";
+
+pub fn run(args: &[String]) -> Result<(), String> {
+    let opts = crate::opts::Opts::parse(args, &["--dir"], &["--json", "--help"])?;
+    if opts.has("--help") {
+        print!("{HELP}");
+        return Ok(());
+    }
+    match opts.positional() {
+        [sub] if sub == "status" => {}
+        [] => return Err(format!("missing subcommand\n\n{HELP}")),
+        [other, ..] => return Err(format!("unknown subcommand `{other}`\n\n{HELP}")),
+    }
+    let dir = opts.get("--dir").ok_or("dist status needs --dir PATH")?;
+    let status = status(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
+
+    if opts.has("--json") {
+        let units: Vec<Json> = status
+            .unit_status
+            .iter()
+            .map(|u| {
+                let mut fields = vec![
+                    ("offset", Json::UInt(u.unit.offset as u128)),
+                    ("declared", Json::UInt(u.unit.declared as u128)),
+                    ("effective", Json::UInt(u.unit.eff as u128)),
+                    ("records", Json::UInt(u.records as u128)),
+                    ("done", Json::Bool(u.unit.done.is_some())),
+                    ("file_complete", Json::Bool(u.file_complete)),
+                ];
+                if let Some(lease) = &u.lease {
+                    fields.push((
+                        "lease",
+                        Json::Obj(vec![
+                            ("owner", Json::str(&lease.owner)),
+                            ("attempt", Json::UInt(u128::from(lease.attempt))),
+                            ("failed", Json::Bool(lease.failed)),
+                            ("age_ms", Json::UInt(lease.age.as_millis())),
+                        ]),
+                    ));
+                }
+                Json::Obj(fields)
+            })
+            .collect();
+        let doc = Json::Obj(vec![
+            ("count", Json::UInt(status.spec.count as u128)),
+            ("seed", Json::UInt(u128::from(status.spec.seed_base))),
+            ("units", Json::UInt(status.units as u128)),
+            ("complete", Json::Bool(status.complete)),
+            ("unit_status", Json::Arr(units)),
+        ]);
+        print!("{}", doc.to_string_pretty());
+        return Ok(());
+    }
+
+    println!(
+        "campaign: {} experiments from seed {}, {} initial units",
+        status.spec.count, status.spec.seed_base, status.units
+    );
+    for u in &status.unit_status {
+        let state = if u.unit.done.is_some() {
+            "done".to_string()
+        } else if let Some(lease) = &u.lease {
+            format!(
+                "{} by {} (attempt {}, {:.1}s ago)",
+                if lease.failed { "failed" } else { "claimed" },
+                lease.owner,
+                lease.attempt,
+                lease.age.as_secs_f64(),
+            )
+        } else {
+            "unclaimed".to_string()
+        };
+        println!(
+            "  r{}-{}: {}/{} records, {}",
+            u.unit.offset, u.unit.declared, u.records, u.unit.eff, state
+        );
+    }
+    let durable: usize = status.unit_status.iter().map(|u| u.records.min(u.unit.eff)).sum();
+    let coverage = repwf_gen::campaign::Progress {
+        done: durable,
+        total: status.spec.count,
+        no_critical: 0,
+        simulated: 0,
+        max_gap: 0.0,
+    };
+    println!(
+        "progress: {durable}/{} records durable ({:.1}%)",
+        status.spec.count,
+        coverage.fraction() * 100.0
+    );
+    println!("status: {}", if status.complete { "COMPLETE" } else { "in progress" });
+    Ok(())
+}

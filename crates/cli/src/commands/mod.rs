@@ -2,6 +2,7 @@
 
 pub mod bench;
 pub mod campaign;
+pub mod dist;
 pub mod dot;
 pub mod gantt;
 pub mod map;

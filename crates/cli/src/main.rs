@@ -8,10 +8,12 @@
 //! repwf simulate  [--example a|b|c | --file F] [--model M] [--data-sets N] [--json]
 //! repwf campaign  --stages N --procs P [--comp LO..HI] [--comm LO..HI]
 //!                 [--count N] [--seed S] [--threads K] [--model M] [--json]
-//!                 [--shard I/N --out F.ndjson]
+//!                 [--shard I/N --out F.ndjson | --range OFF+LEN --out F.ndjson
+//!                  | --supervise --dir D [--workers N] [--units N]]
 //! repwf map       [--example a|b|c | --file F] [--model M] [--exact | --certify]
 //!                 [--steps N] [--seed S] [--cap N] [--threads K] [--json]
-//! repwf merge     <shard.ndjson>... [--csv F] [--json]
+//! repwf merge     <shard.ndjson>... [--csv F] [--json] [--allow-partial]
+//! repwf dist      status --dir D [--json]
 //! repwf bench     [--quick] [--out F] [--threads K] [--check BASELINE] [--json]
 //! repwf table2    [--scale F | --full] [--threads K] [--seed S] [--csv F] [--json]
 //! repwf gantt     <a-strict|a-overlap|b-overlap> [--periods K] [--svg F]
@@ -39,10 +41,14 @@ COMMANDS:
   period     compute the steady-state period P̂ of an instance
   simulate   estimate the period with the discrete-event simulator
   campaign   run a random-experiment campaign (period vs. M_ct),
-             optionally as one shard of a distributed run (--shard I/N)
+             optionally as one shard of a distributed run (--shard I/N,
+             --range OFF+LEN) or as an elastic fault-tolerant supervisor
+             worker on a shared directory (--supervise --dir D)
   map        optimize the mapping (heuristic, --exact B&B, or --certify
              both with the heuristic's optimality gap)
-  merge      recombine campaign shard files (byte-identical to unsharded)
+  merge      recombine campaign shard files (byte-identical to unsharded;
+             --allow-partial tolerates gaps and reports them)
+  dist       inspect distributed campaign state (dist status --dir D)
   table2     reproduce the paper's Table 2 experiment families
   bench      run the tracked benchmark suite (emits BENCH_period.json)
   gantt      render the paper's Gantt figures (ASCII / SVG)
@@ -71,6 +77,7 @@ fn main() -> ExitCode {
         "campaign" => commands::campaign::run(rest),
         "map" => commands::map::run(rest),
         "merge" => commands::merge::run(rest),
+        "dist" => commands::dist::run(rest),
         "bench" => commands::bench::run(rest),
         "table2" => commands::table2::run(rest),
         "gantt" => commands::gantt::run(rest),

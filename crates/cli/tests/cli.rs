@@ -4,14 +4,23 @@
 use std::process::Command;
 
 fn repwf(args: &[&str]) -> (String, String, bool) {
-    let out = Command::new(env!("CARGO_BIN_EXE_repwf"))
-        .args(args)
-        .output()
-        .expect("spawn repwf");
+    let (stdout, stderr, code) = repwf_env(args, &[]);
+    (stdout, stderr, code == Some(0))
+}
+
+/// Runs the binary with extra environment variables, returning the exit
+/// code (the chaos tests assert on the dedicated kill code).
+fn repwf_env(args: &[&str], env: &[(&str, &str)]) -> (String, String, Option<i32>) {
+    let mut cmd = Command::new(env!("CARGO_BIN_EXE_repwf"));
+    cmd.args(args);
+    for (k, v) in env {
+        cmd.env(k, v);
+    }
+    let out = cmd.output().expect("spawn repwf");
     (
         String::from_utf8(out.stdout).expect("utf8 stdout"),
         String::from_utf8(out.stderr).expect("utf8 stderr"),
-        out.status.success(),
+        out.status.code(),
     )
 }
 
@@ -310,6 +319,134 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
         "{err}"
     );
 
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn supervised_campaign_with_injected_kill_matches_the_plain_run() {
+    let dir = std::env::temp_dir().join(format!("repwf-supervise-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = [
+        "campaign", "--stages", "2", "--procs", "6", "--comm", "5..10", "--count", "17",
+        "--seed", "23", "--model", "strict",
+    ];
+    let (reference, _, ok) = repwf(&[&base[..], &["--json"]].concat());
+    assert!(ok);
+
+    // Two elastic workers in one process; one gets a deterministic kill
+    // (torn final line included) on its first claim. The campaign must
+    // still complete and the merged output must be byte-identical.
+    let camp = dir.join("camp");
+    let camp_s = camp.to_str().unwrap();
+    let sup = [
+        "--supervise", "--dir", camp_s, "--workers", "2", "--units", "3",
+        "--flush-every", "2", "--json",
+    ];
+    let (merged, err, code) =
+        repwf_env(&[&base[..], &sup[..]].concat(), &[("REPWF_FAULT", "kill-after=2,torn=7")]);
+    assert_eq!(code, Some(0), "{err}");
+    assert_eq!(merged, reference, "supervised merge must be byte-identical");
+    assert!(err.contains("faulted: injected kill after 2 records"), "{err}");
+    assert!(err.contains("attempt 2 (takeover)"), "{err}");
+
+    // dist status on the finished directory: complete, no leases.
+    let (out, err, ok) = repwf(&["dist", "status", "--dir", camp_s]);
+    assert!(ok, "{err}");
+    assert!(out.contains("status: COMPLETE"), "{out}");
+    let (out, _, ok) = repwf(&["dist", "status", "--dir", camp_s, "--json"]);
+    assert!(ok);
+    assert!(out.contains("\"complete\": true"), "{out}");
+
+    // Supervising the finished directory again is a cheap no-op with the
+    // same byte-identical output.
+    let (again, err, ok) = repwf(&[&base[..], &sup[..]].concat());
+    assert!(ok, "{err}");
+    assert_eq!(again, reference);
+
+    // A worker launched with divergent flags is refused by the pin.
+    let (_, err, ok) = repwf(&[
+        "campaign", "--stages", "2", "--procs", "6", "--comm", "5..10", "--count", "18",
+        "--seed", "23", "--model", "strict", "--supervise", "--dir", camp_s,
+    ]);
+    assert!(!ok);
+    assert!(err.contains("manifest mismatch") && err.contains("count: 17 vs 18"), "{err}");
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn injected_process_exit_kill_leaves_a_resumable_shard() {
+    let dir = std::env::temp_dir().join(format!("repwf-chaos-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let shard = dir.join("s0.ndjson");
+    let shard_s = shard.to_str().unwrap();
+    let args = [
+        "campaign", "--stages", "2", "--procs", "6", "--count", "11", "--seed", "7",
+        "--model", "strict", "--shard", "0/1", "--out", shard_s, "--flush-every", "3",
+    ];
+    // The worker process dies with the dedicated kill exit code, mid-file.
+    let (_, _, code) = repwf_env(&args, &[("REPWF_FAULT", "kill-after=5,torn=11,exit")]);
+    assert_eq!(code, Some(86), "injected exit must use the dedicated code");
+    let torn = std::fs::read_to_string(&shard).unwrap();
+    assert!(!torn.contains("\"kind\":\"footer\""), "killed shard must have no footer");
+
+    // Re-running the identical command (no fault) resumes the checkpoint
+    // and converges; a from-scratch run of the same shard proves the
+    // bytes identical.
+    let (_, err, ok) = repwf(&args);
+    assert!(ok, "{err}");
+    let resumed = std::fs::read(&shard).unwrap();
+    let fresh = dir.join("fresh.ndjson");
+    let fresh_args: Vec<&str> = args
+        .iter()
+        .map(|a| if *a == shard_s { fresh.to_str().unwrap() } else { *a })
+        .collect();
+    let (_, err, ok) = repwf(&fresh_args);
+    assert!(ok, "{err}");
+    assert_eq!(resumed, std::fs::read(&fresh).unwrap());
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
+fn range_shards_fill_gaps_and_allow_partial_reports_them() {
+    let dir = std::env::temp_dir().join(format!("repwf-range-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = [
+        "campaign", "--stages", "2", "--procs", "6", "--comm", "5..10", "--count", "12",
+        "--seed", "9", "--model", "strict",
+    ];
+    let (reference, _, ok) = repwf(&[&base[..], &["--json"]].concat());
+    assert!(ok);
+    let path = |name: &str| dir.join(name).to_str().unwrap().to_string();
+    let (lo, hi, fill) = (path("r0-5.ndjson"), path("r8-4.ndjson"), path("r5-3.ndjson"));
+    for (range, out) in [("0+5", &lo), ("8+4", &hi)] {
+        let (_, err, ok) = repwf(&[&base[..], &["--range", range, "--out", out]].concat());
+        assert!(ok, "{err}");
+    }
+
+    // The exact merge refuses the gap, naming the seeds and the command.
+    let (_, err, ok) = repwf(&["merge", &lo, &hi, "--json"]);
+    assert!(!ok);
+    assert!(err.contains("seeds 14..17 uncovered"), "{err}");
+    assert!(err.contains("--range 5+3"), "{err}");
+
+    // --allow-partial merges what exists and marks the document partial.
+    let (out, err, ok) = repwf(&["merge", &lo, &hi, "--json", "--allow-partial"]);
+    assert!(ok, "{err}");
+    assert!(out.contains("\"partial\": true"), "{out}");
+    assert!(out.contains("\"seed_start\": 14"), "{out}");
+    assert!(err.contains("seeds 14..17 missing"), "{err}");
+
+    // Running the suggested command closes the gap; the exact merge is
+    // byte-identical to the unsharded run (--allow-partial included:
+    // without gaps it prints the plain document).
+    let (_, err, ok) = repwf(&[&base[..], &["--range", "5+3", "--out", &fill]].concat());
+    assert!(ok, "{err}");
+    for extra in [&["--json"][..], &["--json", "--allow-partial"][..]] {
+        let merge_args = [&["merge", &lo, &fill, &hi][..], extra].concat();
+        let (merged, err, ok) = repwf(&merge_args);
+        assert!(ok, "{err}");
+        assert_eq!(merged, reference, "extra={extra:?}");
+    }
     let _ = std::fs::remove_dir_all(&dir);
 }
 

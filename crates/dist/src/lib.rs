@@ -62,17 +62,24 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod fault;
 pub mod json;
+pub mod lease;
 pub mod manifest;
 pub mod merge;
 pub mod plan;
 pub mod report;
 pub mod shard;
+pub mod supervise;
 
+pub use fault::FaultPlan;
 pub use manifest::{CampaignSpec, ShardManifest};
-pub use merge::{merge_paths, MergedCampaign};
+pub use merge::{merge_paths, merge_paths_partial, MergeReport, MergedCampaign};
 pub use plan::ShardPlan;
-pub use shard::{read_shard, run_shard, ShardRunSummary};
+pub use shard::{
+    read_shard, run_range, run_shard, run_shard_opts, ShardRunOptions, ShardRunSummary,
+};
+pub use supervise::{status, supervise, SuperviseOptions, SuperviseSummary};
 
 /// Errors of the distributed campaign subsystem.
 ///
@@ -105,6 +112,11 @@ pub enum DistError {
     /// The set of shard files does not tile the campaign exactly
     /// (missing or duplicate shard indices, or an incomplete shard).
     ShardSet(String),
+    /// An **injected** fault fired (deterministic chaos testing): the
+    /// worker behaved exactly as a killed process would — valid
+    /// checkpoint prefix on disk, nothing merged — and reports it here
+    /// instead of dying, so in-process tests can assert on the recovery.
+    Fault(String),
 }
 
 impl std::fmt::Display for DistError {
@@ -119,6 +131,7 @@ impl std::fmt::Display for DistError {
                 write!(f, "manifest mismatch in {path}: {reason}")
             }
             DistError::ShardSet(m) => write!(f, "inconsistent shard set: {m}"),
+            DistError::Fault(m) => write!(f, "injected fault: {m}"),
         }
     }
 }

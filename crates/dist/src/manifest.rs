@@ -67,13 +67,33 @@ impl ShardManifest {
         Ok(ShardManifest { spec, plan })
     }
 
+    /// Builds the manifest for an explicit seed sub-range of a campaign
+    /// (a supervisor claim unit).
+    pub fn new_range(
+        spec: CampaignSpec,
+        offset: usize,
+        len: usize,
+    ) -> Result<ShardManifest, DistError> {
+        let plan = ShardPlan::range(spec.seed_base, spec.count, offset, len)?;
+        Ok(ShardManifest { spec, plan })
+    }
+
     /// Serializes to the single NDJSON manifest line (no trailing
     /// newline). Time-range bounds are stored as exact f64 bit patterns;
     /// the redundant `seed_start`/`shard_count` fields let a reader
     /// verify the shard's claimed slice against the plan arithmetic.
+    /// Range shards (supervisor claim units) additionally carry their
+    /// explicit `range_offset`/`range_len` slice; fraction shards keep
+    /// the exact byte layout of earlier releases.
     pub fn to_line(&self) -> String {
         let s = &self.spec;
         let p = &self.plan;
+        let range_fields = match p.range_slice() {
+            Some((offset, len)) => {
+                format!(",\"range_offset\":{offset},\"range_len\":{len}")
+            }
+            None => String::new(),
+        };
         format!(
             "{{\"kind\":\"manifest\",\"schema\":\"{SHARD_SCHEMA}\",\"model\":\"{}\",\
              \"stages\":{},\"procs\":{},\
@@ -81,7 +101,7 @@ impl ShardManifest {
              \"comm_lo_bits\":{},\"comm_hi_bits\":{},\
              \"count\":{},\"seed_base\":{},\"cap\":{},\
              \"shard_index\":{},\"num_shards\":{},\
-             \"seed_start\":{},\"shard_count\":{}}}",
+             \"seed_start\":{},\"shard_count\":{}{range_fields}}}",
             model_name(s.model),
             s.cfg.stages,
             s.cfg.procs,
@@ -142,12 +162,23 @@ impl ShardManifest {
             seed_base: u64_field("seed_base")?,
             cap: u64_field("cap")? as usize,
         };
-        let manifest = ShardManifest::new(
-            spec,
-            u64_field("shard_index")? as usize,
-            u64_field("num_shards")? as usize,
-        )
-        .map_err(|e| corrupt(format!("manifest declares an invalid plan: {e}")))?;
+        let manifest = if doc.get("range_offset").is_some() || doc.get("range_len").is_some() {
+            let plan = ShardPlan::range(
+                spec.seed_base,
+                spec.count,
+                u64_field("range_offset")? as usize,
+                u64_field("range_len")? as usize,
+            )
+            .map_err(|e| corrupt(format!("manifest declares an invalid range: {e}")))?;
+            ShardManifest { spec, plan }
+        } else {
+            ShardManifest::new(
+                spec,
+                u64_field("shard_index")? as usize,
+                u64_field("num_shards")? as usize,
+            )
+            .map_err(|e| corrupt(format!("manifest declares an invalid plan: {e}")))?
+        };
         // The redundant slice fields must agree with the plan arithmetic —
         // a shard claiming a foreign slice is corrupt, not merely odd.
         let (claimed_start, claimed_count) =
@@ -206,7 +237,15 @@ impl ShardManifest {
                 return Some(format!("{name}: {va} vs {vb}"));
             }
         }
-        if self.plan.num_shards != other.plan.num_shards {
+        // Fraction shards of one campaign must share the shard layout.
+        // Range shards carry explicit slices instead: any mix of slices of
+        // the same campaign is layout-compatible (the merge checks that
+        // the *covered* ranges tile the seed space), and a range shard is
+        // also compatible with fraction shards.
+        if self.plan.range_slice().is_none()
+            && other.plan.range_slice().is_none()
+            && self.plan.num_shards != other.plan.num_shards
+        {
             return Some(format!(
                 "num_shards: {} vs {}",
                 self.plan.num_shards, other.plan.num_shards
@@ -245,6 +284,29 @@ mod tests {
         assert_eq!(back.plan.seed_start(), 2009 + 34);
         assert_eq!(back.plan.shard_count(), 33);
         assert!(manifest.campaign_mismatch(&back).is_none());
+    }
+
+    #[test]
+    fn range_manifests_round_trip_and_are_layout_compatible() {
+        let manifest = ShardManifest::new_range(spec(), 34, 33).unwrap();
+        let line = manifest.to_line();
+        assert!(line.contains("\"range_offset\":34,\"range_len\":33"), "{line}");
+        let back = ShardManifest::parse_line(&line, "r2043-33.ndjson").unwrap();
+        assert_eq!(back, manifest);
+        assert_eq!(back.plan.seed_start(), 2043);
+        assert_eq!(back.plan.shard_count(), 33);
+
+        // Different slices of one campaign are the same campaign; so is a
+        // range shard next to a fraction shard.
+        let other = ShardManifest::new_range(spec(), 0, 34).unwrap();
+        assert!(manifest.campaign_mismatch(&other).is_none());
+        let fraction = ShardManifest::new(spec(), 1, 3).unwrap();
+        assert!(manifest.campaign_mismatch(&fraction).is_none());
+
+        // A range overshooting the campaign is corrupt at parse time.
+        let doctored = line.replace("\"range_len\":33", "\"range_len\":90");
+        let err = ShardManifest::parse_line(&doctored, "x").unwrap_err();
+        assert!(matches!(err, DistError::Corrupt { .. }), "{err}");
     }
 
     #[test]

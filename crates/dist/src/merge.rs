@@ -1,6 +1,25 @@
 //! The exact merger: shard files → the unsharded campaign result.
+//!
+//! Two kinds of input tile a campaign's seed range:
+//!
+//! * **fraction shards** (`--shard I/N`): indices must be exactly
+//!   `0..N`, each exactly once — diagnosed by index, as always;
+//! * **range shards** (supervisor claim units, `--range OFF+LEN`):
+//!   arbitrary contiguous slices, possibly early-closed after a
+//!   re-split — diagnosed by **coverage**: the covered spans must tile
+//!   `0..count` with no gap and no overlap.
+//!
+//! Either way a failed validation names the *exact uncovered seed
+//! ranges* and a ready-to-run command per gap. [`merge_paths_partial`]
+//! (the `--allow-partial` path) degrades instead of refusing: it merges
+//! every valid record — including the checkpoint prefix of an
+//! incomplete shard — and reports the missing ranges explicitly, so a
+//! degraded campaign still yields its partial statistics plus a precise
+//! work list. Corrupt files (checksum, interior damage) are refused in
+//! both modes; partial means *missing data tolerated*, never *bad data
+//! accepted*.
 
-use crate::manifest::CampaignSpec;
+use crate::manifest::{model_name, CampaignSpec};
 use crate::DistError;
 use repwf_gen::campaign::{CampaignAccum, CampaignResult, ExperimentOutcome};
 use std::path::Path;
@@ -11,10 +30,11 @@ use std::path::Path;
 pub struct MergedCampaign {
     /// The campaign all shards belong to.
     pub spec: CampaignSpec,
-    /// How many shards tiled it.
+    /// How many shard files merged into it.
     pub num_shards: usize,
     /// Outcomes in seed order — exactly what the unsharded
-    /// [`repwf_gen::run_campaign`] returns for `spec`.
+    /// [`repwf_gen::run_campaign`] returns for `spec` (on a partial
+    /// merge, the covered subsequence of it).
     pub result: CampaignResult,
     /// Aggregates merged shard-by-shard through
     /// [`CampaignAccum::merge`] — bit-identical to `result.accum()`
@@ -22,10 +42,19 @@ pub struct MergedCampaign {
     pub accum: CampaignAccum,
 }
 
-/// Reads, validates and merges a set of shard files.
+/// Result of a coverage-tolerant merge ([`merge_paths_partial`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct MergeReport {
+    /// Everything that merged.
+    pub merged: MergedCampaign,
+    /// Uncovered seed ranges `[start, end)`, empty when the merge is in
+    /// fact complete.
+    pub missing: Vec<(u64, u64)>,
+}
+
+/// Reads, validates and merges a set of shard files **exactly**.
 ///
-/// Guarantees on success: the shards share one campaign spec and plan
-/// layout bitwise, their indices are exactly `0..num_shards` (each once),
+/// Guarantees on success: the shards share one campaign spec bitwise,
 /// every shard is complete with a matching checksum, and the
 /// concatenated outcomes cover seeds `seed_base..seed_base+count` with no
 /// gap or duplicate. Anything else is a diagnosed [`DistError`] — a
@@ -36,6 +65,57 @@ pub struct MergedCampaign {
 /// outcome is a pure function of its seed, transported as exact bit
 /// patterns), and the aggregates recombine associatively.
 pub fn merge_paths<P: AsRef<Path>>(paths: &[P]) -> Result<MergedCampaign, DistError> {
+    merge_core(paths, false).map(|report| {
+        debug_assert!(report.missing.is_empty());
+        report.merged
+    })
+}
+
+/// [`merge_paths`] with **missing coverage tolerated**: incomplete
+/// shards contribute their validated checkpoint prefix, uncovered
+/// ranges are reported instead of refused. Corruption and manifest
+/// mismatches still fail.
+pub fn merge_paths_partial<P: AsRef<Path>>(paths: &[P]) -> Result<MergeReport, DistError> {
+    merge_core(paths, true)
+}
+
+/// Renders the campaign's command-line flags, so coverage diagnostics
+/// can print ready-to-run resume commands.
+pub(crate) fn campaign_flags(spec: &CampaignSpec) -> String {
+    let range_text = |r: repwf_gen::Range| {
+        if r.lo == r.hi {
+            format!("{}", r.lo)
+        } else {
+            format!("{}..{}", r.lo, r.hi)
+        }
+    };
+    format!(
+        "--stages {} --procs {} --comp {} --comm {} --count {} --seed {} --cap {} --model {}",
+        spec.cfg.stages,
+        spec.cfg.procs,
+        range_text(spec.cfg.comp),
+        range_text(spec.cfg.comm),
+        spec.count,
+        spec.seed_base,
+        spec.cap,
+        model_name(spec.model),
+    )
+}
+
+/// One gap diagnosis line: the exact seed range plus the command that
+/// computes exactly the missing slice.
+fn gap_line(spec: &CampaignSpec, offset: usize, end: usize) -> String {
+    let len = end - offset;
+    format!(
+        "  seeds {}..{} uncovered — run: repwf campaign {} --range {offset}+{len} \
+         --out r{offset}-{len}.ndjson",
+        spec.seed_base + offset as u64,
+        spec.seed_base + end as u64,
+        campaign_flags(spec),
+    )
+}
+
+fn merge_core<P: AsRef<Path>>(paths: &[P], allow_partial: bool) -> Result<MergeReport, DistError> {
     if paths.is_empty() {
         return Err(DistError::ShardSet("no shard files given".to_string()));
     }
@@ -64,55 +144,155 @@ pub fn merge_paths<P: AsRef<Path>>(paths: &[P]) -> Result<MergedCampaign, DistEr
         }
     }
     let spec = first_manifest.spec;
-    let num_shards = first_manifest.plan.num_shards;
 
-    // Exactly one shard per index.
-    let mut slot_of_index: Vec<Option<usize>> = vec![None; num_shards];
-    for (slot, (path, _, manifest)) in files.iter().enumerate() {
-        let index = manifest.plan.shard_index;
-        if let Some(previous) = slot_of_index[index] {
+    // Index bookkeeping applies to the classic all-fraction, exact case:
+    // shard indices are the crisper diagnosis when they exist, and the
+    // historical messages stay stable for scripts that grep them.
+    let all_fraction = files.iter().all(|(_, _, m)| m.plan.range_slice().is_none());
+    if all_fraction && !allow_partial {
+        let num_shards = first_manifest.plan.num_shards;
+        let mut slot_of_index: Vec<Option<usize>> = vec![None; num_shards];
+        for (slot, (path, _, manifest)) in files.iter().enumerate() {
+            let index = manifest.plan.shard_index;
+            if let Some(previous) = slot_of_index[index] {
+                return Err(DistError::ShardSet(format!(
+                    "duplicate shard {index}/{num_shards}: {} and {path}",
+                    files[previous].0
+                )));
+            }
+            slot_of_index[index] = Some(slot);
+        }
+        let missing: Vec<usize> = slot_of_index
+            .iter()
+            .enumerate()
+            .filter(|(_, slot)| slot.is_none())
+            .map(|(index, _)| index)
+            .collect();
+        if !missing.is_empty() {
+            // The historical one-line diagnosis, now followed by the
+            // exact seed ranges and the command that fills each gap.
+            let mut msg = format!(
+                "missing shard(s) {} of {num_shards}",
+                missing.iter().map(ToString::to_string).collect::<Vec<_>>().join(", ")
+            );
+            for index in missing {
+                let plan = crate::ShardPlan::new(spec.seed_base, spec.count, index, num_shards)?;
+                msg.push('\n');
+                msg.push_str(&format!(
+                    "  seeds {}..{} uncovered — run: repwf campaign {} --shard \
+                     {index}/{num_shards} --out shard{index}.ndjson",
+                    plan.seed_start(),
+                    plan.seed_end(),
+                    campaign_flags(&spec),
+                ));
+            }
+            return Err(DistError::ShardSet(msg));
+        }
+    }
+
+    // Phase 2 — full validation of every file (records, seed contiguity,
+    // footer, checksum), collecting each file's covered span.
+    struct Cover {
+        slot: usize,
+        offset: usize,
+        take: usize,
+    }
+    let mut covers: Vec<Cover> = Vec::with_capacity(files.len());
+    let mut outcomes_of: Vec<Vec<ExperimentOutcome>> = Vec::with_capacity(files.len());
+    for (slot, (name, text, manifest)) in files.iter().enumerate() {
+        let scan = crate::shard::scan(text, name)?;
+        if !scan.complete && !allow_partial {
+            let plan = &manifest.plan;
+            let resume = match plan.range_slice() {
+                Some((offset, len)) => format!(
+                    "repwf campaign {} --range {offset}+{len} --out {name}",
+                    campaign_flags(&spec)
+                ),
+                None => format!(
+                    "repwf campaign {} --shard {}/{} --out {name}",
+                    campaign_flags(&spec),
+                    plan.shard_index,
+                    plan.num_shards
+                ),
+            };
             return Err(DistError::ShardSet(format!(
-                "duplicate shard {index}/{num_shards}: {} and {path}",
-                files[previous].0
+                "{name} is incomplete ({} of {} records, no valid footer) — finish it with: \
+                 {resume}\n  (or merge what exists with --allow-partial)",
+                scan.outcomes.len(),
+                plan.shard_count(),
             )));
         }
-        slot_of_index[index] = Some(slot);
+        covers.push(Cover {
+            slot,
+            offset: manifest.plan.shard_offset(),
+            take: scan.outcomes.len(),
+        });
+        outcomes_of.push(scan.outcomes);
     }
-    let missing: Vec<String> = slot_of_index
-        .iter()
-        .enumerate()
-        .filter(|(_, slot)| slot.is_none())
-        .map(|(index, _)| index.to_string())
-        .collect();
-    if !missing.is_empty() {
-        return Err(DistError::ShardSet(format!(
-            "missing shard(s) {} of {num_shards}",
-            missing.join(", ")
-        )));
-    }
+    covers.sort_by_key(|c| (c.offset, c.slot));
 
-    // Phase 2 — full validation (records, seed contiguity, footer,
-    // checksum) and concatenation in shard-index order (= seed order),
-    // recombining the associative aggregates.
+    // Phase 3 — walk the covers in offset order and require (exact) or
+    // report (partial) a perfect tiling of `0..count`.
     let mut outcomes: Vec<ExperimentOutcome> = Vec::with_capacity(spec.count);
     let mut accum = CampaignAccum::new();
-    for slot in slot_of_index {
-        let (name, text, manifest) = &files[slot.expect("all indices covered above")];
-        let (_, mut shard_outcomes) = crate::shard::read_complete(text, name)?;
-        debug_assert_eq!(shard_outcomes.len(), manifest.plan.shard_count());
-        debug_assert_eq!(
-            shard_outcomes.first().map(|o| o.seed),
-            (manifest.plan.shard_count() > 0).then(|| manifest.plan.seed_start()),
-        );
-        let mut shard_accum = CampaignAccum::new();
-        for outcome in &shard_outcomes {
-            shard_accum.push(outcome);
+    let mut missing: Vec<(usize, usize)> = Vec::new();
+    let mut expected = 0usize;
+    for cover in &covers {
+        let name = &files[cover.slot].0;
+        if cover.offset > expected {
+            missing.push((expected, cover.offset));
+            expected = cover.offset;
         }
-        accum.merge(&shard_accum);
-        outcomes.append(&mut shard_outcomes);
+        let end = cover.offset + cover.take;
+        if cover.offset < expected {
+            // Overlap. Every record is a pure function of its seed, so
+            // overlapping files carry identical bytes and trimming is
+            // sound — but an *exact* merge refuses: overlap means the
+            // shard set is not the tiling it claims to be.
+            if !allow_partial {
+                return Err(DistError::ShardSet(format!(
+                    "overlapping coverage: {name} begins at seed {} but seeds up to {} are \
+                     already covered",
+                    spec.seed_base + cover.offset as u64,
+                    spec.seed_base + expected as u64,
+                )));
+            }
+            if end <= expected {
+                continue; // fully redundant file
+            }
+        }
+        let skip = expected - cover.offset;
+        let mut file_accum = CampaignAccum::new();
+        for outcome in &outcomes_of[cover.slot][skip..] {
+            file_accum.push(outcome);
+        }
+        accum.merge(&file_accum);
+        outcomes.extend_from_slice(&outcomes_of[cover.slot][skip..]);
+        expected = end;
     }
-    debug_assert_eq!(outcomes.len(), spec.count);
+    if expected < spec.count {
+        missing.push((expected, spec.count));
+    }
+    if !missing.is_empty() && !allow_partial {
+        let total: usize = missing.iter().map(|(s, e)| e - s).sum();
+        let mut msg =
+            format!("coverage incomplete: {total} of {} experiments missing", spec.count);
+        for &(start, end) in &missing {
+            msg.push('\n');
+            msg.push_str(&gap_line(&spec, start, end));
+        }
+        return Err(DistError::ShardSet(msg));
+    }
+
+    debug_assert!(allow_partial || outcomes.len() == spec.count);
+    debug_assert!(outcomes.windows(2).all(|w| w[0].seed < w[1].seed));
     let result = CampaignResult { outcomes };
     debug_assert_eq!(accum, result.accum(), "shard-merged aggregates must be exact");
-    Ok(MergedCampaign { spec, num_shards, result, accum })
+    Ok(MergeReport {
+        merged: MergedCampaign { spec, num_shards: files.len(), result, accum },
+        missing: missing
+            .into_iter()
+            .map(|(s, e)| (spec.seed_base + s as u64, spec.seed_base + e as u64))
+            .collect(),
+    })
 }

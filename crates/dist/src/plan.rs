@@ -2,29 +2,39 @@
 
 use crate::DistError;
 
-/// One shard of a campaign: the `shard_index`-th of `num_shards`
-/// contiguous slices of the seed range `seed_base .. seed_base + count`.
+/// One shard of a campaign: either the `shard_index`-th of `num_shards`
+/// contiguous slices of the seed range `seed_base .. seed_base + count`
+/// (a **fraction** shard, the `--shard I/N` kind), or an **explicit**
+/// contiguous sub-range (a **range** shard, the unit the elastic
+/// supervisor claims, splits and retries).
 ///
-/// The partition is pure arithmetic over `(count, num_shards)` — the same
-/// even-split-with-remainder scheme the work-stealing executor uses for
-/// its initial deques: shard `i` holds `count / num_shards` seeds, plus
-/// one more when `i < count % num_shards`. Every process that knows the
-/// campaign parameters derives the identical decomposition, which is what
-/// makes the merge *exact*: no coordination, no overlap, no gap.
+/// The fraction partition is pure arithmetic over `(count, num_shards)` —
+/// the same even-split-with-remainder scheme the work-stealing executor
+/// uses for its initial deques: shard `i` holds `count / num_shards`
+/// seeds, plus one more when `i < count % num_shards`. Every process that
+/// knows the campaign parameters derives the identical decomposition,
+/// which is what makes the merge *exact*: no coordination, no overlap,
+/// no gap. Range shards carry their slice explicitly instead (the
+/// supervisor re-splits slices on the fly, so they are not derivable
+/// from an `I/N` designator); the merge validates that the *covered*
+/// ranges tile the campaign either way.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ShardPlan {
     /// Base seed of the **whole** campaign (not of this shard).
     pub seed_base: u64,
     /// Experiment count of the **whole** campaign.
     pub count: usize,
-    /// This shard's index in `0..num_shards`.
+    /// This shard's index in `0..num_shards` (0 for range shards).
     pub shard_index: usize,
-    /// Total number of shards.
+    /// Total number of shards (1 for range shards).
     pub num_shards: usize,
+    /// Explicit `(offset, len)` slice override of a range shard;
+    /// `None` for classic fraction shards.
+    range: Option<(usize, usize)>,
 }
 
 impl ShardPlan {
-    /// Builds a validated plan (`num_shards >= 1`,
+    /// Builds a validated fraction plan (`num_shards >= 1`,
     /// `shard_index < num_shards`).
     pub fn new(
         seed_base: u64,
@@ -41,7 +51,35 @@ impl ShardPlan {
                  indices 0..{num_shards})"
             )));
         }
-        Ok(ShardPlan { seed_base, count, shard_index, num_shards })
+        Ok(ShardPlan { seed_base, count, shard_index, num_shards, range: None })
+    }
+
+    /// Builds a validated **range** plan: the explicit slice
+    /// `offset .. offset + len` of the campaign's seed range.
+    pub fn range(
+        seed_base: u64,
+        count: usize,
+        offset: usize,
+        len: usize,
+    ) -> Result<ShardPlan, DistError> {
+        if offset.checked_add(len).is_none_or(|end| end > count) {
+            return Err(DistError::Plan(format!(
+                "range slice {offset}+{len} exceeds the campaign's {count} experiments"
+            )));
+        }
+        Ok(ShardPlan {
+            seed_base,
+            count,
+            shard_index: 0,
+            num_shards: 1,
+            range: Some((offset, len)),
+        })
+    }
+
+    /// The explicit `(offset, len)` slice of a range shard, `None` for a
+    /// fraction shard.
+    pub fn range_slice(&self) -> Option<(usize, usize)> {
+        self.range
     }
 
     /// Parses the CLI shard designator `I/N` (e.g. `--shard 1/3`).
@@ -61,15 +99,25 @@ impl ShardPlan {
 
     /// Number of experiments in this shard.
     pub fn shard_count(&self) -> usize {
-        self.count / self.num_shards
-            + usize::from(self.shard_index < self.count % self.num_shards)
+        match self.range {
+            Some((_, len)) => len,
+            None => {
+                self.count / self.num_shards
+                    + usize::from(self.shard_index < self.count % self.num_shards)
+            }
+        }
     }
 
     /// Offset of this shard's first experiment within the campaign.
     pub fn shard_offset(&self) -> usize {
-        let base = self.count / self.num_shards;
-        let rem = self.count % self.num_shards;
-        self.shard_index * base + self.shard_index.min(rem)
+        match self.range {
+            Some((offset, _)) => offset,
+            None => {
+                let base = self.count / self.num_shards;
+                let rem = self.count % self.num_shards;
+                self.shard_index * base + self.shard_index.min(rem)
+            }
+        }
     }
 
     /// First seed of this shard.
@@ -118,6 +166,21 @@ mod tests {
     fn invalid_plans_are_rejected() {
         assert!(matches!(ShardPlan::new(0, 10, 0, 0), Err(DistError::Plan(_))));
         assert!(matches!(ShardPlan::new(0, 10, 3, 3), Err(DistError::Plan(_))));
+    }
+
+    #[test]
+    fn range_plans_carry_their_explicit_slice() {
+        let plan = ShardPlan::range(2009, 100, 34, 33).unwrap();
+        assert_eq!(plan.range_slice(), Some((34, 33)));
+        assert_eq!(plan.shard_offset(), 34);
+        assert_eq!(plan.shard_count(), 33);
+        assert_eq!(plan.seed_start(), 2043);
+        assert_eq!(plan.seed_end(), 2076);
+        // Zero-length and full-campaign slices are valid; overshoot is not.
+        assert!(ShardPlan::range(0, 10, 10, 0).is_ok());
+        assert!(ShardPlan::range(0, 10, 0, 10).is_ok());
+        assert!(matches!(ShardPlan::range(0, 10, 5, 6), Err(DistError::Plan(_))));
+        assert!(matches!(ShardPlan::range(0, 10, usize::MAX, 2), Err(DistError::Plan(_))));
     }
 
     #[test]

@@ -58,6 +58,35 @@ pub fn campaign_doc(spec: &CampaignSpec, res: &CampaignResult) -> Json {
     ])
 }
 
+/// [`campaign_doc`] for a **partial** merge (`repwf merge
+/// --allow-partial` with gaps): the same document — identical spec echo,
+/// aggregates over the covered outcomes — plus a `"partial": true`
+/// marker and the exact uncovered seed ranges, inserted *before* the
+/// outcomes array. A degraded campaign is structurally distinguishable
+/// from a complete one; the two documents can never be byte-identical.
+pub fn campaign_doc_partial(
+    spec: &CampaignSpec,
+    res: &CampaignResult,
+    missing: &[(u64, u64)],
+) -> Json {
+    let Json::Obj(mut fields) = campaign_doc(spec, res) else {
+        unreachable!("campaign_doc builds an object")
+    };
+    let ranges: Vec<Json> = missing
+        .iter()
+        .map(|&(start, end)| {
+            Json::Obj(vec![
+                ("seed_start", Json::UInt(u128::from(start))),
+                ("seed_end", Json::UInt(u128::from(end))),
+            ])
+        })
+        .collect();
+    let at = fields.iter().position(|(k, _)| *k == "outcomes").unwrap_or(fields.len());
+    fields.insert(at, ("partial", Json::Bool(true)));
+    fields.insert(at + 1, ("missing_ranges", Json::Arr(ranges)));
+    Json::Obj(fields)
+}
+
 fn range_json(r: Range) -> Json {
     Json::Obj(vec![("lo", Json::Num(r.lo)), ("hi", Json::Num(r.hi))])
 }

@@ -33,7 +33,7 @@ use crate::json::{parse, JsonValue};
 use crate::manifest::{CampaignSpec, ShardManifest};
 use crate::DistError;
 use repwf_gen::campaign::{run_campaign_streamed, ExperimentOutcome, Resolution};
-use std::io::Write as _;
+use std::io::{Seek as _, Write as _};
 use std::path::Path;
 use std::sync::Mutex;
 
@@ -59,6 +59,16 @@ impl Checksum {
     pub fn hex(&self) -> String {
         format!("{:016x}", self.0)
     }
+
+    /// The raw 64-bit state (for snapshotting mid-stream).
+    pub fn state(&self) -> u64 {
+        self.0
+    }
+
+    /// Restores a checksum from a [`state`](Checksum::state) snapshot.
+    pub fn from_state(state: u64) -> Checksum {
+        Checksum(state)
+    }
 }
 
 impl Default for Checksum {
@@ -83,14 +93,23 @@ pub fn outcome_line(o: &ExperimentOutcome) -> String {
     )
 }
 
-fn footer_line(records: usize, checksum: &Checksum) -> String {
-    format!("{{\"kind\":\"footer\",\"records\":{records},\"checksum\":\"{}\"}}\n", checksum.hex())
+/// Renders the footer line. `short` marks a file deliberately closed
+/// early — a supervisor claim unit whose tail was re-split away — via a
+/// redundant `covered` field (equal to `records`): its presence tells the
+/// scanner that `records < shard_count` is an intentional partial cover,
+/// not a truncation. Classic full shards keep the historical byte layout.
+fn footer_line(records: usize, short: bool, checksum: &Checksum) -> String {
+    let covered = if short { format!("\"covered\":{records},") } else { String::new() };
+    format!(
+        "{{\"kind\":\"footer\",\"records\":{records},{covered}\"checksum\":\"{}\"}}\n",
+        checksum.hex()
+    )
 }
 
 /// A classified non-manifest shard line.
 enum Record {
     Outcome(ExperimentOutcome),
-    Footer { records: usize, checksum: String },
+    Footer { records: usize, covered: Option<usize>, checksum: String },
 }
 
 fn parse_record(line: &str) -> Result<Record, String> {
@@ -121,6 +140,12 @@ fn parse_record(line: &str) -> Result<Record, String> {
         })),
         "footer" => Ok(Record::Footer {
             records: u64_field("records")? as usize,
+            covered: match doc.get("covered") {
+                None => None,
+                Some(v) => Some(
+                    v.as_u64().ok_or("footer field \"covered\" is not an integer")? as usize,
+                ),
+            },
             checksum: doc
                 .get("checksum")
                 .and_then(JsonValue::as_str)
@@ -132,15 +157,17 @@ fn parse_record(line: &str) -> Result<Record, String> {
 }
 
 /// Validated scan of a shard file's bytes.
-struct Scan {
-    manifest: ShardManifest,
-    outcomes: Vec<ExperimentOutcome>,
-    checksum: Checksum,
+pub(crate) struct Scan {
+    pub(crate) manifest: ShardManifest,
+    pub(crate) outcomes: Vec<ExperimentOutcome>,
     /// Byte length of the valid prefix (manifest + complete records); a
     /// torn trailing line sits beyond this.
-    valid_len: usize,
-    /// Whether a valid footer closed the file.
-    complete: bool,
+    pub(crate) valid_len: usize,
+    /// Whether a valid footer closed the file. An **early-closed** file
+    /// (footer with a `covered` field below the declared shard count — a
+    /// supervisor unit whose tail was split away) counts as complete: it
+    /// fully covers the seeds it claims.
+    pub(crate) complete: bool,
 }
 
 /// Scans shard-file text: validates the manifest, every record's shape
@@ -149,7 +176,7 @@ struct Scan {
 /// excluded from `valid_len` (that is the checkpoint a killed writer
 /// leaves); any interior violation, out-of-order seed, or checksum
 /// mismatch is [`DistError::Corrupt`].
-fn scan(text: &str, path: &str) -> Result<Scan, DistError> {
+pub(crate) fn scan(text: &str, path: &str) -> Result<Scan, DistError> {
     let corrupt = |reason: String| DistError::Corrupt { path: path.to_string(), reason };
     let manifest = manifest_of(text, path)?;
     let expected = manifest.plan.shard_count();
@@ -201,15 +228,33 @@ fn scan(text: &str, path: &str) -> Result<Scan, DistError> {
                 valid_len += chunk.len();
                 outcomes.push(o);
             }
-            Record::Footer { records, checksum: claimed } => {
+            Record::Footer { records, covered, checksum: claimed } => {
                 if !is_last {
                     return Err(corrupt(format!("line {line_no}: footer is not the last line")));
                 }
-                if records != outcomes.len() || records != expected {
+                if records != outcomes.len() {
                     return Err(corrupt(format!(
                         "footer says {records} records, file has {} of the shard's {expected}",
                         outcomes.len()
                     )));
+                }
+                match covered {
+                    // Classic footer: the file must hold the full shard.
+                    None if records != expected => {
+                        return Err(corrupt(format!(
+                            "footer says {records} records, file has {} of the shard's \
+                             {expected}",
+                            outcomes.len()
+                        )));
+                    }
+                    // Early close: `covered` is redundant with `records`
+                    // by construction; a disagreement is tampering.
+                    Some(c) if c != records => {
+                        return Err(corrupt(format!(
+                            "footer covers {c} seeds but holds {records} records"
+                        )));
+                    }
+                    _ => {}
                 }
                 if claimed != checksum.hex() {
                     return Err(corrupt(format!(
@@ -222,7 +267,7 @@ fn scan(text: &str, path: &str) -> Result<Scan, DistError> {
             }
         }
     }
-    Ok(Scan { manifest, outcomes, checksum, valid_len, complete })
+    Ok(Scan { manifest, outcomes, valid_len, complete })
 }
 
 /// Parses just the manifest line of shard-file text — the cheap
@@ -273,6 +318,164 @@ pub fn read_shard(path: &Path) -> Result<(ShardManifest, Vec<ExperimentOutcome>)
     read_complete(&text, &name)
 }
 
+/// Buffered, checksummed writer of one shard (or supervisor range) file.
+///
+/// The writer keeps the durability discipline in one place:
+///
+/// * records are buffered and **flushed every `flush_every` records**
+///   (checkpoint freshness: a SIGKILL discards at most `flush_every − 1`
+///   buffered records, so resume restarts near where the worker died);
+/// * the file is **fsynced before the footer** is appended (a shard that
+///   reports success can never lose its body to a crash, and a footer
+///   never lands before its records) and fsynced again after it;
+/// * per-record byte offsets and checksum states are tracked, so the
+///   writer can **truncate back to any record count** exactly (resume
+///   after a torn tail, early close after a re-split) without rescanning.
+pub(crate) struct ShardWriter {
+    file: std::fs::File,
+    name: String,
+    /// Unflushed tail bytes (records accepted but not yet written out).
+    buf: Vec<u8>,
+    flush_every: usize,
+    /// `offsets[k]` = file byte length after `k` records (offsets[0] is
+    /// the manifest line).
+    offsets: Vec<u64>,
+    /// FNV state after `k` records (raw bits, parallel to `offsets`).
+    checksums: Vec<u64>,
+    checksum: Checksum,
+    /// Records accepted (flushed + buffered).
+    written: usize,
+    /// Records whose bytes have reached the file.
+    flushed: usize,
+}
+
+impl ShardWriter {
+    fn io(&self, e: std::io::Error) -> DistError {
+        DistError::Io(format!("{}: {e}", self.name))
+    }
+
+    /// Wraps a file positioned at the end of a valid prefix: the manifest
+    /// line plus `outcomes` complete records (the resume checkpoint, or
+    /// an empty fresh file). Offsets and checksum states are rebuilt from
+    /// the outcomes — every record line is a pure function of its
+    /// outcome, so the reconstruction is exact.
+    pub(crate) fn resume(
+        file: std::fs::File,
+        name: String,
+        manifest_len: u64,
+        outcomes: &[ExperimentOutcome],
+        flush_every: usize,
+    ) -> ShardWriter {
+        let mut offsets = Vec::with_capacity(outcomes.len() + 1);
+        let mut checksums = Vec::with_capacity(outcomes.len() + 1);
+        let mut checksum = Checksum::new();
+        let mut len = manifest_len;
+        offsets.push(len);
+        checksums.push(checksum.state());
+        for outcome in outcomes {
+            let line = outcome_line(outcome);
+            checksum.update(line.as_bytes());
+            len += line.len() as u64;
+            offsets.push(len);
+            checksums.push(checksum.state());
+        }
+        ShardWriter {
+            file,
+            name,
+            buf: Vec::new(),
+            flush_every: flush_every.max(1),
+            offsets,
+            checksums,
+            checksum,
+            written: outcomes.len(),
+            flushed: outcomes.len(),
+        }
+    }
+
+    /// Records accepted so far (flushed + buffered).
+    /// Appends one record, flushing at the cadence.
+    pub(crate) fn append(&mut self, outcome: &ExperimentOutcome) -> Result<(), DistError> {
+        let line = outcome_line(outcome);
+        self.checksum.update(line.as_bytes());
+        self.buf.extend_from_slice(line.as_bytes());
+        self.offsets.push(self.offsets[self.written] + line.len() as u64);
+        self.checksums.push(self.checksum.state());
+        self.written += 1;
+        if self.written - self.flushed >= self.flush_every {
+            self.flush()?;
+        }
+        Ok(())
+    }
+
+    /// Writes the buffered tail out to the file.
+    pub(crate) fn flush(&mut self) -> Result<(), DistError> {
+        if !self.buf.is_empty() {
+            let buf = std::mem::take(&mut self.buf);
+            self.file.write_all(&buf).map_err(|e| self.io(e))?;
+        }
+        self.flushed = self.written;
+        Ok(())
+    }
+
+    /// Truncates back to exactly `keep` records (buffered records are
+    /// dropped from memory; flushed records beyond `keep` are cut with
+    /// `set_len` and the truncation is fsynced so a crash cannot resurrect
+    /// them under a later footer).
+    pub(crate) fn truncate_to(&mut self, keep: usize) -> Result<(), DistError> {
+        assert!(keep <= self.written, "cannot truncate forward");
+        if keep == self.written {
+            return Ok(());
+        }
+        let keep_len = self.offsets[keep];
+        if keep >= self.flushed {
+            // The cut lands in the buffer: drop the buffered excess only.
+            let flushed_len = self.offsets[self.flushed];
+            self.buf.truncate((keep_len - flushed_len) as usize);
+        } else {
+            self.buf.clear();
+            self.file.set_len(keep_len).map_err(|e| self.io(e))?;
+            // set_len does not move the cursor: without the seek the next
+            // write would land past EOF and zero-fill the cut, leaving a
+            // footer stranded behind an unparseable NUL run.
+            self.file
+                .seek(std::io::SeekFrom::Start(keep_len))
+                .map_err(|e| self.io(e))?;
+            self.file.sync_data().map_err(|e| self.io(e))?;
+            self.flushed = keep;
+        }
+        self.written = keep;
+        self.offsets.truncate(keep + 1);
+        self.checksums.truncate(keep + 1);
+        self.checksum = Checksum::from_state(self.checksums[keep]);
+        Ok(())
+    }
+
+    /// Flushes, **fsyncs the records**, appends the footer (`short` when
+    /// the file deliberately covers fewer seeds than its manifest
+    /// declares), and fsyncs again so completion is durable before any
+    /// completion marker is written elsewhere.
+    pub(crate) fn finish(&mut self, short: bool, checksum_xor: u64) -> Result<(), DistError> {
+        self.flush()?;
+        self.file.sync_data().map_err(|e| self.io(e))?;
+        let footer_sum = Checksum::from_state(self.checksum.state() ^ checksum_xor);
+        let line = footer_line(self.written, short, &footer_sum);
+        self.file.write_all(line.as_bytes()).map_err(|e| self.io(e))?;
+        self.file.sync_data().map_err(|e| self.io(e))?;
+        Ok(())
+    }
+
+    /// Simulates a SIGKILL: the unflushed tail vanishes (never reaches
+    /// the file) and, optionally, `torn` bytes of a half-written next
+    /// line are left behind. Used by the deterministic fault injector.
+    pub(crate) fn kill(mut self, torn: Option<&[u8]>) -> Result<usize, DistError> {
+        self.buf.clear();
+        if let Some(bytes) = torn {
+            self.file.write_all(bytes).map_err(|e| self.io(e))?;
+        }
+        Ok(self.flushed)
+    }
+}
+
 /// What [`run_shard`] did.
 #[derive(Debug, Clone, PartialEq)]
 pub struct ShardRunSummary {
@@ -286,6 +489,152 @@ pub struct ShardRunSummary {
 
 /// Progress callback of [`run_shard`]: `(records_on_disk, shard_count)`.
 pub type ShardProgress<'a> = &'a (dyn Fn(usize, usize) + Sync);
+
+/// Options of [`run_shard_opts`] (and of the supervisor's range runner).
+#[derive(Debug, Clone, Default)]
+pub struct ShardRunOptions {
+    /// Records per buffered flush (0 = the default cadence,
+    /// [`DEFAULT_FLUSH_EVERY`]). A SIGKILL discards at most
+    /// `flush_every − 1` records past the last flush, so smaller values
+    /// trade write syscalls for checkpoint freshness.
+    pub flush_every: usize,
+    /// Deterministic fault injection (tests, chaos CI). `None` in
+    /// production.
+    pub fault: Option<crate::fault::FaultPlan>,
+}
+
+/// Default flush cadence of the shard writer, in records.
+pub const DEFAULT_FLUSH_EVERY: usize = 64;
+
+impl ShardRunOptions {
+    pub(crate) fn cadence(&self) -> usize {
+        if self.flush_every == 0 { DEFAULT_FLUSH_EVERY } else { self.flush_every }
+    }
+}
+
+/// A validated checkpoint: what [`open_checkpoint`] found at the path.
+pub(crate) struct Checkpoint {
+    /// Records kept from disk (the resumed prefix, in seed order).
+    pub(crate) outcomes: Vec<ExperimentOutcome>,
+    /// Writer positioned right after the kept records. For a `complete`
+    /// file the footer still sits beyond the writer's offsets — only
+    /// touch the writer after `truncate_to` below the record count.
+    pub(crate) writer: ShardWriter,
+    /// Whether a valid footer closed the file.
+    pub(crate) complete: bool,
+}
+
+/// Opens (or creates) a shard/range file for `manifest` and validates the
+/// checkpoint: a missing file becomes a fresh manifest-only file, a torn
+/// tail is truncated away (and the truncation fsynced), a foreign or
+/// divergent manifest is refused. With `quarantine`, a corrupt file is
+/// renamed to `<path>.quarantine-<k>` and restarted fresh instead of
+/// failing — the supervisor's retry path for e.g. a corrupted footer —
+/// while manifest mismatches still propagate (they are configuration
+/// errors, not data loss).
+pub(crate) fn open_checkpoint(
+    manifest: &ShardManifest,
+    path: &Path,
+    flush_every: usize,
+    quarantine: bool,
+) -> Result<Checkpoint, DistError> {
+    let name = path.display().to_string();
+    let io = |e: std::io::Error| DistError::Io(format!("{name}: {e}"));
+
+    // A file holding only a torn prefix of *this shard's own* manifest
+    // line is a process killed during the very first write — restart it
+    // fresh (there are zero records to lose); a torn first line that is
+    // NOT our manifest prefix stays an error, so a foreign file is never
+    // silently overwritten.
+    let scanned = match std::fs::read_to_string(path) {
+        Ok(text) if text.is_empty() => None,
+        Ok(text)
+            if !text.contains('\n')
+                && format!("{}\n", manifest.to_line()).starts_with(&text) =>
+        {
+            None
+        }
+        Ok(text) => match scan(&text, &name) {
+            Ok(scan) => Some(scan),
+            Err(err @ DistError::Corrupt { .. }) if quarantine => {
+                quarantine_file(path, &name, &err)?;
+                None
+            }
+            Err(e) => return Err(e),
+        },
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
+        Err(e) => return Err(io(e)),
+    };
+    match scanned {
+        Some(scanned) => {
+            if scanned.manifest.plan != manifest.plan {
+                return Err(DistError::ManifestMismatch {
+                    path: name,
+                    reason: format!(
+                        "file covers seeds {}..{} as shard {}/{}, this run owns {}..{} as \
+                         shard {}/{}",
+                        scanned.manifest.plan.seed_start(),
+                        scanned.manifest.plan.seed_end(),
+                        scanned.manifest.plan.shard_index,
+                        scanned.manifest.plan.num_shards,
+                        manifest.plan.seed_start(),
+                        manifest.plan.seed_end(),
+                        manifest.plan.shard_index,
+                        manifest.plan.num_shards,
+                    ),
+                });
+            }
+            if let Some(diff) = scanned.manifest.campaign_mismatch(manifest) {
+                return Err(DistError::ManifestMismatch {
+                    path: name,
+                    reason: format!("existing file vs this run: {diff}"),
+                });
+            }
+            let file = std::fs::OpenOptions::new().write(true).open(path).map_err(io)?;
+            let manifest_len = format!("{}\n", manifest.to_line()).len() as u64;
+            if !scanned.complete {
+                // Truncate the torn tail; fsync so the cut is durable
+                // before new records land past it.
+                file.set_len(scanned.valid_len as u64).map_err(io)?;
+                file.sync_data().map_err(io)?;
+            }
+            let mut file = file;
+            use std::io::Seek as _;
+            file.seek(std::io::SeekFrom::End(0)).map_err(io)?;
+            let writer =
+                ShardWriter::resume(file, name, manifest_len, &scanned.outcomes, flush_every);
+            Ok(Checkpoint { outcomes: scanned.outcomes, writer, complete: scanned.complete })
+        }
+        None => {
+            let mut file = std::fs::File::create(path).map_err(io)?;
+            // One write for line + newline: the only torn-manifest state a
+            // kill can leave is a prefix of this exact line, which the
+            // restart check above recognizes as ours.
+            let line = format!("{}\n", manifest.to_line());
+            file.write_all(line.as_bytes()).map_err(io)?;
+            let writer = ShardWriter::resume(file, name, line.len() as u64, &[], flush_every);
+            Ok(Checkpoint { outcomes: Vec::new(), writer, complete: false })
+        }
+    }
+}
+
+/// Renames a corrupt file out of the way (`<path>.quarantine-<k>`),
+/// keeping the evidence while freeing the path for a fresh attempt.
+fn quarantine_file(path: &Path, name: &str, err: &DistError) -> Result<(), DistError> {
+    for k in 0..64 {
+        let target = path.with_file_name(format!(
+            "{}.quarantine-{k}",
+            path.file_name().and_then(|n| n.to_str()).unwrap_or("shard"),
+        ));
+        if target.exists() {
+            continue;
+        }
+        std::fs::rename(path, &target)
+            .map_err(|e| DistError::Io(format!("quarantining {name}: {e}")))?;
+        return Ok(());
+    }
+    Err(DistError::Io(format!("too many quarantined copies of {name} ({err})")))
+}
 
 /// Runs (or resumes) shard `shard_index` of `num_shards` of the campaign
 /// described by `spec`, streaming records to `path` in seed order.
@@ -319,86 +668,111 @@ pub fn run_shard(
     path: &Path,
     progress: Option<ShardProgress<'_>>,
 ) -> Result<ShardRunSummary, DistError> {
-    let name = path.display().to_string();
+    run_shard_opts(
+        spec,
+        shard_index,
+        num_shards,
+        threads,
+        path,
+        progress,
+        &ShardRunOptions::default(),
+    )
+}
+
+/// [`run_shard`] with explicit [`ShardRunOptions`] (flush cadence, fault
+/// injection).
+pub fn run_shard_opts(
+    spec: &CampaignSpec,
+    shard_index: usize,
+    num_shards: usize,
+    threads: usize,
+    path: &Path,
+    progress: Option<ShardProgress<'_>>,
+    opts: &ShardRunOptions,
+) -> Result<ShardRunSummary, DistError> {
     let manifest = ShardManifest::new(*spec, shard_index, num_shards)?;
-    let io = |e: std::io::Error| DistError::Io(format!("{name}: {e}"));
+    run_manifest(&manifest, threads, path, progress, opts, false)
+}
 
-    // Open the checkpoint, if any. A file holding only a torn prefix of
-    // *this shard's own* manifest line is a process killed during the
-    // very first write — restart it fresh (there are zero records to
-    // lose); a torn first line that is NOT our manifest prefix stays an
-    // error, so a foreign file is never silently overwritten.
-    let existing = match std::fs::read_to_string(path) {
-        Ok(text) if text.is_empty() => None,
-        Ok(text)
-            if !text.contains('\n')
-                && format!("{}\n", manifest.to_line()).starts_with(&text) =>
-        {
-            None
-        }
-        Ok(text) => Some(scan(&text, &name)?),
-        Err(e) if e.kind() == std::io::ErrorKind::NotFound => None,
-        Err(e) => return Err(io(e)),
-    };
-    let (resumed, checksum, file) = match existing {
-        Some(scan) => {
-            if scan.manifest.plan.shard_index != manifest.plan.shard_index {
-                return Err(DistError::ManifestMismatch {
-                    path: name,
-                    reason: format!(
-                        "file holds shard {}/{}, this run is shard {}/{}",
-                        scan.manifest.plan.shard_index,
-                        scan.manifest.plan.num_shards,
-                        manifest.plan.shard_index,
-                        manifest.plan.num_shards,
-                    ),
-                });
-            }
-            if let Some(diff) = scan.manifest.campaign_mismatch(&manifest) {
-                return Err(DistError::ManifestMismatch {
-                    path: name,
-                    reason: format!("existing file vs this run: {diff}"),
-                });
-            }
-            if scan.complete {
-                if let Some(cb) = progress {
-                    cb(scan.outcomes.len(), manifest.plan.shard_count());
-                }
-                return Ok(ShardRunSummary {
-                    manifest,
-                    resumed: scan.outcomes.len(),
-                    ran: 0,
-                });
-            }
-            // Truncate the torn tail, then append from the checkpoint.
-            let truncate = std::fs::OpenOptions::new().write(true).open(path).map_err(io)?;
-            truncate.set_len(scan.valid_len as u64).map_err(io)?;
-            drop(truncate);
-            let file = std::fs::OpenOptions::new().append(true).open(path).map_err(io)?;
-            (scan.outcomes.len(), scan.checksum, file)
-        }
-        None => {
-            let mut file = std::fs::File::create(path).map_err(io)?;
-            // One write for line + newline: the only torn-manifest state a
-            // kill can leave is a prefix of this exact line, which the
-            // restart check above recognizes as ours.
-            file.write_all(format!("{}\n", manifest.to_line()).as_bytes()).map_err(io)?;
-            (0, Checksum::new(), file)
-        }
-    };
+/// Runs (or resumes) the explicit slice `offset..offset+len` of the
+/// campaign as a standalone **range** shard file — the `repwf campaign
+/// --range OFF+LEN` command that merge diagnostics print next to each
+/// coverage gap, and the manual way to fill in a degraded supervisor
+/// unit. Same checkpoint/resume semantics as [`run_shard`].
+pub fn run_range(
+    spec: &CampaignSpec,
+    offset: usize,
+    len: usize,
+    threads: usize,
+    path: &Path,
+    progress: Option<ShardProgress<'_>>,
+    opts: &ShardRunOptions,
+) -> Result<ShardRunSummary, DistError> {
+    let manifest = ShardManifest::new_range(*spec, offset, len)?;
+    run_manifest(&manifest, threads, path, progress, opts, false)
+}
 
+/// Shared run core for fraction shards and supervisor range units: open
+/// (or create) the checkpoint for `manifest`, stream the missing seeds to
+/// the file, close with a footer. `quarantine` relaxes corrupt-file
+/// handling for the supervisor's retry path (see [`open_checkpoint`]).
+pub(crate) fn run_manifest(
+    manifest: &ShardManifest,
+    threads: usize,
+    path: &Path,
+    progress: Option<ShardProgress<'_>>,
+    opts: &ShardRunOptions,
+    quarantine: bool,
+) -> Result<ShardRunSummary, DistError> {
+    let checkpoint = open_checkpoint(manifest, path, opts.cadence(), quarantine)?;
+    let total = manifest.plan.shard_count();
+    let resumed = checkpoint.outcomes.len();
+    if checkpoint.complete {
+        if let Some(cb) = progress {
+            cb(resumed, total);
+        }
+        return Ok(ShardRunSummary { manifest: *manifest, resumed, ran: 0 });
+    }
+    let ran = stream_records(manifest, checkpoint.writer, resumed, threads, progress, opts)?;
+    Ok(ShardRunSummary { manifest: *manifest, resumed, ran })
+}
+
+/// State the streaming sink mutates under the executor's reorder lock.
+struct SinkState {
+    /// `None` once the writer was consumed by an injected kill.
+    writer: Option<ShardWriter>,
+    /// First I/O error (stops further writes, keeping the prefix valid).
+    error: Option<DistError>,
+    /// Records appended by this run (not counting the resumed prefix).
+    ran: usize,
+}
+
+/// Streams seeds `resumed..total` of the manifest's slice into `writer`
+/// in seed order, applies any injected faults, and closes the file with
+/// a footer. Returns the number of records newly computed.
+fn stream_records(
+    manifest: &ShardManifest,
+    writer: ShardWriter,
+    resumed: usize,
+    threads: usize,
+    progress: Option<ShardProgress<'_>>,
+    opts: &ShardRunOptions,
+) -> Result<usize, DistError> {
+    let spec = &manifest.spec;
     let total = manifest.plan.shard_count();
     let next_seed = manifest.plan.seed_start() + resumed as u64;
     let remaining = total - resumed;
     if let Some(cb) = progress {
         cb(resumed, total);
     }
+    let fault = opts.fault.clone().unwrap_or_default();
 
     // Stream the remaining seeds in order; the sink runs under the
     // executor's reorder lock, so writes land in seed order at any
-    // thread count. An I/O error stops further writes (keeping the
-    // on-disk prefix valid) and is reported after the run.
-    let state = Mutex::new((file, checksum, resumed, None::<String>));
+    // thread count. An I/O error (or injected kill) stops further writes
+    // — the on-disk prefix stays a valid checkpoint — and is reported
+    // after the run.
+    let state = Mutex::new(SinkState { writer: Some(writer), error: None, ran: 0 });
     run_campaign_streamed(
         &spec.cfg,
         spec.model,
@@ -407,30 +781,59 @@ pub fn run_shard(
         threads,
         spec.cap,
         &|outcome| {
+            if fault.slow_ms > 0 {
+                // Straggler injection sleeps *outside* the sink lock so a
+                // slow worker stalls throughput, not correctness.
+                std::thread::sleep(std::time::Duration::from_millis(fault.slow_ms));
+            }
             let mut s = state.lock().expect("shard writer poisoned");
-            let (file, checksum, written, error) = &mut *s;
-            if error.is_some() {
+            if s.writer.is_none() || s.error.is_some() {
                 return;
             }
-            let line = outcome_line(outcome);
-            if let Err(e) = file.write_all(line.as_bytes()) {
-                *error = Some(e.to_string());
+            if fault.kill_after == Some(s.ran) {
+                // The injected SIGKILL: the unflushed buffer vanishes and
+                // (optionally) a torn prefix of this very record's line is
+                // left behind — exactly the disk state a real kill leaves.
+                let line = outcome_line(outcome);
+                let torn_len = fault.torn.min(line.len().saturating_sub(1));
+                let torn = (torn_len > 0).then(|| &line.as_bytes()[..torn_len]);
+                let writer = s.writer.take().expect("writer present");
+                let flushed = writer.kill(torn);
+                if fault.process_exit {
+                    std::process::exit(crate::fault::KILL_EXIT_CODE);
+                }
+                s.error = Some(match flushed {
+                    Ok(flushed) => DistError::Fault(format!(
+                        "injected kill after {} records ({flushed} flushed to disk)",
+                        s.ran
+                    )),
+                    Err(e) => e,
+                });
                 return;
             }
-            checksum.update(line.as_bytes());
-            *written += 1;
+            if let Err(e) = s.writer.as_mut().expect("checked above").append(outcome) {
+                s.error = Some(e);
+                return;
+            }
+            s.ran += 1;
             if let Some(cb) = progress {
-                cb(*written, total);
+                cb(resumed + s.ran, total);
             }
         },
     );
-    let (mut file, checksum, written, error) =
-        state.into_inner().expect("shard writer poisoned");
-    if let Some(e) = error {
-        return Err(DistError::Io(format!("{name}: {e}")));
+    let state = state.into_inner().expect("shard writer poisoned");
+    if let Some(e) = state.error {
+        return Err(e);
     }
-    debug_assert_eq!(written, total);
-    file.write_all(footer_line(total, &checksum).as_bytes()).map_err(io)?;
-    file.flush().map_err(io)?;
-    Ok(ShardRunSummary { manifest, resumed, ran: remaining })
+    let mut writer = state.writer.expect("no error, so the writer survived");
+    debug_assert_eq!(resumed + state.ran, total);
+    // This path always writes the full slice; early-closed (`short`)
+    // footers come from the supervisor's re-split truncation, which calls
+    // `ShardWriter::finish(true, _)` itself.
+    writer.finish(false, if fault.corrupt_footer { FOOTER_CORRUPTION_XOR } else { 0 })?;
+    Ok(state.ran)
 }
+
+/// The deterministic damage `FaultPlan::corrupt_footer` applies to the
+/// footer checksum (any nonzero constant works; this one is greppable).
+pub(crate) const FOOTER_CORRUPTION_XOR: u64 = 0x0bad_f00d_0bad_f00d;

@@ -201,6 +201,20 @@ impl CampaignAccum {
     pub fn max_gap(&self) -> f64 {
         f64::from_bits(self.max_gap_bits)
     }
+
+    /// Snapshots this accumulator as a [`Progress`] against a campaign
+    /// of `total` experiments — the same shape the streaming callbacks
+    /// receive, so checkpoint-derived state (a resumed shard, a merged
+    /// partial campaign) reports through one code path.
+    pub fn progress(&self, total: usize) -> Progress {
+        Progress {
+            done: self.done,
+            total,
+            no_critical: self.no_critical,
+            simulated: self.simulated,
+            max_gap: self.max_gap(),
+        }
+    }
 }
 
 impl Default for CampaignAccum {
@@ -226,6 +240,49 @@ pub struct Progress {
     pub simulated: usize,
     /// Maximum relative gap seen so far.
     pub max_gap: f64,
+}
+
+impl Progress {
+    /// Fraction complete in `[0, 1]`; an empty campaign counts as done.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            1.0
+        } else {
+            self.done as f64 / self.total as f64
+        }
+    }
+
+    /// One-line human summary, shared by the supervisor, `repwf dist
+    /// status` and partial merges: experiments done (with the percentage
+    /// when short of the campaign), no-critical/simulated tallies, and
+    /// the running max gap.
+    ///
+    /// ```
+    /// use repwf_gen::campaign::Progress;
+    /// let p = Progress { done: 3, total: 4, no_critical: 1, simulated: 0, max_gap: 0.25 };
+    /// assert_eq!(
+    ///     p.summary(),
+    ///     "3/4 experiments (75.0%), 1 no-critical, 0 simulated, max gap 25.000%",
+    /// );
+    /// ```
+    pub fn summary(&self) -> String {
+        let coverage = if self.done == self.total {
+            format!("{}/{} experiments", self.done, self.total)
+        } else {
+            format!(
+                "{}/{} experiments ({:.1}%)",
+                self.done,
+                self.total,
+                self.fraction() * 100.0
+            )
+        };
+        format!(
+            "{coverage}, {} no-critical, {} simulated, max gap {:.3}%",
+            self.no_critical,
+            self.simulated,
+            self.max_gap * 100.0
+        )
+    }
 }
 
 /// Progress callback type: invoked from worker threads.
@@ -615,5 +672,42 @@ mod tests {
         assert_eq!(last.no_critical, res.count_no_critical(GAP_REL_TOL));
         assert_eq!(last.simulated, res.count_simulated());
         assert!((last.max_gap - res.max_gap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn accum_progress_matches_streaming_snapshots() {
+        // A checkpoint-derived snapshot (accumulator over a prefix of the
+        // outcomes) must equal the Progress the streaming callback would
+        // have reported at the same point — one reporting path for live
+        // runs and resumed/partial ones.
+        let res = run_campaign(&small_cfg(), CommModel::Strict, 20, 310, 4, 200_000);
+        let mut accum = CampaignAccum::new();
+        for (k, o) in res.outcomes.iter().enumerate() {
+            accum.push(o);
+            let p = accum.progress(res.outcomes.len());
+            assert_eq!(p.done, k + 1);
+            assert_eq!(p.total, 20);
+            assert_eq!(p.no_critical, accum.no_critical);
+            assert_eq!(p.simulated, accum.simulated);
+            assert_eq!(p.max_gap.to_bits(), accum.max_gap().to_bits());
+        }
+        assert_eq!(accum.progress(20), res.accum().progress(20));
+    }
+
+    #[test]
+    fn progress_fraction_and_summary_cover_partial_and_degenerate_cases() {
+        let partial = Progress { done: 3, total: 4, no_critical: 1, simulated: 2, max_gap: 0.015 };
+        assert!((partial.fraction() - 0.75).abs() < 1e-15);
+        assert_eq!(
+            partial.summary(),
+            "3/4 experiments (75.0%), 1 no-critical, 2 simulated, max gap 1.500%"
+        );
+
+        let complete = Progress { done: 4, total: 4, no_critical: 0, simulated: 0, max_gap: 0.0 };
+        assert!((complete.fraction() - 1.0).abs() < 1e-15);
+        assert_eq!(complete.summary(), "4/4 experiments, 0 no-critical, 0 simulated, max gap 0.000%");
+
+        let empty = Progress { done: 0, total: 0, no_critical: 0, simulated: 0, max_gap: 0.0 };
+        assert_eq!(empty.fraction(), 1.0, "an empty campaign counts as done");
     }
 }
