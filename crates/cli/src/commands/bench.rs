@@ -27,7 +27,7 @@ use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
 use repwf_core::period::{compute_period_with, Method};
 use repwf_core::tpn_build::BuildOptions;
 use repwf_dist::{merge_paths, run_shard, CampaignSpec};
-use repwf_gen::campaign::run_campaign;
+use repwf_gen::campaign::{run_campaign, run_campaign_batched};
 use repwf_gen::{GenConfig, Range};
 use repwf_map::annealing::{anneal, AnnealOptions};
 use repwf_map::exact::{solve, ExactOptions};
@@ -187,6 +187,26 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let campaign_speedup = tn.throughput() / t1.throughput();
     lines.push(t1);
     lines.push(tn);
+
+    // --- kernel 2b: the same campaign through the shape-batched solver ---
+    //
+    // Identical spec, seeds and thread count as `campaign_strict_nt`; the
+    // only difference is the runner. `campaign_batched_speedup` is the
+    // throughput ratio — the structural work (TPN build, ratio-graph/CSR
+    // build, Tarjan condensation) that shape groups amortize, plus the
+    // shared-structure streaming of the batched Howard kernel. Both runs
+    // solve at the same `--threads`, so the index is comparable across
+    // machines and gated normally (it is NOT a thread-scaling index).
+    lines.push(time_kernel("campaign_batched_nt", campaign_reps, campaign_count as u64, || {
+        let res =
+            run_campaign_batched(&cfg, CommModel::Strict, campaign_count, seed, threads, cap);
+        assert_eq!(res.outcomes.len(), campaign_count);
+    }));
+    // Outside the timer: the batched campaign must be *byte-identical* to
+    // the per-instance one, not merely the right length.
+    let batched = run_campaign_batched(&cfg, CommModel::Strict, campaign_count, seed, threads, cap);
+    let unbatched = run_campaign(&cfg, CommModel::Strict, campaign_count, seed, threads, cap);
+    assert_eq!(batched, unbatched, "batched campaign must match the per-instance run");
 
     // --- kernel 3: annealing over mapping space (warm-engine oracle) ---
     let pipeline = Pipeline::new(vec![8.0, 24.0, 8.0], vec![0.5, 0.5]).unwrap();
@@ -396,6 +416,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         ("engine_reuse_speedup", per_iter("period_full_tpn_cold") / per_iter("period_full_tpn_engine")),
         ("warm_start_speedup", per_iter("period_full_tpn_cold") / per_iter("period_full_tpn_warm")),
         ("campaign_parallel_speedup", campaign_speedup),
+        ("campaign_batched_speedup", per_iter("campaign_strict_nt") / per_iter("campaign_batched_nt")),
         ("neighbor_eval_speedup", per_iter("neighbor_eval_cold") / per_iter("neighbor_eval_incremental")),
         ("patched_solve_speedup", per_iter("solve_rebuild") / per_iter("solve_patched")),
         ("shard_merge_efficiency", per_iter("campaign_strict_nt") / per_iter("campaign_shard_merge")),
@@ -467,9 +488,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 
     if let Some(baseline_path) = opts.get("--check") {
-        check_against_baseline(baseline_path, &indices, tolerance, quick, threads, hw)?;
+        let gated = check_against_baseline(baseline_path, &indices, tolerance, quick, threads, hw)?;
         eprintln!(
-            "check against {baseline_path}: OK (tolerance {:.0}%)",
+            "check against {baseline_path}: OK ({gated} indices gated, tolerance {:.0}%)",
             tolerance * 100.0
         );
     }
@@ -478,62 +499,73 @@ pub fn run(args: &[String]) -> Result<(), String> {
 
 /// Indices that measure **thread scaling**: their value is a property of
 /// the `threads` setting and the machine's core count as much as of the
-/// code. Comparing them across different `threads`/cores settings gates
-/// on an apples-to-oranges number (the committed baseline was recorded on
-/// a 1-core container, where any parallel speedup is ≈1), so `--check`
-/// skips them — with a printed notice — when either setting differs from
-/// the baseline's recorded values. `shard_merge_efficiency` belongs here
-/// too: its numerator (the N-thread campaign) scales with cores while its
+/// code. Comparing them across different `--threads` settings gates on an
+/// apples-to-oranges number, so `--check` skips them — with a notice
+/// naming each skipped index and why — when the baseline's recorded
+/// `threads` differs from this run's. A differing **core** count alone
+/// only draws a notice: the gate is one-directional (it fails only on
+/// regression), so a baseline recorded at `--threads 2` on a small box
+/// still gates a bigger runner at `--threads 2`, where the speedup can
+/// only come out higher. `shard_merge_efficiency` belongs here too: its
+/// numerator (the N-thread campaign) scales with cores while its
 /// denominator is partly serial (ordered NDJSON writes + merge scan), so
 /// the ratio itself is a function of the parallelism settings.
 const THREAD_SCALING_INDICES: &[&str] =
     &["campaign_parallel_speedup", "shard_merge_efficiency"];
 
-/// Compares the dimensionless indices of this run against a committed
-/// baseline report; errors when any index regressed by more than
-/// `tolerance` (relative). A baseline index with no counterpart in the
-/// current run is an error (a renamed index must not turn the gate into a
-/// vacuous pass), and mismatched `quick`/`threads` settings are warned
-/// about (the comparison still runs — the indices are dimensionless, but
-/// workload sizes affect their noise). Exception:
-/// [`THREAD_SCALING_INDICES`] are **skipped with a notice** when the
-/// baseline's recorded `threads` or `cores` differ from this run's —
-/// those indices are not comparable across parallelism settings.
-fn check_against_baseline(
-    baseline_path: &str,
+/// What a baseline comparison concluded, before any of it is printed:
+/// the notices to surface (skips with their reason, setting mismatches),
+/// the regression lines, and how many indices were actually compared.
+/// Separated from I/O so the skip/compare policy is unit-testable on
+/// synthetic baseline documents.
+#[derive(Debug)]
+struct CheckOutcome {
+    notices: Vec<String>,
+    regressions: Vec<String>,
+    compared: usize,
+}
+
+/// Compares the dimensionless indices of this run against the baseline
+/// report in `text` (diagnostics cite it as `label`). A baseline index
+/// with no counterpart in the current run is an error — a renamed index
+/// must not turn the gate into a vacuous pass. Mismatched `quick`
+/// settings produce a notice (the comparison still runs — the indices
+/// are dimensionless, but workload sizes affect their noise);
+/// [`THREAD_SCALING_INDICES`] are skipped with a per-index notice when
+/// the recorded `threads` differs, and compared with a notice when only
+/// the core count differs.
+fn compare_indices(
+    text: &str,
+    label: &str,
     indices: &[(&'static str, f64)],
     tolerance: f64,
     quick: bool,
     threads: usize,
     cores: usize,
-) -> Result<(), String> {
-    let text = std::fs::read_to_string(baseline_path)
-        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
-    let baseline =
-        parse(&text).map_err(|e| format!("baseline {baseline_path} does not parse: {e}"))?;
+) -> Result<CheckOutcome, String> {
+    let baseline = parse(text).map_err(|e| format!("baseline {label} does not parse: {e}"))?;
     if baseline.get("schema").and_then(JsonValue::as_str) != Some("repwf-bench/v1") {
-        return Err(format!("baseline {baseline_path} has an unknown schema"));
+        return Err(format!("baseline {label} has an unknown schema"));
     }
+    let mut notices = Vec::new();
     if baseline.get("quick") != Some(&JsonValue::Bool(quick)) {
-        eprintln!(
-            "warning: baseline {baseline_path} was recorded with quick={}, this run has quick={quick}",
+        notices.push(format!(
+            "warning: baseline {label} was recorded with quick={}, this run has quick={quick}",
             matches!(baseline.get("quick"), Some(JsonValue::Bool(true)))
-        );
+        ));
     }
-    if let Some(base_threads) = baseline.get("threads").and_then(JsonValue::as_f64) {
-        if base_threads as usize != threads {
-            eprintln!(
-                "warning: baseline {baseline_path} used {base_threads} campaign threads, this run uses {threads}"
-            );
-        }
+    let baseline_threads = baseline.get("threads").and_then(JsonValue::as_f64).map(|x| x as usize);
+    let baseline_cores = baseline.get("cores").and_then(JsonValue::as_f64).map(|x| x as usize);
+    if baseline_threads.is_some_and(|t| t != threads) {
+        notices.push(format!(
+            "warning: baseline {label} used {} campaign threads, this run uses {threads}",
+            baseline_threads.unwrap_or(0),
+        ));
     }
     let baseline_indices = baseline
         .get("indices")
         .and_then(JsonValue::as_arr)
-        .ok_or_else(|| format!("baseline {baseline_path} has no indices array"))?;
-
-    let baseline_threads = baseline.get("threads").and_then(JsonValue::as_f64).map(|x| x as usize);
-    let baseline_cores = baseline.get("cores").and_then(JsonValue::as_f64).map(|x| x as usize);
+        .ok_or_else(|| format!("baseline {label} has no indices array"))?;
 
     let mut regressions = Vec::new();
     let mut compared = 0usize;
@@ -541,31 +573,41 @@ fn check_against_baseline(
         let name = entry
             .get("name")
             .and_then(JsonValue::as_str)
-            .ok_or_else(|| format!("baseline {baseline_path}: index entry without a name"))?;
+            .ok_or_else(|| format!("baseline {label}: index entry without a name"))?;
         let old = entry
             .get("value")
             .and_then(JsonValue::as_f64)
-            .ok_or_else(|| format!("baseline {baseline_path}: index {name} has no value"))?;
+            .ok_or_else(|| format!("baseline {label}: index {name} has no value"))?;
         if THREAD_SCALING_INDICES.contains(&name) {
-            // A thread-scaling index recorded under a different `threads`
-            // or core count gates on an apples-to-oranges number: skip.
             let threads_differ = baseline_threads.is_some_and(|t| t != threads);
             let cores_differ = baseline_cores.is_some_and(|c| c != cores);
-            if threads_differ || cores_differ {
-                eprintln!(
-                    "notice: skipping thread-scaling index {name}: baseline recorded with \
-                     threads={}, cores={}; this run has threads={threads}, cores={cores} \
-                     (not comparable across parallelism settings)",
+            if threads_differ {
+                // Not comparable at all across --threads settings: skip,
+                // naming the index and the reason.
+                notices.push(format!(
+                    "notice: skipping thread-scaling index {name}: baseline recorded at \
+                     threads={}, this run at threads={threads} — regenerate {label} with \
+                     --threads {threads} to gate it",
                     baseline_threads.map_or("?".to_string(), |t| t.to_string()),
-                    baseline_cores.map_or("unrecorded".to_string(), |c| c.to_string()),
-                );
+                ));
                 continue;
+            }
+            if cores_differ {
+                // Same --threads on different hardware: the one-directional
+                // gate still applies (more cores can only raise the
+                // speedup), but say so rather than compare silently.
+                notices.push(format!(
+                    "notice: comparing thread-scaling index {name} across core counts \
+                     (baseline cores={}, this run cores={cores}); the gate fails only on \
+                     regression",
+                    baseline_cores.map_or("unrecorded".to_string(), |c| c.to_string()),
+                ));
             }
         }
         let Some(&(_, new)) = indices.iter().find(|(n, _)| *n == name) else {
             return Err(format!(
                 "baseline index {name} is not produced by this bench build — \
-                 regenerate {baseline_path} (the gate must not pass vacuously)"
+                 regenerate {label} (the gate must not pass vacuously)"
             ));
         };
         compared += 1;
@@ -579,15 +621,145 @@ fn check_against_baseline(
         }
     }
     if compared == 0 {
-        return Err(format!("baseline {baseline_path} contains no comparable indices"));
+        return Err(format!("baseline {label} contains no comparable indices"));
     }
-    if regressions.is_empty() {
-        Ok(())
+    Ok(CheckOutcome { notices, regressions, compared })
+}
+
+/// [`compare_indices`] against a baseline file: surfaces every notice on
+/// stderr (skips included, even when the check then fails), and errors on
+/// any regression beyond `tolerance`. Returns how many indices were
+/// actually gated.
+fn check_against_baseline(
+    baseline_path: &str,
+    indices: &[(&'static str, f64)],
+    tolerance: f64,
+    quick: bool,
+    threads: usize,
+    cores: usize,
+) -> Result<usize, String> {
+    let text = std::fs::read_to_string(baseline_path)
+        .map_err(|e| format!("cannot read baseline {baseline_path}: {e}"))?;
+    let outcome =
+        compare_indices(&text, baseline_path, indices, tolerance, quick, threads, cores)?;
+    for notice in &outcome.notices {
+        eprintln!("{notice}");
+    }
+    if outcome.regressions.is_empty() {
+        Ok(outcome.compared)
     } else {
         Err(format!(
             "performance regression beyond {:.0}% tolerance:\n  {}",
             tolerance * 100.0,
-            regressions.join("\n  ")
+            outcome.regressions.join("\n  ")
         ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic baseline document with the given parallelism settings
+    /// and index values.
+    fn baseline(threads: usize, cores: usize, indices: &[(&str, f64)]) -> String {
+        let entries: Vec<String> = indices
+            .iter()
+            .map(|(n, v)| format!("{{\"name\": \"{n}\", \"value\": {v}}}"))
+            .collect();
+        format!(
+            "{{\"schema\": \"repwf-bench/v1\", \"quick\": true, \"threads\": {threads}, \
+             \"cores\": {cores}, \"benchmarks\": [], \"indices\": [{}]}}",
+            entries.join(", ")
+        )
+    }
+
+    #[test]
+    fn thread_mismatch_skips_scaling_indices_by_name_with_the_reason() {
+        // Baseline at threads=2, run at threads=1: both thread-scaling
+        // indices skip (absurd baseline values must NOT fail the gate),
+        // the plain index still gates, and each skip notice names the
+        // index, both settings and the regeneration command.
+        let text = baseline(
+            2,
+            4,
+            &[
+                ("campaign_parallel_speedup", 10_000.0),
+                ("shard_merge_efficiency", 10_000.0),
+                ("warm_start_speedup", 1.0),
+            ],
+        );
+        let current = [
+            ("campaign_parallel_speedup", 1.0),
+            ("shard_merge_efficiency", 0.9),
+            ("warm_start_speedup", 1.05),
+        ];
+        let out = compare_indices(&text, "B.json", &current, 0.3, true, 1, 4).unwrap();
+        assert_eq!(out.compared, 1, "only the non-scaling index is gated");
+        assert!(out.regressions.is_empty(), "{:?}", out.regressions);
+        for name in ["campaign_parallel_speedup", "shard_merge_efficiency"] {
+            let notice = out
+                .notices
+                .iter()
+                .find(|n| n.contains(&format!("skipping thread-scaling index {name}")))
+                .unwrap_or_else(|| panic!("no skip notice for {name}: {:?}", out.notices));
+            assert!(notice.contains("threads=2"), "{notice}");
+            assert!(notice.contains("threads=1"), "{notice}");
+            assert!(notice.contains("--threads 1"), "{notice}");
+        }
+    }
+
+    #[test]
+    fn core_mismatch_alone_compares_scaling_indices_with_a_notice() {
+        // Same --threads on different hardware: the one-directional gate
+        // still catches a real regression — a 1-core baseline recorded at
+        // --threads 2 gates a 2-core runner instead of being skipped.
+        let text = baseline(2, 1, &[("campaign_parallel_speedup", 1.0)]);
+        let improved = [("campaign_parallel_speedup", 1.8)];
+        let out = compare_indices(&text, "B.json", &improved, 0.3, true, 2, 2).unwrap();
+        assert_eq!(out.compared, 1, "core mismatch must not skip");
+        assert!(out.regressions.is_empty());
+        assert!(
+            out.notices.iter().any(|n| n.contains(
+                "comparing thread-scaling index campaign_parallel_speedup across core counts"
+            )),
+            "{:?}",
+            out.notices
+        );
+
+        let regressed = [("campaign_parallel_speedup", 0.5)];
+        let out = compare_indices(&text, "B.json", &regressed, 0.3, true, 2, 2).unwrap();
+        assert_eq!(out.regressions.len(), 1);
+        assert!(out.regressions[0].contains("campaign_parallel_speedup"), "{:?}", out.regressions);
+    }
+
+    #[test]
+    fn matched_settings_gate_everything_and_name_regressions() {
+        let text = baseline(
+            2,
+            1,
+            &[("campaign_batched_speedup", 2.0), ("engine_reuse_speedup", 3.0)],
+        );
+        let current = [("campaign_batched_speedup", 1.0), ("engine_reuse_speedup", 3.1)];
+        let out = compare_indices(&text, "B.json", &current, 0.3, true, 2, 1).unwrap();
+        assert_eq!(out.compared, 2);
+        assert_eq!(out.regressions.len(), 1);
+        assert!(
+            out.regressions[0].contains("campaign_batched_speedup: current 1.000x vs baseline 2.000x"),
+            "{:?}",
+            out.regressions
+        );
+        assert!(out.notices.is_empty(), "{:?}", out.notices);
+    }
+
+    #[test]
+    fn renamed_and_empty_baselines_cannot_pass_vacuously() {
+        let text = baseline(1, 1, &[("no_such_index", 1.0)]);
+        let err = compare_indices(&text, "B.json", &[("real", 1.0)], 0.3, true, 1, 1).unwrap_err();
+        assert!(err.contains("no_such_index"), "{err}");
+
+        let text = baseline(2, 1, &[("campaign_parallel_speedup", 1.0)]);
+        let err = compare_indices(&text, "B.json", &[], 0.3, true, 1, 1).unwrap_err();
+        assert!(err.contains("no comparable indices"), "{err}");
     }
 }

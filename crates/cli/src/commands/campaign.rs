@@ -24,7 +24,9 @@ use repwf_dist::supervise::ClaimOutcome;
 use repwf_dist::{
     merge_paths, supervise, CampaignSpec, FaultPlan, ShardPlan, SuperviseOptions,
 };
-use repwf_gen::campaign::{run_campaign_with, CampaignResult, GAP_REL_TOL};
+use repwf_gen::campaign::{
+    run_campaign_batched_with, shape_stats, CampaignResult, DEFAULT_CAMPAIGN_CAP, GAP_REL_TOL,
+};
 use repwf_gen::{GenConfig, Range};
 use std::io::Write as _;
 use std::time::Duration;
@@ -40,7 +42,7 @@ OPTIONS:
   --count N          number of experiments (default: 100)
   --seed S           base seed; experiment k uses S+k (default: 2009)
   --threads K        worker threads (default: hardware)
-  --cap N            TPN transition cap before simulator fallback (default: 400000)
+  --cap N            TPN transition cap before simulator fallback (default: 2000000)
   --model M          overlap | strict (default: strict)
   --csv PATH         write per-experiment outcomes as CSV
   --hist             print an ASCII histogram of the positive gaps
@@ -95,7 +97,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let count = opts.get_or("--count", 100usize)?;
     let seed = opts.get_or("--seed", 2009u64)?;
     let threads = parse_threads(&opts)?;
-    let cap = opts.get_or("--cap", 400_000usize)?;
+    let cap = opts.get_or("--cap", DEFAULT_CAMPAIGN_CAP)?;
     // Strict is the model where the paper actually found gaps.
     let model = if opts.get("--model").is_some() {
         parse_model(&opts)?
@@ -119,7 +121,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
         return run_sharded(&opts, &spec, threads);
     }
 
-    let res = run_campaign_with(
+    // The unsharded run goes through the shape-batched solver: same bytes
+    // as the per-instance engine (property-tested), a fraction of the
+    // structural work when draws repeat shapes.
+    let res = run_campaign_batched_with(
         &spec.cfg,
         model,
         count,
@@ -400,6 +405,11 @@ pub(crate) fn print_summary(spec: &CampaignSpec, res: &CampaignResult, hist: boo
         "experiments        : {count} (seeds {}..{})",
         spec.seed_base,
         spec.seed_base + count as u64
+    );
+    let (distinct_shapes, batch_hit_rate) = shape_stats(&spec.cfg, count, spec.seed_base);
+    println!(
+        "distinct shapes     : {distinct_shapes} (batch hit rate {:.1}%)",
+        batch_hit_rate * 100.0
     );
     println!(
         "no critical resource: {no_critical} ({:.2}%)",

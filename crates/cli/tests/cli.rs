@@ -244,6 +244,7 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
         "period_full_tpn_warm",
         "campaign_strict_1t",
         "campaign_strict_nt",
+        "campaign_batched_nt",
         "anneal_strict",
         "neighbor_eval_cold",
         "neighbor_eval_incremental",
@@ -253,6 +254,7 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
         "engine_reuse_speedup",
         "warm_start_speedup",
         "campaign_parallel_speedup",
+        "campaign_batched_speedup",
         "neighbor_eval_speedup",
         "patched_solve_speedup",
         "shard_merge_efficiency",
@@ -314,8 +316,21 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
         scaled.to_str().unwrap(), "--tolerance", "0.9",
     ]);
     assert!(ok, "thread-scaling index must be skipped across thread counts: {err}");
+    // The skip notice must name EVERY skipped index and say why — which
+    // settings diverged and how to regenerate a comparable baseline.
+    for name in ["campaign_parallel_speedup", "shard_merge_efficiency"] {
+        let notice = err
+            .lines()
+            .find(|l| l.contains(&format!("skipping thread-scaling index {name}")))
+            .unwrap_or_else(|| panic!("no skip notice for {name} in stderr:\n{err}"));
+        assert!(notice.contains("threads=2"), "{notice}");
+        assert!(notice.contains("threads=1"), "{notice}");
+        assert!(notice.contains("--threads 1"), "regeneration hint missing: {notice}");
+    }
+    // The batched-campaign index is NOT thread-scaling: it must be gated
+    // (not skipped) even across --threads settings.
     assert!(
-        err.contains("skipping thread-scaling index campaign_parallel_speedup"),
+        !err.contains("skipping thread-scaling index campaign_batched_speedup"),
         "{err}"
     );
 

@@ -23,6 +23,8 @@
 //! * [`engine`] — the reusable, zero-allocation [`engine::PeriodEngine`]
 //!   (TPN build arena + max-plus workspace + warm-started Howard) for hot
 //!   loops that evaluate many related instances.
+//! * [`batch`] — the shape-batched [`batch::ShapeBatchSolver`]: one TPN
+//!   build + one condensation per shape, k instances per Howard pass.
 //! * [`fixtures`] — the paper's Examples A, B and C.
 //!
 //! # Quickstart
@@ -45,6 +47,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod cycle_time;
 pub mod diagnose;
 pub mod engine;

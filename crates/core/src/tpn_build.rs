@@ -276,6 +276,35 @@ pub fn retime_tpn_into(
     }
 }
 
+/// Computes the row-major firing-time vector of the TPN grid of `view`
+/// **without building a net**: `out[j·cols + c]` is the firing time
+/// [`build_tpn_view_into`] would give transition `(j, c)` of a
+/// `rows × (2n−1)` grid — the same expressions in the same order, so the
+/// values are bit-identical to a fresh build. This is the per-instance
+/// staging primitive of the shape-batched campaign path
+/// ([`crate::batch::ShapeBatchSolver`]): same-shape instances share one
+/// built net (the place structure) and differ only in these times.
+pub fn transition_times_into(view: InstanceView<'_>, rows: usize, out: &mut Vec<f64>) {
+    let n = view.num_stages();
+    let cols = 2 * n - 1;
+    out.clear();
+    out.reserve(rows * cols);
+    for j in 0..rows {
+        for c in 0..cols {
+            let i = c / 2;
+            let time = if c % 2 == 0 {
+                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
+                view.comp_time(i, u)
+            } else {
+                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
+                let v = view.mapping.procs(i + 1)[j % view.mapping.replicas(i + 1)];
+                view.comm_time(i, u, v)
+            };
+            out.push(time);
+        }
+    }
+}
+
 /// Builds only the sub-TPN of communication `F_i` under the overlap model
 /// (the restriction of the full TPN to column `2i+1`): `m` transfer
 /// transitions with the sender and receiver round-robin circuits. This is
@@ -427,6 +456,21 @@ mod tests {
         // 6 sender-circuit places + 6 receiver-circuit places.
         assert_eq!(sub.net.num_places(), 12);
         assert_eq!(sub.net.total_tokens(), 5); // 2 sender + 3 receiver circuits
+    }
+
+    #[test]
+    fn transition_times_match_built_net_bitwise() {
+        let inst = abc_instance(&[1, 2, 3, 1]);
+        let opts = BuildOptions { labels: false, ..Default::default() };
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let built = build_tpn(&inst, model, &opts).unwrap();
+            let mut times = Vec::new();
+            transition_times_into(inst.view(), built.rows, &mut times);
+            assert_eq!(times.len(), built.net.num_transitions());
+            for (i, t) in built.net.transitions().iter().enumerate() {
+                assert_eq!(times[i].to_bits(), t.firing_time.to_bits(), "{model} t{i}");
+            }
+        }
     }
 
     #[test]

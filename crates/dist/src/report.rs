@@ -17,6 +17,12 @@ use repwf_gen::Range;
 /// order.
 pub fn campaign_doc(spec: &CampaignSpec, res: &CampaignResult) -> Json {
     let accum = res.accum();
+    // Shape statistics are computed from the *spec* (replaying only the
+    // replica RNG prefix of every seed), never from the outcomes: a
+    // merged sharded campaign reports the same values as the unsharded
+    // run regardless of which runner executed the experiments.
+    let (distinct_shapes, batch_hit_rate) =
+        repwf_gen::campaign::shape_stats(&spec.cfg, spec.count, spec.seed_base);
     let outcomes: Vec<Json> = res
         .outcomes
         .iter()
@@ -51,6 +57,8 @@ pub fn campaign_doc(spec: &CampaignSpec, res: &CampaignResult) -> Json {
         ("count", Json::UInt(spec.count as u128)),
         ("seed", Json::UInt(u128::from(spec.seed_base))),
         ("cap", Json::UInt(spec.cap as u128)),
+        ("distinct_shapes", Json::UInt(distinct_shapes as u128)),
+        ("batch_hit_rate", Json::Num(batch_hit_rate)),
         ("no_critical", Json::UInt(accum.no_critical as u128)),
         ("max_gap_pct", Json::Num(accum.max_gap() * 100.0)),
         ("simulated", Json::UInt(accum.simulated as u128)),

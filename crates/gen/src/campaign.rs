@@ -43,14 +43,18 @@
 //!   exact in every field.
 
 use crate::agg;
-use crate::sampler::{sample_parts, GenConfig};
+use crate::sampler::{sample_parts, sample_replica_counts, GenConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use repwf_core::batch::ShapeBatchSolver;
+use repwf_core::cycle_time::max_cycle_time_view;
 use repwf_core::engine::PeriodEngine;
-use repwf_core::model::{CommModel, Instance};
+use repwf_core::model::{CommModel, Instance, InstanceView};
+use repwf_core::paths::{mapping_num_paths, num_paths};
 use repwf_core::period::{Method, PeriodError};
 use repwf_core::tpn_build::{BuildError, BuildOptions};
 use repwf_sim::{simulate, SimOptions};
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 
 /// How one experiment was resolved.
@@ -227,6 +231,13 @@ impl Default for CampaignAccum {
 /// critical resource (shared by the streaming aggregates and Table 2).
 pub const GAP_REL_TOL: f64 = 1e-7;
 
+/// Default TPN size cap (max transitions) of campaign runs. Raised from
+/// the historical `400_000` once the per-SCC parallel solver and the
+/// shape-batched path made strict TPNs of this size solve exactly in
+/// reasonable time — instance families that used to fall back to the
+/// discrete-event simulator now report [`Resolution::Exact`].
+pub const DEFAULT_CAMPAIGN_CAP: usize = 2_000_000;
+
 /// Streaming snapshot passed to progress callbacks after every experiment.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct Progress {
@@ -254,15 +265,18 @@ impl Progress {
 
     /// One-line human summary, shared by the supervisor, `repwf dist
     /// status` and partial merges: experiments done (with the percentage
-    /// when short of the campaign), no-critical/simulated tallies, and
-    /// the running max gap.
+    /// when short of the campaign), the no-critical tally, the simulated
+    /// tally (only when any experiment actually fell back to the
+    /// simulator), and the running max gap.
     ///
     /// ```
     /// use repwf_gen::campaign::Progress;
     /// let p = Progress { done: 3, total: 4, no_critical: 1, simulated: 0, max_gap: 0.25 };
+    /// assert_eq!(p.summary(), "3/4 experiments (75.0%), 1 no-critical, max gap 25.000%");
+    /// let s = Progress { simulated: 2, ..p };
     /// assert_eq!(
-    ///     p.summary(),
-    ///     "3/4 experiments (75.0%), 1 no-critical, 0 simulated, max gap 25.000%",
+    ///     s.summary(),
+    ///     "3/4 experiments (75.0%), 1 no-critical, 2 simulated, max gap 25.000%",
     /// );
     /// ```
     pub fn summary(&self) -> String {
@@ -276,10 +290,14 @@ impl Progress {
                 self.fraction() * 100.0
             )
         };
+        let simulated = if self.simulated > 0 {
+            format!(", {} simulated", self.simulated)
+        } else {
+            String::new()
+        };
         format!(
-            "{coverage}, {} no-critical, {} simulated, max gap {:.3}%",
+            "{coverage}, {} no-critical{simulated}, max gap {:.3}%",
             self.no_critical,
-            self.simulated,
             self.max_gap * 100.0
         )
     }
@@ -459,6 +477,217 @@ pub fn run_campaign_streamed(
         |_, outcome| sink(outcome),
     );
     CampaignResult { outcomes }
+}
+
+/// Campaign shape statistics, computed **statically from the spec** by
+/// replaying only the replica-count RNG prefix of every seed (no instance
+/// materialized, no experiment run): the number of distinct TPN shapes
+/// the campaign draws, and the batch hit rate
+/// `(count − distinct_shapes)/count` — the fraction of experiments that
+/// ride a shape some earlier seed already paid the structural phase for.
+///
+/// Because the statistics depend only on `(cfg, count, seed_base)`, a
+/// sharded campaign's merge report and the unsharded run report the same
+/// values, whichever runner actually executed the experiments.
+pub fn shape_stats(cfg: &GenConfig, count: usize, seed_base: u64) -> (usize, f64) {
+    if count == 0 {
+        return (0, 0.0);
+    }
+    let mut shapes = std::collections::HashSet::new();
+    for k in 0..count {
+        let mut rng = StdRng::seed_from_u64(seed_base + k as u64);
+        shapes.insert(sample_replica_counts(cfg, &mut rng));
+    }
+    let distinct = shapes.len();
+    (distinct, (count - distinct) as f64 / count as f64)
+}
+
+/// Upper bound on transitions staged per batched chunk: chunks shrink for
+/// big shapes so the per-worker cost planes and Howard columns stay
+/// bounded (a pure function of the shape dimensions — deterministic).
+const BATCH_TRANSITION_BUDGET: u128 = 1_000_000;
+/// Instances per batched Howard pass for small shapes.
+const MAX_BATCH: usize = 16;
+
+/// One unit of batched campaign work.
+enum BatchTask {
+    /// Same-shape, in-cap seeds solved in one batched Howard pass.
+    Batch(Vec<u32>),
+    /// A seed the batched path cannot take (TPN over the size cap —
+    /// simulator fallback — or path-count overflow): runs through
+    /// [`run_one_with`], exactly like the unbatched campaign.
+    Solo(u32),
+}
+
+/// [`run_campaign`] through the shape-batched solver. Outcomes are **byte
+/// identical** to [`run_campaign`] with the same arguments at any thread
+/// count (property-tested in `tests/batch_props.rs`); only the work
+/// schedule differs:
+///
+/// * experiments are **routed by shape** — the canonical shape signature
+///   (communication model + per-stage replica counts) of each seed is
+///   recovered statically by replaying the replica RNG prefix
+///   ([`crate::sampler::sample_replica_counts`]), so same-shape
+///   experiments land in shared chunks without sampling an instance;
+/// * each chunk amortizes **one** TPN build, **one** ratio-graph/CSR
+///   build and **one** Tarjan condensation across its instances, and the
+///   batched Howard kernel streams every instance's cost plane per pass
+///   over the shared structure ([`repwf_core::batch::ShapeBatchSolver`]);
+/// * over-cap and degenerate seeds fall back to the per-instance path
+///   ([`run_one_with`]), unchanged.
+///
+/// The overlap model solves through the polynomial algorithm (no TPN to
+/// batch), so it delegates to the unbatched runner wholesale.
+pub fn run_campaign_batched(
+    cfg: &GenConfig,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    threads: usize,
+    cap: usize,
+) -> CampaignResult {
+    run_campaign_batched_with(cfg, model, count, seed_base, threads, cap, None)
+}
+
+/// [`run_campaign_batched`] with an optional streaming progress callback
+/// (one [`Progress`] snapshot per finished experiment, like
+/// [`run_campaign_with`] — batched chunks report each member as the chunk
+/// completes).
+pub fn run_campaign_batched_with(
+    cfg: &GenConfig,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    threads: usize,
+    cap: usize,
+    progress: Option<ProgressFn<'_>>,
+) -> CampaignResult {
+    if model == CommModel::Overlap || count == 0 {
+        return run_campaign_with(cfg, model, count, seed_base, threads, cap, progress);
+    }
+
+    // --- static shape routing: replay only the replica RNG prefix ---
+    let cols = (2 * cfg.stages - 1) as u128;
+    let mut tasks: Vec<BatchTask> = Vec::new();
+    let mut group_of: HashMap<Vec<usize>, usize> = HashMap::new();
+    // (transitions, members) per shape, in first-occurrence order.
+    let mut groups: Vec<(u128, Vec<u32>)> = Vec::new();
+    for k in 0..count {
+        let mut rng = StdRng::seed_from_u64(seed_base + k as u64);
+        let replicas = sample_replica_counts(cfg, &mut rng);
+        let transitions = num_paths(&replicas).and_then(|m| m.checked_mul(cols));
+        match transitions {
+            Some(t) if t <= cap as u128 => {
+                let g = *group_of.entry(replicas).or_insert_with(|| {
+                    groups.push((t, Vec::new()));
+                    groups.len() - 1
+                });
+                groups[g].1.push(k as u32);
+            }
+            _ => tasks.push(BatchTask::Solo(k as u32)),
+        }
+    }
+    for (transitions, members) in groups {
+        let chunk = (BATCH_TRANSITION_BUDGET / transitions.max(1)).clamp(1, MAX_BATCH as u128);
+        for c in members.chunks(chunk as usize) {
+            tasks.push(BatchTask::Batch(c.to_vec()));
+        }
+    }
+
+    // Streaming aggregates, exactly as in `run_campaign_with`.
+    let done = AtomicUsize::new(0);
+    let no_critical = AtomicUsize::new(0);
+    let simulated = AtomicUsize::new(0);
+    let max_gap_bits = AtomicU64::new(0f64.to_bits());
+    let record = |outcome: &ExperimentOutcome| {
+        if let Some(callback) = progress {
+            no_critical.fetch_add(
+                usize::from(outcome.no_critical_resource(GAP_REL_TOL)),
+                Ordering::SeqCst,
+            );
+            simulated.fetch_add(
+                usize::from(outcome.resolution == Resolution::Simulated),
+                Ordering::SeqCst,
+            );
+            agg::fold_max_gap(&max_gap_bits, outcome.gap());
+            let d = done.fetch_add(1, Ordering::SeqCst) + 1;
+            callback(Progress {
+                done: d,
+                total: count,
+                no_critical: no_critical.load(Ordering::SeqCst),
+                simulated: simulated.load(Ordering::SeqCst),
+                max_gap: f64::from_bits(max_gap_bits.load(Ordering::SeqCst)),
+            });
+        }
+    };
+
+    let results = repwf_par::par_map_init(
+        threads,
+        tasks.len(),
+        || (engine_for_cap(cap), ShapeBatchSolver::new(cap)),
+        |(engine, solver), t| match &tasks[t] {
+            BatchTask::Solo(k) => {
+                let outcome = run_one_with(cfg, model, seed_base + u64::from(*k), engine);
+                record(&outcome);
+                vec![(*k, outcome)]
+            }
+            BatchTask::Batch(ks) => {
+                // (seed index, M_ct, path count) per staged instance.
+                let mut metas: Vec<(u32, f64, u128)> = Vec::with_capacity(ks.len());
+                for (q, &k) in ks.iter().enumerate() {
+                    let seed = seed_base + u64::from(k);
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    let (pipeline, platform, mapping) = sample_parts(cfg, &mut rng);
+                    let view = InstanceView::new(&pipeline, &platform, &mapping)
+                        .expect("generator produces valid instances");
+                    if q == 0 {
+                        solver
+                            .begin(view, model, ks.len())
+                            .expect("routed shapes fit the size cap");
+                    }
+                    let (mct, _) = max_cycle_time_view(view, model);
+                    let m = mapping_num_paths(&mapping)
+                        .expect("routed shapes have a path count");
+                    solver.stage(q, view);
+                    metas.push((k, mct, m));
+                }
+                let solved = solver.solve();
+                metas
+                    .into_iter()
+                    .zip(solved)
+                    .map(|((k, mct, m), res)| {
+                        let seed = seed_base + u64::from(k);
+                        let sol = res
+                            .unwrap_or_else(|e| panic!("experiment {seed} failed: {e}"))
+                            .expect("mapping TPNs always contain circuits");
+                        let outcome = ExperimentOutcome {
+                            seed,
+                            mct,
+                            period: sol.period / m as f64,
+                            resolution: Resolution::Exact,
+                            num_paths: m,
+                        };
+                        record(&outcome);
+                        (k, outcome)
+                    })
+                    .collect()
+            }
+        },
+    );
+
+    // Scatter the chunked results back to seed order.
+    let mut outcomes: Vec<Option<ExperimentOutcome>> = vec![None; count];
+    for chunk in results {
+        for (k, outcome) in chunk {
+            outcomes[k as usize] = Some(outcome);
+        }
+    }
+    CampaignResult {
+        outcomes: outcomes
+            .into_iter()
+            .map(|o| o.expect("every seed is scheduled exactly once"))
+            .collect(),
+    }
 }
 
 #[cfg(test)]
@@ -695,6 +924,99 @@ mod tests {
     }
 
     #[test]
+    fn batched_campaign_is_byte_identical_across_thread_counts() {
+        // The tentpole contract: shape-batched scheduling must never leak
+        // into the numbers — same bytes as the unbatched campaign, at any
+        // thread count, for both models.
+        for model in [CommModel::Strict, CommModel::Overlap] {
+            let reference = run_campaign(&small_cfg(), model, 24, 900, 1, 200_000);
+            for threads in [1, 2, 4] {
+                let batched = run_campaign_batched(&small_cfg(), model, 24, 900, threads, 200_000);
+                assert_eq!(
+                    batched.outcomes.len(),
+                    reference.outcomes.len(),
+                    "{model} threads={threads}"
+                );
+                for (b, r) in batched.outcomes.iter().zip(&reference.outcomes) {
+                    assert_eq!(b.seed, r.seed, "{model} threads={threads}");
+                    assert_eq!(b.resolution, r.resolution, "{model} seed {}", r.seed);
+                    assert_eq!(b.num_paths, r.num_paths, "{model} seed {}", r.seed);
+                    assert_eq!(
+                        b.mct.to_bits(),
+                        r.mct.to_bits(),
+                        "{model} seed {} mct",
+                        r.seed
+                    );
+                    assert_eq!(
+                        b.period.to_bits(),
+                        r.period.to_bits(),
+                        "{model} seed {} period",
+                        r.seed
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn batched_campaign_routes_simulator_era_seeds_through_the_solo_path() {
+        // A tiny cap forces some draws over the size limit: the batched
+        // runner must hand exactly those to the per-instance path
+        // (simulator fallback) and still reproduce the unbatched bytes.
+        let cfg = GenConfig {
+            stages: 3,
+            procs: 9,
+            comp: Range::new(5.0, 15.0),
+            comm: Range::new(5.0, 15.0),
+        };
+        // Cap of 60 transitions: draws with lcm ≤ 12 batch, the rest solo.
+        let reference = run_campaign(&cfg, CommModel::Strict, 12, 3, 1, 60);
+        assert!(reference.count_simulated() > 0, "cap must force some fallbacks");
+        assert!(
+            reference.count_simulated() < 12,
+            "cap must leave some exact experiments"
+        );
+        for threads in [1, 3] {
+            let batched = run_campaign_batched(&cfg, CommModel::Strict, 12, 3, threads, 60);
+            assert_eq!(batched, reference, "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn batched_progress_streams_one_snapshot_per_experiment() {
+        let seen: Mutex<Vec<Progress>> = Mutex::new(Vec::new());
+        let res = run_campaign_batched_with(
+            &small_cfg(),
+            CommModel::Strict,
+            12,
+            500,
+            3,
+            200_000,
+            Some(&|p| seen.lock().unwrap().push(p)),
+        );
+        let seen = seen.into_inner().unwrap();
+        assert_eq!(seen.len(), 12, "one snapshot per experiment");
+        let last = seen.iter().max_by_key(|p| p.done).unwrap();
+        assert_eq!(last.done, 12);
+        assert_eq!(last.total, 12);
+        assert_eq!(last.no_critical, res.count_no_critical(GAP_REL_TOL));
+        assert_eq!(last.simulated, res.count_simulated());
+        assert!((last.max_gap - res.max_gap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn shape_stats_count_distinct_replica_draws() {
+        let (distinct, hit_rate) = shape_stats(&small_cfg(), 24, 900);
+        assert!((1..=24).contains(&distinct));
+        // 2 stages / 7 procs: only 6 possible shapes, so 24 draws repeat.
+        assert!(distinct <= 6);
+        assert!((hit_rate - (24 - distinct) as f64 / 24.0).abs() < 1e-15);
+        assert_eq!(shape_stats(&small_cfg(), 0, 900), (0, 0.0));
+        // Purely spec-derived: identical on every call.
+        assert_eq!(shape_stats(&small_cfg(), 24, 900), (distinct, hit_rate));
+    }
+
+    #[test]
     fn progress_fraction_and_summary_cover_partial_and_degenerate_cases() {
         let partial = Progress { done: 3, total: 4, no_critical: 1, simulated: 2, max_gap: 0.015 };
         assert!((partial.fraction() - 0.75).abs() < 1e-15);
@@ -705,7 +1027,8 @@ mod tests {
 
         let complete = Progress { done: 4, total: 4, no_critical: 0, simulated: 0, max_gap: 0.0 };
         assert!((complete.fraction() - 1.0).abs() < 1e-15);
-        assert_eq!(complete.summary(), "4/4 experiments, 0 no-critical, 0 simulated, max gap 0.000%");
+        // No simulator fallback: the summary does not mention it at all.
+        assert_eq!(complete.summary(), "4/4 experiments, 0 no-critical, max gap 0.000%");
 
         let empty = Progress { done: 0, total: 0, no_critical: 0, simulated: 0, max_gap: 0.0 };
         assert_eq!(empty.fraction(), 1.0, "an empty campaign counts as done");

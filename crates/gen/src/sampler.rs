@@ -84,13 +84,7 @@ pub fn sample_instance<R: Rng>(cfg: &GenConfig, rng: &mut R) -> Instance {
 /// all; the parts are only assembled (by move, not clone) when the
 /// simulator fallback requires ownership.
 pub fn sample_parts<R: Rng>(cfg: &GenConfig, rng: &mut R) -> (Pipeline, Platform, Mapping) {
-    assert!(cfg.stages >= 1 && cfg.procs >= cfg.stages, "need at least one proc per stage");
-    // Replica counts: start at 1 each, sprinkle the rest uniformly.
-    let mut replicas = vec![1usize; cfg.stages];
-    for _ in 0..cfg.procs - cfg.stages {
-        let k = rng.gen_range(0..cfg.stages);
-        replicas[k] += 1;
-    }
+    let replicas = sample_replica_counts(cfg, rng);
     // Shuffle processor identities so stage/processor correlation is random.
     let mut procs: Vec<usize> = (0..cfg.procs).collect();
     for i in (1..procs.len()).rev() {
@@ -120,6 +114,26 @@ pub fn sample_parts<R: Rng>(cfg: &GenConfig, rng: &mut R) -> (Pipeline, Platform
 
     let mapping = Mapping::new(assignment).expect("generator produces valid mappings");
     (pipeline, platform, mapping)
+}
+
+/// The per-stage replica counts of a draw — the **prefix** of the RNG
+/// stream [`sample_parts`] consumes: every stage starts at one processor
+/// and the remaining `p − n` are sprinkled uniformly.
+///
+/// Because it is the prefix, the canonical TPN *shape* of seed `k`
+/// (communication model aside, the place structure is a pure function of
+/// these counts) can be recovered by replaying just these draws on a fresh
+/// `StdRng::seed_from_u64(seed)` — no pipeline, platform or mapping
+/// materialized. This is the static shape-routing primitive of the
+/// batched campaign runner and of the `distinct_shapes` report statistics.
+pub fn sample_replica_counts<R: Rng>(cfg: &GenConfig, rng: &mut R) -> Vec<usize> {
+    assert!(cfg.stages >= 1 && cfg.procs >= cfg.stages, "need at least one proc per stage");
+    let mut replicas = vec![1usize; cfg.stages];
+    for _ in 0..cfg.procs - cfg.stages {
+        let k = rng.gen_range(0..cfg.stages);
+        replicas[k] += 1;
+    }
+    replicas
 }
 
 #[cfg(test)]
@@ -190,6 +204,18 @@ mod tests {
             for &u in inst.mapping.procs(i) {
                 assert!((inst.comp_time(i, u) - 1.0).abs() < 1e-12);
             }
+        }
+    }
+
+    #[test]
+    fn replica_prefix_matches_full_draw() {
+        // The shape-routing contract: replaying only the prefix on a fresh
+        // seeded RNG reproduces exactly the replica counts of the full
+        // draw with that seed.
+        for seed in 0..20 {
+            let counts = sample_replica_counts(&cfg(), &mut StdRng::seed_from_u64(seed));
+            let (_, _, mapping) = sample_parts(&cfg(), &mut StdRng::seed_from_u64(seed));
+            assert_eq!(counts, mapping.replica_counts(), "seed {seed}");
         }
     }
 

@@ -1,0 +1,85 @@
+//! Batched-campaign determinism properties (the PR's acceptance criteria):
+//!
+//! * for random `(count, threads, model, seed_base)`, the shape-batched
+//!   campaign is **byte-identical** (every outcome field, floats compared
+//!   by bit pattern) to the per-instance campaign — mixed-shape draws
+//!   exercise the grouped scheduling, and the single-thread unbatched run
+//!   is the reference so no schedule can hide in the comparison;
+//! * with a tiny TPN size cap, simulator-era draws route through the
+//!   per-instance fallback and the byte identity still holds — the
+//!   batched runner must split every campaign into batchable and solo
+//!   work without perturbing either side.
+
+use proptest::prelude::*;
+use repwf_core::model::CommModel;
+use repwf_gen::campaign::{run_campaign, run_campaign_batched, CampaignResult};
+use repwf_gen::{GenConfig, Range};
+
+/// Mixed-shape configuration: 3 stages over 9 processors draw many
+/// distinct replica-count vectors, so campaigns route into several batch
+/// groups (plus singletons).
+fn mixed_cfg() -> GenConfig {
+    GenConfig {
+        stages: 3,
+        procs: 9,
+        comp: Range::new(5.0, 15.0),
+        comm: Range::new(5.0, 15.0),
+    }
+}
+
+/// Asserts full bitwise equality of two campaign results, field by field
+/// (`PartialEq` on f64 would accept `-0.0 == 0.0`; the bit compare below
+/// would not — and names the diverging seed when it fires).
+fn assert_bitwise_eq(batched: &CampaignResult, reference: &CampaignResult, tag: &str) {
+    assert_eq!(batched.outcomes.len(), reference.outcomes.len(), "{tag}");
+    for (b, r) in batched.outcomes.iter().zip(&reference.outcomes) {
+        assert_eq!(b.seed, r.seed, "{tag}");
+        assert_eq!(b.resolution, r.resolution, "{tag} seed {}", r.seed);
+        assert_eq!(b.num_paths, r.num_paths, "{tag} seed {}", r.seed);
+        assert_eq!(b.mct.to_bits(), r.mct.to_bits(), "{tag} seed {} mct", r.seed);
+        assert_eq!(b.period.to_bits(), r.period.to_bits(), "{tag} seed {} period", r.seed);
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(10))]
+
+    #[test]
+    fn batched_campaign_is_bitwise_the_unbatched_one(
+        count in 0usize..22,
+        threads in 1usize..5,
+        seed_base in 1u64..5000,
+    ) {
+        let cfg = mixed_cfg();
+        for model in [CommModel::Strict, CommModel::Overlap] {
+            let reference = run_campaign(&cfg, model, count, seed_base, 1, 200_000);
+            let batched =
+                run_campaign_batched(&cfg, model, count, seed_base, threads, 200_000);
+            assert_bitwise_eq(
+                &batched,
+                &reference,
+                &format!("{model} count={count} threads={threads} seeds={seed_base}"),
+            );
+        }
+    }
+
+    #[test]
+    fn batched_campaign_matches_with_simulator_era_instances(
+        count in 1usize..16,
+        threads in 1usize..4,
+        seed_base in 1u64..3000,
+    ) {
+        // Cap of 60 transitions: 3-stage draws build 5 columns, so shapes
+        // with lcm > 12 overflow the cap and take the simulator fallback —
+        // mixed batch/solo campaigns at nearly every draw.
+        let cfg = mixed_cfg();
+        let reference = run_campaign(&cfg, CommModel::Strict, count, seed_base, 1, 60);
+        let batched =
+            run_campaign_batched(&cfg, CommModel::Strict, count, seed_base, threads, 60);
+        assert_bitwise_eq(
+            &batched,
+            &reference,
+            &format!("count={count} threads={threads} seeds={seed_base}"),
+        );
+    }
+}

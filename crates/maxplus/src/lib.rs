@@ -23,6 +23,9 @@
 //! * [`workspace`] — reusable [`workspace::Workspace`] arenas (CSR
 //!   adjacency, SCC/Howard/Karp/Lawler scratch) making repeated solves
 //!   allocation-free, with warm-started policy iteration.
+//! * [`batch`] — shape-batched Howard: one CSR build + condensation
+//!   amortized over k same-structure instances with SoA cost planes, and
+//!   per-SCC parallel solves on the `repwf-par` pool.
 //! * [`howard`] — Howard's policy iteration for the maximum cycle ratio
 //!   (primary algorithm; exact, returns a witness cycle).
 //! * [`lawler`] — Lawler's parametric binary search (cross-check).
@@ -48,6 +51,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batch;
 pub mod bruteforce;
 pub mod closure;
 pub mod graph;

@@ -362,6 +362,132 @@ impl Workspace {
         self.warm_sig = None;
     }
 
+    /// Structural phase of a batched solve (see [`crate::batch`]): checks
+    /// the structure cache exactly like [`Workspace::max_cycle_ratio_cached`]
+    /// and condenses on a miss. Both signatures are invalidated until
+    /// [`Workspace::batch_commit`] re-arms the structure cache — the warm
+    /// policy is never reusable after a batch (converged policies live in
+    /// the batch scratch columns, not in `self.policy`). Unlike the solo
+    /// path, a structure *hit* does not refresh the CSR cost mirror: batched
+    /// Howard reads costs from its own interleaved planes, never from
+    /// [`Csr::costs`].
+    pub(crate) fn batch_prepare(&mut self, g: &RatioGraph, structure: u64) {
+        let n = g.num_vertices();
+        let ne = g.num_edges();
+        let structure_ok = self.struct_sig == Some((structure, n, ne));
+        self.warm_sig = None;
+        self.struct_sig = None;
+        if !structure_ok {
+            self.condense(g);
+        }
+    }
+
+    /// Re-arms the structure cache after a fully successful batched solve.
+    pub(crate) fn batch_commit(&mut self, structure: u64, n: usize, ne: usize) {
+        self.struct_sig = Some((structure, n, ne));
+    }
+
+    /// The shared read-only structural arrays a batched solve iterates
+    /// over: `(csr, component ids, component offsets, component vertices)`.
+    pub(crate) fn batch_parts(&self) -> (&Csr, &[u32], &[u32], &[u32]) {
+        (&self.csr, &self.comp, &self.comp_offsets, &self.comp_vertices)
+    }
+
+    /// Howard's policy iteration with **per-SCC parallelism**: after one
+    /// (sequential) CSR build + Tarjan condensation, the cyclic components
+    /// are solved as independent tasks on the [`repwf_par`] work-stealing
+    /// pool — each worker runs the ordinary cold `howard_component` on
+    /// its own full-size scratch arrays over the shared read-only CSR —
+    /// and the per-component witnesses are folded **in condensation
+    /// order** on the calling thread.
+    ///
+    /// Results are bit-for-bit those of [`Workspace::max_cycle_ratio`] at
+    /// any `threads` (including the first-error-in-component-order
+    /// semantics on failing inputs): component solves touch only member
+    /// vertices, so the sequential solve's shared scratch never couples
+    /// components, and the fold below replays its exact comparison
+    /// sequence. Warm starts and the structure cache are disabled (both
+    /// signatures cleared): the converged policies live in worker-local
+    /// scratch, not in this workspace.
+    ///
+    /// This is the solve path for huge condensation-limited graphs — the
+    /// over-cap strict-model TPNs that previously fell back to simulation.
+    pub fn max_cycle_ratio_par(&mut self, g: &RatioGraph, threads: usize) -> RatioResult {
+        g.validate()?;
+        let n = g.num_vertices();
+        let ne = g.num_edges();
+        self.warm_sig = None;
+        self.condense(g); // also clears struct_sig (rebuild_csr)
+        let max_iters = 64 + 8 * n + ne;
+
+        let csr = &self.csr;
+        let comp = &self.comp[..];
+        let comp_offsets = &self.comp_offsets[..];
+        let comp_vertices = &self.comp_vertices[..];
+        let members_of = |c: usize| -> &[u32] {
+            &comp_vertices[comp_offsets[c] as usize..comp_offsets[c + 1] as usize]
+        };
+        let cyclic: Vec<u32> = (0..comp_offsets.len() - 1)
+            .filter(|&c| {
+                let members = members_of(c);
+                members.len() > 1
+                    || csr.targets()[csr.range(members[0])].contains(&members[0])
+            })
+            .map(|c| c as u32)
+            .collect();
+
+        // Per-worker scratch: full-size global-vertex-id arrays, exactly
+        // what `howard_component` expects. Initial values are irrelevant —
+        // every member entry is written (cold policy init, policy
+        // evaluation) before it is read.
+        struct ParScratch {
+            policy: Vec<u32>,
+            lambda: Vec<f64>,
+            potential: Vec<f64>,
+            state: Vec<u8>,
+            walk_pos: Vec<u32>,
+            path: Vec<u32>,
+        }
+        let results = repwf_par::par_map_init(
+            threads,
+            cyclic.len(),
+            || ParScratch {
+                policy: vec![u32::MAX; n],
+                lambda: vec![f64::NEG_INFINITY; n],
+                potential: vec![0.0; n],
+                state: vec![0; n],
+                walk_pos: vec![0; n],
+                path: Vec::new(),
+            },
+            |s, i| {
+                let c = cyclic[i];
+                howard_component(
+                    csr,
+                    comp,
+                    c,
+                    members_of(c as usize),
+                    false,
+                    &mut s.policy,
+                    &mut s.lambda,
+                    &mut s.potential,
+                    &mut s.state,
+                    &mut s.walk_pos,
+                    &mut s.path,
+                    max_iters,
+                )
+            },
+        );
+
+        let mut best: Option<CycleSolution> = None;
+        for r in results {
+            let sol = r?;
+            if best.as_ref().is_none_or(|b| sol.ratio > b.ratio) {
+                best = Some(sol);
+            }
+        }
+        Ok(best)
+    }
+
     fn howard(&mut self, g: &RatioGraph, warm: bool, structure: Option<u64>) -> RatioResult {
         g.validate()?;
         let n = g.num_vertices();
@@ -1323,5 +1449,76 @@ mod tests {
         let a = crate::karp::max_cycle_mean(&g).unwrap();
         let b = ws.max_cycle_mean(&g).unwrap();
         assert_eq!(a.to_bits(), b.to_bits());
+    }
+
+    /// Multiple SCCs of varying size plus acyclic glue, so the parallel
+    /// solver actually has independent component tasks to distribute.
+    fn multi_scc() -> RatioGraph {
+        let mut g = RatioGraph::new(11);
+        g.add_edge(0, 1, 2.0, 1);
+        g.add_edge(1, 2, 7.5, 0);
+        g.add_edge(2, 0, 1.25, 1);
+        g.add_edge(1, 0, 3.0, 1);
+        g.add_edge(3, 3, 9.0, 2);
+        g.add_edge(4, 5, 4.0, 1);
+        g.add_edge(5, 6, 6.0, 0);
+        g.add_edge(6, 7, 0.5, 1);
+        g.add_edge(7, 4, 8.0, 1);
+        g.add_edge(6, 4, 2.5, 2);
+        g.add_edge(2, 4, 1.0, 0);
+        g.add_edge(3, 5, 5.0, 1);
+        g.add_edge(8, 9, 1.0, 0);
+        g.add_edge(9, 10, 2.0, 1);
+        g
+    }
+
+    #[test]
+    fn parallel_solve_matches_sequential_bitwise_at_every_thread_count() {
+        for g in [diamond(), multi_scc()] {
+            let seq = Workspace::new().max_cycle_ratio(&g).unwrap().unwrap();
+            for threads in [1, 2, 4] {
+                let mut ws = Workspace::new();
+                let par = ws.max_cycle_ratio_par(&g, threads).unwrap().unwrap();
+                assert_eq!(par.ratio.to_bits(), seq.ratio.to_bits(), "threads={threads}");
+                assert_eq!(par.cost.to_bits(), seq.cost.to_bits(), "threads={threads}");
+                assert_eq!(par.tokens, seq.tokens, "threads={threads}");
+                assert_eq!(par.cycle, seq.cycle, "threads={threads}");
+            }
+        }
+    }
+
+    #[test]
+    fn parallel_solve_matches_sequential_on_errors_and_acyclic() {
+        // Two deadlocked components: the error must be the sequential
+        // solver's (first failing component in condensation order).
+        let mut g = RatioGraph::new(4);
+        g.add_edge(0, 1, 1.0, 0);
+        g.add_edge(1, 0, 2.0, 0);
+        g.add_edge(2, 3, 3.0, 0);
+        g.add_edge(3, 2, 4.0, 0);
+        let seq = Workspace::new().max_cycle_ratio(&g).unwrap_err();
+        for threads in [1, 2, 4] {
+            let par = Workspace::new().max_cycle_ratio_par(&g, threads).unwrap_err();
+            assert_eq!(par, seq, "threads={threads}");
+        }
+        // Acyclic graph: Ok(None) everywhere.
+        let mut dag = RatioGraph::new(3);
+        dag.add_edge(0, 1, 1.0, 1);
+        dag.add_edge(1, 2, 2.0, 1);
+        for threads in [1, 2, 4] {
+            assert_eq!(Workspace::new().max_cycle_ratio_par(&dag, threads).unwrap(), None);
+        }
+    }
+
+    #[test]
+    fn parallel_solve_leaves_caches_cold_for_next_cached_solve() {
+        // A parallel solve must not poison the warm/structure caches: a
+        // following cached solve with a fresh token rebuilds and matches.
+        let g = multi_scc();
+        let mut ws = Workspace::new();
+        ws.max_cycle_ratio_par(&g, 2).unwrap();
+        let cached = ws.max_cycle_ratio_cached(&g, 77, false).unwrap().unwrap();
+        let cold = Workspace::new().max_cycle_ratio(&g).unwrap().unwrap();
+        assert_eq!(cached.ratio.to_bits(), cold.ratio.to_bits());
     }
 }

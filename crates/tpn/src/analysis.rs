@@ -216,12 +216,106 @@ pub fn period_patched_with(
     solve(scratch, warm)
 }
 
+/// Nets with at least this many transitions route cold solves through the
+/// per-SCC parallel solver ([`maxplus::Workspace::max_cycle_ratio_par`]):
+/// independent condensation components solve on the `repwf-par` pool and
+/// merge in condensation order, so the result is bit-identical to the
+/// sequential path at any thread count. Below the threshold (or with a
+/// warm start requested) the thread fan-out costs more than the solve.
+pub const PAR_SOLVE_MIN_VERTICES: usize = 200_000;
+
 fn solve(scratch: &mut PeriodScratch, warm: bool) -> Result<Option<PeriodSolution>, AnalysisError> {
+    if !warm && scratch.graph.num_vertices() >= PAR_SOLVE_MIN_VERTICES {
+        return convert(
+            scratch.ws.max_cycle_ratio_par(&scratch.graph, repwf_par::max_threads()),
+        );
+    }
     // Always present the structure generation as the workspace's token:
     // the rebuild solve records it, and every patched solve until the next
     // rebuild hits the cached CSR + condensation (the workspace drops the
     // cache itself on a solve error).
     convert(scratch.ws.max_cycle_ratio_cached(&scratch.graph, scratch.structure_gen, warm))
+}
+
+/// Shape-batched period analysis: stages the firing-time planes of `k`
+/// nets sharing one place structure and solves them in a single batched
+/// Howard pass ([`maxplus::Workspace::max_cycle_ratio_batch`]).
+///
+/// The caller names each structure with a `key`; consecutive batches under
+/// the same key (and dimensions) reuse the staged ratio-graph structure
+/// *and* the solver's cached CSR + Tarjan condensation — one structural
+/// phase per shape, however many instances flow through. Results are
+/// bit-for-bit those of a cold [`period_with`] per instance.
+#[derive(Debug, Clone, Default)]
+pub struct PeriodBatch {
+    graph: RatioGraph,
+    ws: maxplus::Workspace,
+    planes: maxplus::batch::CostPlanes,
+    scratch: maxplus::batch::BatchScratch,
+    /// Per place (edge insertion order): the *pre* transition whose firing
+    /// time is that edge's cost.
+    pre: Vec<u32>,
+    have: Option<(u64, usize, usize)>,
+    key: u64,
+    k: usize,
+}
+
+impl PeriodBatch {
+    /// Creates an empty batch scratch (no allocation until first use).
+    pub fn new() -> Self {
+        PeriodBatch::default()
+    }
+
+    /// Stages the shared structure of the next batch: `net` supplies the
+    /// place structure (its firing times are irrelevant — per-instance
+    /// times arrive via [`PeriodBatch::stage`]), `k` the number of
+    /// instances, and `key` the caller's canonical shape token. A repeated
+    /// `(key, dims)` skips the ratio-graph rebuild here and the CSR +
+    /// condensation work inside the solve.
+    pub fn set_structure(&mut self, net: &TimedEventGraph, k: usize, key: u64) {
+        let dims = (key, net.num_transitions(), net.num_places());
+        if self.have != Some(dims) {
+            ratio_graph_into(net, &mut self.graph);
+            self.pre.clear();
+            self.pre.extend(net.places().iter().map(|p| p.pre.0));
+            self.have = Some(dims);
+            self.key = key;
+        }
+        self.k = k;
+        self.planes.reset(k, self.graph.num_edges());
+    }
+
+    /// Stages instance `q`'s firing times (`times[t]` = firing time of
+    /// transition `t`, as produced by one TPN build of this structure).
+    pub fn stage(&mut self, q: usize, times: &[f64]) {
+        let plane = self.planes.plane_mut(q);
+        for (c, &t) in plane.iter_mut().zip(&self.pre) {
+            *c = times[t as usize];
+        }
+    }
+
+    /// Solves every staged instance in one batched pass. Results are in
+    /// stage order, each bit-for-bit equal to a cold [`period_with`] on
+    /// the net with that instance's firing times.
+    pub fn solve(&mut self) -> Vec<Result<Option<PeriodSolution>, AnalysisError>> {
+        self.ws
+            .max_cycle_ratio_batch(&self.graph, self.key, &self.planes, &mut self.scratch)
+            .into_iter()
+            .map(convert)
+            .collect()
+    }
+
+    /// CSR adjacency builds performed by the underlying workspace — one
+    /// per distinct structure, however many batches flow through.
+    pub fn csr_builds(&self) -> u64 {
+        self.ws.csr_builds()
+    }
+
+    /// Tarjan condensation runs performed by the underlying workspace
+    /// (see [`PeriodBatch::csr_builds`]).
+    pub fn tarjan_runs(&self) -> u64 {
+        self.ws.tarjan_runs()
+    }
 }
 
 fn convert(res: Result<Option<maxplus::CycleSolution>, RatioGraphError>) -> Result<Option<PeriodSolution>, AnalysisError> {
@@ -466,6 +560,78 @@ mod tests {
         assert_eq!(net.patch(a, 9.0), 3.0);
         let sol = period(&net).unwrap().unwrap();
         assert!((sol.period - 9.0).abs() < 1e-12);
+    }
+
+    fn firing_times(net: &TimedEventGraph) -> Vec<f64> {
+        (0..net.num_transitions() as u32)
+            .map(|t| net.transition(TransitionId(t)).firing_time)
+            .collect()
+    }
+
+    #[test]
+    fn period_batch_matches_cold_period_with_bitwise() {
+        // One structure (chain + feedback + self-loop), k re-timed
+        // instances per batch, two batches under one key: every result
+        // must equal a cold rebuild solve bit for bit, and the second
+        // batch must not condense again.
+        let build = |net: &mut TimedEventGraph, ta: f64, tb: f64| {
+            net.clear();
+            let a = net.add_transition(ta, "a");
+            let b = net.add_transition(tb, "b");
+            let c = net.add_transition(6.0, "c");
+            net.add_place(a, b, 0, "ab");
+            net.add_place(b, c, 0, "bc");
+            net.add_place(c, a, 2, "ca");
+            net.add_place(b, b, 1, "bb");
+        };
+        let mut net = TimedEventGraph::new();
+        let mut batch = PeriodBatch::new();
+        let mut reference = PeriodScratch::new();
+        for round in 0..2 {
+            build(&mut net, 1.0, 1.0);
+            batch.set_structure(&net, 3, 42);
+            let mut solo = Vec::new();
+            for q in 0..3 {
+                let (ta, tb) = (1.0 + f64::from(round) + q as f64, 4.0 + 0.5 * q as f64);
+                build(&mut net, ta, tb);
+                batch.stage(q, &firing_times(&net));
+                solo.push(period_with(&net, &mut reference, false).unwrap().unwrap());
+            }
+            let solved = batch.solve();
+            for (q, (b, s)) in solved.iter().zip(&solo).enumerate() {
+                let b = b.as_ref().unwrap().as_ref().unwrap();
+                assert_eq!(b.period.to_bits(), s.period.to_bits(), "round {round} q {q}");
+                assert_eq!(b.critical, s.critical, "round {round} q {q}");
+                assert_eq!(b.cost.to_bits(), s.cost.to_bits(), "round {round} q {q}");
+                assert_eq!(b.tokens, s.tokens, "round {round} q {q}");
+            }
+            assert_eq!(
+                (batch.csr_builds(), batch.tarjan_runs()),
+                (1, 1),
+                "round {round}: one structural phase per shape"
+            );
+        }
+    }
+
+    #[test]
+    fn period_batch_reports_deadlock_per_instance() {
+        // A structure whose only circuit is token-free deadlocks every
+        // instance with the same error `period` reports.
+        let mut net = TimedEventGraph::new();
+        let a = net.add_transition(1.0, "a");
+        let b = net.add_transition(2.0, "b");
+        net.add_place(a, b, 0, "ab");
+        net.add_place(b, a, 0, "ba");
+        let mut batch = PeriodBatch::new();
+        batch.set_structure(&net, 2, 7);
+        batch.stage(0, &[1.0, 2.0]);
+        batch.stage(1, &[3.0, 4.0]);
+        for res in batch.solve() {
+            match res {
+                Err(AnalysisError::Deadlock { circuit }) => assert_eq!(circuit.len(), 2),
+                other => panic!("expected deadlock, got {other:?}"),
+            }
+        }
     }
 
     #[test]
