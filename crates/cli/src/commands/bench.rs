@@ -25,7 +25,7 @@ use crate::opts::Opts;
 use repwf_core::engine::{MappingOracle, PeriodEngine};
 use repwf_core::model::{CommModel, Instance, Mapping, Pipeline, Platform};
 use repwf_core::period::{compute_period_with, Method};
-use repwf_core::tpn_build::BuildOptions;
+use repwf_core::tpn_build::{build_tpn, BuildOptions};
 use repwf_dist::{merge_paths, run_shard, CampaignSpec};
 use repwf_gen::campaign::{run_campaign, run_campaign_batched};
 use repwf_gen::{GenConfig, Range};
@@ -164,6 +164,53 @@ pub fn run(args: &[String]) -> Result<(), String> {
     lines.push(time_kernel("period_full_tpn_warm", period_iters, 1, || {
         let r = warm_engine.compute(&inst, CommModel::Strict, Method::FullTpn).expect("solves");
         assert_eq!(r.period.to_bits(), reference.period.to_bits());
+    }));
+
+    // --- kernel 1b: SP-DAG TPN build vs an equivalent-size chain ---
+    //
+    // The series-parallel grid generalizes the chain's `2n-1` columns to
+    // `n + E` per-stage/per-edge columns. This kernel builds the strict
+    // TPN of a replicated fork/join diamond (4 stages + 4 edges = 8
+    // columns) next to a 4-stage chain on the *same* platform with the
+    // same replica counts (7 columns), and `dag_build_parity` is the
+    // per-build time ratio chain/DAG — a structural-overhead gauge that
+    // sits just under 1 (the diamond carries one extra column). A drop
+    // means DAG grid construction got more expensive *relative to* the
+    // chain path it generalizes.
+    let dag_inst = {
+        let wf = Pipeline::from_edges(
+            vec![5.0, 7.0, 3.0, 4.0],
+            vec![(0, 1, 2.0), (0, 2, 2.0), (1, 3, 1.5), (2, 3, 1.5)],
+        )
+        .unwrap();
+        let mapping = Mapping::new(vec![
+            vec![0],
+            (1..5).collect(),
+            (5..10).collect(),
+            (10..12).collect(),
+        ])
+        .unwrap();
+        Instance::new(wf, inst.platform.clone(), mapping).unwrap()
+    };
+    let chain_inst = {
+        let wf = Pipeline::new(vec![5.0, 7.0, 3.0, 4.0], vec![2.0, 2.0, 1.5]).unwrap();
+        let mapping = Mapping::new(vec![
+            vec![0],
+            (1..5).collect(),
+            (5..10).collect(),
+            (10..12).collect(),
+        ])
+        .unwrap();
+        Instance::new(wf, inst.platform.clone(), mapping).unwrap()
+    };
+    let build_iters = if quick { 200 } else { 1000 };
+    lines.push(time_kernel("tpn_build_chain", build_iters, 1, || {
+        let built = build_tpn(&chain_inst, CommModel::Strict, &build_opts).expect("builds");
+        assert_eq!(built.cols, 7);
+    }));
+    lines.push(time_kernel("tpn_build_dag", build_iters, 1, || {
+        let built = build_tpn(&dag_inst, CommModel::Strict, &build_opts).expect("builds");
+        assert_eq!(built.cols, 8);
     }));
 
     // --- kernel 2: the campaign (strict model, the paper's gap regime) ---
@@ -415,6 +462,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let indices: Vec<(&'static str, f64)> = vec![
         ("engine_reuse_speedup", per_iter("period_full_tpn_cold") / per_iter("period_full_tpn_engine")),
         ("warm_start_speedup", per_iter("period_full_tpn_cold") / per_iter("period_full_tpn_warm")),
+        ("dag_build_parity", per_iter("tpn_build_chain") / per_iter("tpn_build_dag")),
         ("campaign_parallel_speedup", campaign_speedup),
         ("campaign_batched_speedup", per_iter("campaign_strict_nt") / per_iter("campaign_batched_nt")),
         ("neighbor_eval_speedup", per_iter("neighbor_eval_cold") / per_iter("neighbor_eval_incremental")),

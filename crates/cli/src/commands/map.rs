@@ -24,6 +24,7 @@ exactly first, so the gap never compares against a simulator estimate).
 OPTIONS:
   --example a|b|c    paper fixture; its mapping is ignored (default: a)
   --file PATH        instance in the repwf text format (mapping ignored)
+  --workflow PATH    series-parallel workflow JSON (mapping ignored)
   --model M          overlap | strict (default: overlap)
   --steps N          annealing steps for the heuristic (default: 1500)
   --seed S           heuristic RNG seed (default: 0)
@@ -110,7 +111,7 @@ fn print_mapping(label: &str, mapping: &Mapping) {
 pub fn run(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
-        &["--example", "--file", "--model", "--steps", "--seed", "--cap", "--threads"],
+        &["--example", "--file", "--workflow", "--model", "--steps", "--seed", "--cap", "--threads"],
         &["--exact", "--certify", "--json", "--help"],
     )?;
     if opts.has("--help") {

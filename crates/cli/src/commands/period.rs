@@ -11,6 +11,7 @@ repwf period — compute the steady-state period P̂ (and throughput 1/P̂)
 OPTIONS:
   --example a|b|c    paper fixture (default: a)
   --file PATH        instance in the repwf text format
+  --workflow PATH    series-parallel workflow instance in JSON
   --model M          overlap | strict (default: overlap)
   --method X         auto | polynomial | full-tpn | tpn-simulation (default: auto)
   --cap N            TPN transition cap for full-tpn (default: 400000)
@@ -20,7 +21,7 @@ OPTIONS:
 pub fn run(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
-        &["--example", "--file", "--model", "--method", "--cap"],
+        &["--example", "--file", "--workflow", "--model", "--method", "--cap"],
         &["--json", "--help"],
     )?;
     if opts.has("--help") {

@@ -10,6 +10,7 @@ repwf simulate — estimate the period with the discrete-event simulator
 OPTIONS:
   --example a|b|c    paper fixture (default: a)
   --file PATH        instance in the repwf text format
+  --workflow PATH    series-parallel workflow instance in JSON
   --model M          overlap | strict (default: overlap)
   --data-sets N      data sets to push through (default: 20000)
   --json             structured output
@@ -18,7 +19,7 @@ OPTIONS:
 pub fn run(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
-        &["--example", "--file", "--model", "--data-sets"],
+        &["--example", "--file", "--workflow", "--model", "--data-sets"],
         &["--json", "--help"],
     )?;
     if opts.has("--help") {

@@ -67,9 +67,14 @@ impl Opts {
     }
 }
 
-/// Loads the instance selected by `--example` / `--file` (default:
-/// Example A).
+/// Loads the instance selected by `--workflow` / `--file` / `--example`
+/// (default: Example A).
 pub fn load_instance(opts: &Opts) -> Result<Instance, String> {
+    if let Some(path) = opts.get("--workflow") {
+        let text = std::fs::read_to_string(path)
+            .map_err(|e| format!("cannot read {path}: {e}"))?;
+        return workflow_from_json(&text).map_err(|e| format!("cannot parse {path}: {e}"));
+    }
     if let Some(path) = opts.get("--file") {
         let text = std::fs::read_to_string(path)
             .map_err(|e| format!("cannot read {path}: {e}"))?;
@@ -82,6 +87,88 @@ pub fn load_instance(opts: &Opts) -> Result<Instance, String> {
         "c" => Ok(example_c()),
         other => Err(format!("unknown example {other:?} (expected a, b or c)")),
     }
+}
+
+fn json_f64_array(v: &repwf_dist::json::JsonValue, key: &str) -> Result<Vec<f64>, String> {
+    v.get(key)
+        .and_then(|x| x.as_arr())
+        .ok_or_else(|| format!("missing array \"{key}\""))?
+        .iter()
+        .map(|x| x.as_f64().ok_or_else(|| format!("\"{key}\" must contain numbers")))
+        .collect()
+}
+
+/// Parses a JSON series-parallel workflow instance:
+///
+/// ```json
+/// {
+///   "works": [4, 6, 5, 3],
+///   "edges": [[0, 1, 2.0], [0, 2, 3.0], [1, 3, 1.0], [2, 3, 2.0]],
+///   "speeds": [1, 1, 1, 1, 1, 1],
+///   "bandwidth": 1.0,
+///   "mapping": [[0], [1, 2], [3, 4], [5]]
+/// }
+/// ```
+///
+/// `edges` lists `[src, dst, size]` triples; a linear chain may instead
+/// give `"files": [...]` (one size per stage boundary). `bandwidth` is
+/// the uniform link bandwidth; an optional `"bandwidths"` array of `p²`
+/// row-major values overrides individual links.
+pub fn workflow_from_json(text: &str) -> Result<Instance, String> {
+    use repwf_core::model::{Mapping, Pipeline, Platform};
+    let v = repwf_dist::json::parse(text)?;
+    let works = json_f64_array(&v, "works")?;
+    let pipeline = if let Some(es) = v.get("edges") {
+        let arr = es.as_arr().ok_or("\"edges\" must be an array")?;
+        let mut edges = Vec::with_capacity(arr.len());
+        for e in arr {
+            let t = e.as_arr().filter(|t| t.len() == 3).ok_or("each edge must be [src, dst, size]")?;
+            let src = t[0].as_u64().ok_or("edge src must be an integer")? as usize;
+            let dst = t[1].as_u64().ok_or("edge dst must be an integer")? as usize;
+            let size = t[2].as_f64().ok_or("edge size must be a number")?;
+            edges.push((src, dst, size));
+        }
+        Pipeline::from_edges(works, edges).map_err(|e| e.to_string())?
+    } else {
+        let files = json_f64_array(&v, "files")
+            .map_err(|_| "need \"edges\" (DAG) or \"files\" (chain)".to_string())?;
+        Pipeline::new(works, files).map_err(|e| e.to_string())?
+    };
+    let speeds = json_f64_array(&v, "speeds")?;
+    let p = speeds.len();
+    let default_bw = v.get("bandwidth").and_then(|b| b.as_f64()).unwrap_or(1.0);
+    let mut platform = Platform::uniform(p, 1.0, default_bw);
+    for (u, s) in speeds.into_iter().enumerate() {
+        platform.set_speed(u, s);
+    }
+    if v.get("bandwidths").is_some() {
+        let flat = json_f64_array(&v, "bandwidths")?;
+        if flat.len() != p * p {
+            return Err(format!("\"bandwidths\" must have p² = {} entries", p * p));
+        }
+        for (k, b) in flat.into_iter().enumerate() {
+            platform.set_bandwidth(k / p, k % p, b);
+        }
+    }
+    let mapping_arr = v
+        .get("mapping")
+        .and_then(|m| m.as_arr())
+        .ok_or("missing array \"mapping\"")?;
+    let mut assignment = Vec::with_capacity(mapping_arr.len());
+    for procs in mapping_arr {
+        let procs = procs.as_arr().ok_or("\"mapping\" must be an array of arrays")?;
+        let row: Result<Vec<usize>, String> = procs
+            .iter()
+            .map(|x| {
+                x.as_u64()
+                    .map(|u| u as usize)
+                    .ok_or_else(|| "\"mapping\" entries must be processor ids".to_string())
+            })
+            .collect();
+        assignment.push(row?);
+    }
+    let mapping = Mapping::new(assignment).map_err(|e| e.to_string())?;
+    Instance::new(pipeline, platform, mapping).map_err(|e| e.to_string())
 }
 
 /// Parses `--model` (default: overlap).

@@ -242,6 +242,9 @@ fn bench_emits_parseable_report_and_check_passes_against_self() {
         "period_full_tpn_cold",
         "period_full_tpn_engine",
         "period_full_tpn_warm",
+        "tpn_build_chain",
+        "tpn_build_dag",
+        "dag_build_parity",
         "campaign_strict_1t",
         "campaign_strict_nt",
         "campaign_batched_nt",
@@ -463,6 +466,66 @@ fn range_shards_fill_gaps_and_allow_partial_reports_them() {
         assert_eq!(merged, reference, "extra={extra:?}");
     }
     let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Repo-relative path of the committed fork/join fixture.
+fn forkjoin_fixture() -> String {
+    format!("{}/../../ci/forkjoin.json", env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn period_on_workflow_json_matches_the_pinned_document() {
+    let fixture = forkjoin_fixture();
+    let (doc, err, ok) =
+        repwf(&["period", "--workflow", &fixture, "--model", "overlap", "--json"]);
+    assert!(ok, "{err}");
+    let expected = std::fs::read_to_string(format!(
+        "{}/../../ci/forkjoin-period-expected.json",
+        env!("CARGO_MANIFEST_DIR")
+    ))
+    .expect("pinned document");
+    assert_eq!(doc, expected, "period --workflow drifted from ci/forkjoin-period-expected.json");
+
+    // The strict model solves the same DAG through the full TPN.
+    let (doc, err, ok) =
+        repwf(&["period", "--workflow", &fixture, "--model", "strict", "--json"]);
+    assert!(ok, "{err}");
+    assert!((json_num(&doc, "period") - 6.5).abs() < 1e-9, "{doc}");
+    assert!(doc.contains("\"method\": \"full-tpn\""), "{doc}");
+}
+
+#[test]
+fn map_exact_on_workflow_json_is_identical_at_any_thread_count() {
+    let fixture = forkjoin_fixture();
+    let base = ["map", "--workflow", &fixture, "--model", "overlap", "--exact", "--json"];
+    let (one, err, ok) = repwf(&[&base[..], &["--threads", "1"]].concat());
+    assert!(ok, "{err}");
+    let (two, err, ok) = repwf(&[&base[..], &["--threads", "2"]].concat());
+    assert!(ok, "{err}");
+    assert_eq!(one, two, "exact search on a DAG must not depend on --threads");
+    assert!(one.contains("\"feasible\": true"), "{one}");
+    assert!(json_num(&one, "period") <= 4.0, "free optimization beats the fixture mapping");
+}
+
+#[test]
+fn dot_renders_the_workflow_dag_for_chains_and_forks() {
+    // A chain (Example A) renders as a path: consecutive edges only.
+    let (dot, err, ok) = repwf(&["dot", "workflow", "--example", "a"]);
+    assert!(ok, "{err}");
+    assert!(dot.starts_with("digraph workflow {"), "{dot}");
+    assert!(dot.contains("S0 -> S1"), "{dot}");
+    assert!(!dot.contains("S0 -> S2"), "a chain must not branch:\n{dot}");
+
+    // The fork/join fixture renders both branch edges and the replica
+    // annotations of the replicated stages.
+    let fixture = forkjoin_fixture();
+    let (dot, err, ok) = repwf(&["dot", "workflow", "--workflow", &fixture]);
+    assert!(ok, "{err}");
+    for edge in ["S0 -> S1", "S0 -> S2", "S1 -> S3", "S2 -> S3"] {
+        assert!(dot.contains(edge), "missing {edge} in:\n{dot}");
+    }
+    assert!(dot.contains("×2 on P1,P2"), "replica annotation missing:\n{dot}");
+    assert!(dot.contains("δ=3"), "file-size label missing:\n{dot}");
 }
 
 #[test]

@@ -2,8 +2,9 @@
 //!
 //! Campaign draws collapse into a handful of TPN *shapes*: the place
 //! structure of a mapping's TPN is a pure function of the communication
-//! model and the per-stage replica counts, so two instances with equal
-//! counts differ only in firing times. A [`ShapeBatchSolver`] exploits
+//! model, the per-stage replica counts and the workflow's edge set, so
+//! two instances with equal counts on the same precedence graph differ
+//! only in firing times. A [`ShapeBatchSolver`] exploits
 //! that end to end — one TPN build, one ratio-graph build, one CSR +
 //! Tarjan condensation per shape, with per-instance firing-time planes
 //! solved k at a time by the batched Howard kernel
@@ -18,6 +19,11 @@ use crate::tpn_build::{build_tpn_view_into, transition_times_into, BuildError, B
 use std::collections::HashMap;
 use tpn::analysis::{AnalysisError, PeriodBatch, PeriodSolution};
 use tpn::net::TimedEventGraph;
+
+/// Canonical TPN shape of a mapped workflow: communication model,
+/// per-stage replica counts, and the workflow's edge set — the three
+/// inputs the place structure is a pure function of.
+type ShapeKey = (CommModel, Vec<usize>, Vec<(u32, u32)>);
 
 /// Batched period solver for groups of same-shape instances.
 ///
@@ -34,10 +40,12 @@ pub struct ShapeBatchSolver {
     batch: PeriodBatch,
     times: Vec<f64>,
     counts: Vec<usize>,
-    /// Canonical shape → sequential key. Keys are handed to the solver
-    /// workspace as structure tokens; sequential assignment (not hashes)
-    /// keeps them collision-free and deterministic in one worker.
-    keys: HashMap<(CommModel, Vec<usize>), u64>,
+    edges: Vec<(u32, u32)>,
+    /// Canonical shape (model + replica counts + workflow edge set) →
+    /// sequential key. Keys are handed to the solver workspace as
+    /// structure tokens; sequential assignment (not hashes) keeps them
+    /// collision-free and deterministic in one worker.
+    keys: HashMap<ShapeKey, u64>,
     next_key: u64,
     /// The shape key the arena net currently holds, if any.
     built: Option<u64>,
@@ -55,6 +63,7 @@ impl ShapeBatchSolver {
             batch: PeriodBatch::new(),
             times: Vec::new(),
             counts: Vec::new(),
+            edges: Vec::new(),
             keys: HashMap::new(),
             next_key: 0,
             built: None,
@@ -64,10 +73,10 @@ impl ShapeBatchSolver {
     }
 
     /// Opens a batch of `k` instances shaped like `view` under `model`:
-    /// resolves the canonical shape key (model + per-stage replica
-    /// counts), builds the shared TPN structure unless the arena already
-    /// holds this shape, and sizes the cost planes. Fails like an engine
-    /// build would (size cap, path-count overflow).
+    /// resolves the canonical shape key (model, per-stage replica counts,
+    /// workflow edge set), builds the shared TPN structure unless the
+    /// arena already holds this shape, and sizes the cost planes. Fails
+    /// like an engine build would (size cap, path-count overflow).
     pub fn begin(
         &mut self,
         view: InstanceView<'_>,
@@ -76,10 +85,14 @@ impl ShapeBatchSolver {
     ) -> Result<(), BuildError> {
         let mut counts = std::mem::take(&mut self.counts);
         view.mapping.replica_counts_into(&mut counts);
-        let probe = (model, counts);
+        let mut edges = std::mem::take(&mut self.edges);
+        edges.clear();
+        edges.extend_from_slice(view.pipeline.edges());
+        let probe = (model, counts, edges);
         let key = match self.keys.get(&probe) {
             Some(&key) => {
                 self.counts = probe.1;
+                self.edges = probe.2;
                 key
             }
             None => {

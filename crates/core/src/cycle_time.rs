@@ -1,10 +1,13 @@
 //! Per-resource cycle-times and the `M_ct` lower bound.
 //!
 //! The *cycle-time* `C_exec(u)` of a processor is the average time per data
-//! set it spends busy, in steady state. For the overlap model the three
-//! sub-resources (in-port, CPU, out-port) work concurrently, so
-//! `C_exec = max(C_in, C_comp, C_out)`; for the strict model they serialize:
-//! `C_exec = C_in + C_comp + C_out`. The maximum cycle-time
+//! set it spends busy, in steady state. For the overlap model the
+//! sub-resources (one in-port per in-edge, CPU, one out-port per out-edge)
+//! work concurrently, so `C_exec = max(max_e C_in(e), C_comp, max_e
+//! C_out(e))`; for the strict model they serialize:
+//! `C_exec = Σ_e C_in(e) + C_comp + Σ_e C_out(e)`. On a linear chain (one in-edge, one
+//! out-edge) both reduce to the paper's `max(C_in, C_comp, C_out)` /
+//! `C_in + C_comp + C_out`. The maximum cycle-time
 //! `M_ct = max_u C_exec(u)` is a lower bound of the period for both models,
 //! and *equals* the period when no stage is replicated.
 //!
@@ -24,27 +27,38 @@ pub struct CycleTime {
     pub stage: StageId,
     /// Its position in the stage's round-robin order.
     pub replica_index: usize,
-    /// Average per-data-set reception time `C_in` (0 for the first stage).
+    /// Total per-data-set reception time `C_in`, summed over in-edges
+    /// (0 for the source stage).
     pub c_in: f64,
     /// Average per-data-set computation time `C_comp`.
     pub c_comp: f64,
-    /// Average per-data-set emission time `C_out` (0 for the last stage).
+    /// Total per-data-set emission time `C_out`, summed over out-edges
+    /// (0 for the sink stage).
     pub c_out: f64,
+    /// Largest single in-edge average — the busiest in-port. Equals
+    /// [`CycleTime::c_in`] on a chain (at most one in-edge).
+    pub c_in_peak: f64,
+    /// Largest single out-edge average — the busiest out-port. Equals
+    /// [`CycleTime::c_out`] on a chain (at most one out-edge).
+    pub c_out_peak: f64,
 }
 
 impl CycleTime {
-    /// `C_exec` under the given communication model.
+    /// `C_exec` under the given communication model. Overlap: each port
+    /// works concurrently, so the busiest single port bounds the rate;
+    /// strict: every transfer serializes with the computation.
     pub fn exec(&self, model: CommModel) -> f64 {
         match model {
-            CommModel::Overlap => self.c_in.max(self.c_comp).max(self.c_out),
+            CommModel::Overlap => self.c_in_peak.max(self.c_comp).max(self.c_out_peak),
             CommModel::Strict => self.c_in + self.c_comp + self.c_out,
         }
     }
 }
 
-/// The set of senders of stage `i−1` that feed replica `β` of stage `i`
-/// (round-robin compatibility: rows `j ≡ β (mod m_i)` have sender
-/// `j mod m_{i−1}`), together with how often the full sender cycle repeats.
+/// The set of sender replicas of the edge's source stage that feed
+/// replica `β` of its destination stage (round-robin compatibility: rows
+/// `j ≡ β (mod m_cur)` have sender `j mod m_prev`), together with how
+/// often the full sender cycle repeats.
 ///
 /// Returns `(sender_indices, period L = lcm(m_prev, m_i))`: over `L`
 /// consecutive data sets, replica `β` receives `L/m_i` files, one from each
@@ -60,48 +74,65 @@ pub fn partner_residues(m_prev: usize, m_cur: usize, beta: usize) -> (Vec<usize>
 /// a caller-owned buffer (cleared first) — the per-stage primitive behind
 /// [`cycle_times_view`] and the incremental [`MctCache`]. A stage's
 /// decomposition depends only on its own processor list and those of its
-/// immediate neighbors (the round-robin partners feeding `C_in`/`C_out`).
+/// DAG neighbors (the round-robin partners on its in- and out-edges).
 pub fn stage_cycle_times_into(v: InstanceView<'_>, i: StageId, out: &mut Vec<CycleTime>) {
     out.clear();
-    let n = v.num_stages();
+    let wf = v.pipeline;
     let procs = v.mapping.procs(i);
     let m_i = procs.len();
     for (beta, &u) in procs.iter().enumerate() {
         let c_comp = v.comp_time(i, u) / m_i as f64;
-        let c_in = if i == 0 {
-            0.0
-        } else {
-            let prev = v.mapping.procs(i - 1);
+        let mut c_in = 0.0f64;
+        let mut c_in_peak = 0.0f64;
+        for &e in wf.in_edges(i) {
+            let (src, _) = wf.edge(e);
+            let prev = v.mapping.procs(src);
             let (senders, l) = partner_residues(prev.len(), m_i, beta);
-            let total: f64 = senders.iter().map(|&a| v.comm_time(i - 1, prev[a], u)).sum();
-            total / l as f64
-        };
-        let c_out = if i + 1 == n {
-            0.0
-        } else {
-            let next = v.mapping.procs(i + 1);
+            let total: f64 = senders.iter().map(|&a| v.comm_time(e, prev[a], u)).sum();
+            let avg = total / l as f64;
+            c_in += avg;
+            c_in_peak = c_in_peak.max(avg);
+        }
+        let mut c_out = 0.0f64;
+        let mut c_out_peak = 0.0f64;
+        for &e in wf.out_edges(i) {
+            let (_, dst) = wf.edge(e);
+            let next = v.mapping.procs(dst);
             let (receivers, l) = partner_residues(next.len(), m_i, beta);
-            let total: f64 = receivers.iter().map(|&b| v.comm_time(i, u, next[b])).sum();
-            total / l as f64
-        };
-        out.push(CycleTime { proc: u, stage: i, replica_index: beta, c_in, c_comp, c_out });
+            let total: f64 = receivers.iter().map(|&b| v.comm_time(e, u, next[b])).sum();
+            let avg = total / l as f64;
+            c_out += avg;
+            c_out_peak = c_out_peak.max(avg);
+        }
+        out.push(CycleTime {
+            proc: u,
+            stage: i,
+            replica_index: beta,
+            c_in,
+            c_comp,
+            c_out,
+            c_in_peak,
+            c_out_peak,
+        });
     }
 }
 
 /// Lower bound on the `M_ct` (hence on the period) of **any completion**
 /// of a partially-assigned mapping: stages `0..prefix.len()` carry their
-/// final ordered replica tuples, later stages are still open.
+/// final ordered replica tuples, later stages are still open. (Stage ids
+/// are a topological order, so every in-edge of a prefix stage comes from
+/// another prefix stage.)
 ///
 /// Every cycle-time component that is already determined by the prefix —
-/// `C_comp` of every assigned replica, `C_in` between two assigned stages,
-/// `C_out` below the prefix boundary — is computed exactly as
-/// [`stage_cycle_times_into`] would; components that depend on an
-/// unassigned neighbor (the `C_out` of the last prefix stage when the
-/// pipeline continues past it) are bounded below by `0`, which is valid
-/// under both models (`max` over fewer terms, `sum` with a dropped
-/// non-negative term). The result therefore never exceeds the `M_ct` of
-/// any full mapping extending the prefix, and equals it bit-for-bit when
-/// `prefix` covers the whole pipeline.
+/// `C_comp` of every assigned replica, `C_in` on every in-edge,
+/// `C_out` on out-edges whose destination is inside the prefix — is
+/// computed exactly as [`stage_cycle_times_into`] would; components that
+/// depend on an unassigned neighbor (out-edges crossing the prefix
+/// boundary) are bounded below by `0`, which is valid under both models
+/// (`max` over fewer terms, `sum` with dropped non-negative terms). The
+/// result therefore never exceeds the `M_ct` of any full mapping
+/// extending the prefix, and equals it bit-for-bit when `prefix` covers
+/// the whole workflow.
 ///
 /// An invalid prefix resource (zero/negative speed or bandwidth) yields an
 /// infinite bound: every completion inherits the invalid resource and is
@@ -118,32 +149,49 @@ pub fn prefix_cycle_bound(
         let m_i = procs.len();
         for (beta, &u) in procs.iter().enumerate() {
             let c_comp = pipeline.work(i) / platform.speed(u) / m_i as f64;
-            let c_in = if i == 0 {
-                0.0
-            } else {
-                let prev = &prefix[i - 1];
+            let mut c_in = 0.0f64;
+            let mut c_in_peak = 0.0f64;
+            for &e in pipeline.in_edges(i) {
+                let (src, _) = pipeline.edge(e);
+                let prev = &prefix[src];
                 let (senders, l) = partner_residues(prev.len(), m_i, beta);
                 let total: f64 = senders
                     .iter()
-                    .map(|&a| pipeline.file(i - 1) / platform.bandwidth(prev[a], u))
+                    .map(|&a| pipeline.file(e) / platform.bandwidth(prev[a], u))
                     .sum();
-                total / l as f64
-            };
-            // The boundary stage's out-port partner is unknown unless the
-            // prefix is the whole pipeline (then stage k-1 is the last
-            // stage and its true C_out is 0 anyway).
-            let c_out = if i + 1 < k {
-                let next = &prefix[i + 1];
+                let avg = total / l as f64;
+                c_in += avg;
+                c_in_peak = c_in_peak.max(avg);
+            }
+            // Out-edges crossing the prefix boundary have unknown
+            // partners: bound their contribution by 0.
+            let mut c_out = 0.0f64;
+            let mut c_out_peak = 0.0f64;
+            for &e in pipeline.out_edges(i) {
+                let (_, dst) = pipeline.edge(e);
+                if dst >= k {
+                    continue;
+                }
+                let next = &prefix[dst];
                 let (receivers, l) = partner_residues(next.len(), m_i, beta);
                 let total: f64 = receivers
                     .iter()
-                    .map(|&b| pipeline.file(i) / platform.bandwidth(u, next[b]))
+                    .map(|&b| pipeline.file(e) / platform.bandwidth(u, next[b]))
                     .sum();
-                total / l as f64
-            } else {
-                0.0
+                let avg = total / l as f64;
+                c_out += avg;
+                c_out_peak = c_out_peak.max(avg);
+            }
+            let ct = CycleTime {
+                proc: u,
+                stage: i,
+                replica_index: beta,
+                c_in,
+                c_comp,
+                c_out,
+                c_in_peak,
+                c_out_peak,
             };
-            let ct = CycleTime { proc: u, stage: i, replica_index: beta, c_in, c_comp, c_out };
             worst = worst.max(ct.exec(model));
         }
     }
@@ -187,9 +235,10 @@ pub fn max_cycle_time(inst: &Instance, model: CommModel) -> (f64, CycleTime) {
 /// Incremental `M_ct` tracker for a mapping search: caches the per-stage
 /// cycle-time decompositions and, on each call, recomputes only the stages
 /// whose processor lists changed since the previous call — plus their
-/// immediate neighbors, whose `C_in`/`C_out` depend on the partners there.
-/// A swap move touches two stages, so an evaluation re-examines at most
-/// six of them instead of rescanning every mapped processor.
+/// DAG neighbors (in-edge sources and out-edge destinations), whose
+/// `C_in`/`C_out` depend on the partners there. On a chain, a swap move
+/// touches two stages, so an evaluation re-examines at most six of them
+/// instead of rescanning every mapped processor.
 ///
 /// **Contract:** one cache serves one fixed pipeline/platform pair (the
 /// [`crate::engine::MappingOracle`] session guarantee) — only the
@@ -256,10 +305,11 @@ impl MctCache {
         for i in 0..n {
             self.changed[i] = full || self.prev[i][..] != *v.mapping.procs(i);
         }
+        let wf = v.pipeline;
         for i in 0..n {
             let dirty = self.changed[i]
-                || (i > 0 && self.changed[i - 1])
-                || (i + 1 < n && self.changed[i + 1]);
+                || wf.in_edges(i).iter().any(|&e| self.changed[wf.edge(e).0])
+                || wf.out_edges(i).iter().any(|&e| self.changed[wf.edge(e).1]);
             if dirty {
                 stage_cycle_times_into(v, i, &mut self.times[i]);
                 self.stage_recomputes += 1;

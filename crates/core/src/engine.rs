@@ -88,25 +88,29 @@ use tpn::analysis::PeriodScratch;
 use tpn::net::{TimedEventGraph, TransitionId};
 
 /// The shape of the TPN currently held in a [`PeriodEngine`]'s arena: the
-/// place structure is a pure function of the communication model and the
-/// per-stage replica counts, so two mappings with equal counts produce
-/// structurally identical nets that differ only in firing times — the
-/// precondition for the patch path.
+/// place structure is a pure function of the communication model, the
+/// per-stage replica counts and the workflow's edge set, so two mappings
+/// with equal counts on the same precedence graph produce structurally
+/// identical nets that differ only in firing times — the precondition for
+/// the patch path. (On a chain the edge set is implied by the stage
+/// count, so this is the historical model + replica-counts signature.)
 #[derive(Debug, Clone, PartialEq)]
 struct TpnShape {
     model: CommModel,
     replicas: Vec<usize>,
+    edges: Vec<(u32, u32)>,
 }
 
 impl TpnShape {
-    fn matches(&self, model: CommModel, mapping: &Mapping) -> bool {
+    fn matches(&self, model: CommModel, view: InstanceView<'_>) -> bool {
         self.model == model
-            && self.replicas.len() == mapping.num_stages()
+            && self.replicas.len() == view.mapping.num_stages()
             && self
                 .replicas
                 .iter()
-                .zip(mapping.assignment())
+                .zip(view.mapping.assignment())
                 .all(|(&r, procs)| r == procs.len())
+            && self.edges[..] == *view.pipeline.edges()
     }
 }
 
@@ -320,7 +324,7 @@ impl PeriodEngine {
                 // including warm-started solver trajectories — are
                 // identical to the cold path.
                 let patchable = !self.opts.labels
-                    && self.shape.as_ref().is_some_and(|s| s.matches(model, view.mapping));
+                    && self.shape.as_ref().is_some_and(|s| s.matches(model, view));
                 let solved = if patchable {
                     self.patched_solves += 1;
                     retime_tpn_into(view, &mut self.net, &mut self.changed);
@@ -331,16 +335,21 @@ impl PeriodEngine {
                         &self.changed,
                     )
                 } else {
-                    // Reuse the previous shape's count buffer for the new
+                    // Reuse the previous shape's buffers for the new
                     // signature (the take also drops the stale patch
                     // precondition before the arena is overwritten).
-                    let mut replicas =
-                        self.shape.take().map(|s| s.replicas).unwrap_or_default();
+                    let (mut replicas, mut edges) = self
+                        .shape
+                        .take()
+                        .map(|s| (s.replicas, s.edges))
+                        .unwrap_or_default();
                     build_tpn_view_into(view, model, &self.opts, &mut self.net)?;
                     let res = tpn::analysis::period_with(&self.net, &mut self.scratch, self.warm);
                     if res.is_ok() && !self.opts.labels {
                         view.mapping.replica_counts_into(&mut replicas);
-                        self.shape = Some(TpnShape { model, replicas });
+                        edges.clear();
+                        edges.extend_from_slice(view.pipeline.edges());
+                        self.shape = Some(TpnShape { model, replicas, edges });
                     }
                     res
                 };
@@ -596,9 +605,10 @@ impl<'a> MappingOracle<'a> {
                 }
             }
         }
-        for i in 0..mapping.num_stages().saturating_sub(1) {
-            for &u in mapping.procs(i) {
-                for &v in mapping.procs(i + 1) {
+        for e in 0..self.pipeline.num_edges() {
+            let (src, dst) = self.pipeline.edge(e);
+            for &u in mapping.procs(src) {
+                for &v in mapping.procs(dst) {
                     if !self.bw_ok[u * p + v] {
                         return Err(ModelError::InvalidBandwidth {
                             from: u,

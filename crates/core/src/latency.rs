@@ -4,11 +4,16 @@
 //! workflow literature the paper builds on (Subhlok & Vondran; Vydyanathan
 //! et al. — references [11, 12, 14, 15]) is **latency**: the traversal
 //! time of a single data set. With replication, different data sets follow
-//! different paths (Proposition 1), so latency is per-path:
+//! different paths (Proposition 1), so latency is per-path. On a chain it
+//! is the plain sum
 //!
 //! ```text
 //! L(j) = Σ_i  w_i / Π_{proc(i, j)}  +  Σ_i δ_i / b_{proc(i,j), proc(i+1,j)}
 //! ```
+//!
+//! and on a series-parallel workflow the longest-path recurrence over the
+//! DAG (a stage starts when its slowest in-edge transfer lands), which
+//! reduces to the sum on chains bit-for-bit.
 //!
 //! This module computes unloaded (contention-free) path latencies and their
 //! distribution over the `m` paths; steady-state *sojourn* times under load
@@ -46,14 +51,21 @@ pub fn path_latency(inst: &Instance, j: u128) -> f64 {
 /// [`path_latency`] on a borrowed view.
 pub fn path_latency_view(view: InstanceView<'_>, j: u128) -> f64 {
     let path = path_of_view(view, j);
-    let mut total = 0.0;
+    let wf = view.pipeline;
+    let n = path.len();
+    // Longest-path DP in topological (stage-id) order: a stage is ready
+    // when its slowest in-edge transfer lands. On a chain this folds to
+    // the historical left-to-right sum with identical association.
+    let mut finish = vec![0.0f64; n];
     for (i, &u) in path.iter().enumerate() {
-        total += view.comp_time(i, u);
-        if i + 1 < path.len() {
-            total += view.comm_time(i, u, path[i + 1]);
+        let mut ready = 0.0f64;
+        for &e in wf.in_edges(i) {
+            let (src, _) = wf.edge(e);
+            ready = ready.max(finish[src] + view.comm_time(e, path[src], u));
         }
+        finish[i] = ready + view.comp_time(i, u);
     }
-    total
+    finish[n - 1]
 }
 
 /// Latency statistics over up to `budget` of the `m` distinct paths

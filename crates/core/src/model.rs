@@ -6,6 +6,8 @@ use std::fmt;
 pub type ProcId = usize;
 /// Index of a stage of the pipeline.
 pub type StageId = usize;
+/// Index of a precedence edge (a transferred file) of a workflow.
+pub type EdgeId = usize;
 
 /// The two communication models of the paper.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -71,6 +73,21 @@ pub enum ModelError {
         /// stages in the mapping
         mapping: usize,
     },
+    /// An edge must go from a lower to a higher stage id (stage ids are a
+    /// topological order) and both endpoints must exist.
+    InvalidEdge {
+        /// source stage
+        from: StageId,
+        /// destination stage
+        to: StageId,
+    },
+    /// Every stage except the source needs an in-edge and every stage
+    /// except the sink needs an out-edge.
+    DisconnectedStage(StageId),
+    /// The precedence graph must reduce to the single source→sink edge
+    /// under series-parallel reduction (merge parallel edges, contract
+    /// degree-(1,1) internal stages).
+    NotSeriesParallel,
 }
 
 impl fmt::Display for ModelError {
@@ -95,23 +112,54 @@ impl fmt::Display for ModelError {
             ModelError::StageCountMismatch { pipeline, mapping } => {
                 write!(f, "pipeline has {pipeline} stages but mapping covers {mapping}")
             }
+            ModelError::InvalidEdge { from, to } => {
+                write!(f, "invalid edge {from}->{to} (need from < to < num_stages)")
+            }
+            ModelError::DisconnectedStage(s) => {
+                write!(f, "stage {s} is disconnected (missing an in- or out-edge)")
+            }
+            ModelError::NotSeriesParallel => {
+                write!(f, "precedence graph is not two-terminal series-parallel")
+            }
         }
     }
 }
 
 impl std::error::Error for ModelError {}
 
-/// A linear-chain streaming application: stage `S_k` costs `work[k]` FLOP
-/// and sends a file of `files[k]` bytes to `S_{k+1}`.
+/// A series-parallel streaming application: stage `S_k` costs `work[k]`
+/// FLOP; precedence edge `e = (src, dst)` carries a file of `files[e]`
+/// bytes from `S_src` to `S_dst`. Stage ids are required to be a
+/// topological order (`src < dst` on every edge), stage `0` is the single
+/// source and stage `n − 1` the single sink, and the precedence graph must
+/// be two-terminal **series-parallel** ([`Workflow::from_edges`] validates
+/// this by SP reduction).
+///
+/// The paper's linear chain is the special case built by
+/// [`Workflow::new`]; [`Pipeline`] is a type alias for it, so every chain
+/// call site and every SP-DAG call site share one code path.
 #[derive(Debug, Clone, PartialEq)]
-pub struct Pipeline {
+pub struct Workflow {
     work: Vec<f64>,
+    /// `files[e]` is the size of the file carried by edge `e`.
     files: Vec<f64>,
+    /// Edge endpoints `(src, dst)`, sorted by `(src, dst)`.
+    edges: Vec<(u32, u32)>,
+    /// Per-stage in-edge ids, ascending.
+    ins: Vec<Vec<EdgeId>>,
+    /// Per-stage out-edge ids, ascending.
+    outs: Vec<Vec<EdgeId>>,
 }
 
-impl Pipeline {
-    /// Builds a pipeline of `work.len()` stages with `work.len() − 1`
-    /// inter-stage files.
+/// The linear special case of [`Workflow`] — what the paper calls a
+/// replicated pipeline. A thin alias: no call site keeps a parallel
+/// chain-only code path.
+pub type Pipeline = Workflow;
+
+impl Workflow {
+    /// Builds a linear pipeline of `work.len()` stages with
+    /// `work.len() − 1` inter-stage files (edge `k` goes `S_k → S_{k+1}`
+    /// and carries `files[k]`).
     pub fn new(work: Vec<f64>, files: Vec<f64>) -> Result<Self, ModelError> {
         if work.is_empty() {
             return Err(ModelError::EmptyPipeline);
@@ -124,7 +172,73 @@ impl Pipeline {
                 return Err(ModelError::InvalidSize(v));
             }
         }
-        Ok(Pipeline { work, files })
+        let edges = (0..work.len().saturating_sub(1))
+            .map(|k| (k as u32, k as u32 + 1))
+            .collect();
+        Ok(Workflow::assemble(work, files, edges))
+    }
+
+    /// Builds a series-parallel workflow from explicit precedence edges
+    /// `(src, dst, file_size)`. Edges are sorted by `(src, dst)` (ties
+    /// keep input order); the sorted position is the edge's [`EdgeId`],
+    /// which is also its index in [`Workflow::file_sizes`]. Validates the
+    /// SP-DAG shape: topologically ordered ids, single source/sink,
+    /// connected interior, series-parallel reducible.
+    pub fn from_edges(
+        work: Vec<f64>,
+        edges: Vec<(StageId, StageId, f64)>,
+    ) -> Result<Self, ModelError> {
+        if work.is_empty() {
+            return Err(ModelError::EmptyPipeline);
+        }
+        let n = work.len();
+        for &v in work.iter() {
+            if !v.is_finite() || v < 0.0 {
+                return Err(ModelError::InvalidSize(v));
+            }
+        }
+        let mut sorted = edges;
+        sorted.sort_by_key(|&(s, d, _)| (s, d));
+        let mut pairs: Vec<(u32, u32)> = Vec::with_capacity(sorted.len());
+        let mut files: Vec<f64> = Vec::with_capacity(sorted.len());
+        for (s, d, size) in sorted {
+            if s >= d || d >= n {
+                return Err(ModelError::InvalidEdge { from: s, to: d });
+            }
+            if !size.is_finite() || size < 0.0 {
+                return Err(ModelError::InvalidSize(size));
+            }
+            pairs.push((s as u32, d as u32));
+            files.push(size);
+        }
+        // Interior connectivity. `src < dst` already makes stage 0 the
+        // only possible source and stage n−1 the only possible sink.
+        let mut in_deg = vec![0usize; n];
+        let mut out_deg = vec![0usize; n];
+        for &(s, d) in &pairs {
+            out_deg[s as usize] += 1;
+            in_deg[d as usize] += 1;
+        }
+        for (i, (&din, &dout)) in in_deg.iter().zip(out_deg.iter()).enumerate() {
+            if (i > 0 && din == 0) || (i + 1 < n && dout == 0) {
+                return Err(ModelError::DisconnectedStage(i));
+            }
+        }
+        if !is_series_parallel(n, &pairs) {
+            return Err(ModelError::NotSeriesParallel);
+        }
+        Ok(Workflow::assemble(work, files, pairs))
+    }
+
+    fn assemble(work: Vec<f64>, files: Vec<f64>, edges: Vec<(u32, u32)>) -> Self {
+        let n = work.len();
+        let mut ins = vec![Vec::new(); n];
+        let mut outs = vec![Vec::new(); n];
+        for (e, &(s, d)) in edges.iter().enumerate() {
+            outs[s as usize].push(e);
+            ins[d as usize].push(e);
+        }
+        Workflow { work, files, edges, ins, outs }
     }
 
     /// Number of stages `n`.
@@ -132,14 +246,51 @@ impl Pipeline {
         self.work.len()
     }
 
+    /// Number of precedence edges `E` (chain: `n − 1`).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
     /// Work (FLOP) of stage `k`.
     pub fn work(&self, k: StageId) -> f64 {
         self.work[k]
     }
 
-    /// Size (bytes) of file `F_k` (produced by stage `k`, `k < n−1`).
-    pub fn file(&self, k: usize) -> f64 {
-        self.files[k]
+    /// Size (bytes) of the file carried by edge `e` (on a chain, edge `k`
+    /// is the file `F_k` produced by stage `k`).
+    pub fn file(&self, e: EdgeId) -> f64 {
+        self.files[e]
+    }
+
+    /// Endpoints `(src, dst)` of edge `e`.
+    pub fn edge(&self, e: EdgeId) -> (StageId, StageId) {
+        let (s, d) = self.edges[e];
+        (s as usize, d as usize)
+    }
+
+    /// All edge endpoints, sorted by `(src, dst)`.
+    pub fn edges(&self) -> &[(u32, u32)] {
+        &self.edges
+    }
+
+    /// Ids of the edges into stage `i`, ascending (chain: `[i − 1]`).
+    pub fn in_edges(&self, i: StageId) -> &[EdgeId] {
+        &self.ins[i]
+    }
+
+    /// Ids of the edges out of stage `i`, ascending (chain: `[i]`).
+    pub fn out_edges(&self, i: StageId) -> &[EdgeId] {
+        &self.outs[i]
+    }
+
+    /// True iff the workflow is the linear chain `S_0 → … → S_{n−1}`.
+    pub fn is_linear(&self) -> bool {
+        self.edges.len() == self.work.len() - 1
+            && self
+                .edges
+                .iter()
+                .enumerate()
+                .all(|(e, &(s, d))| s as usize == e && d as usize == e + 1)
     }
 
     /// All stage works.
@@ -147,10 +298,52 @@ impl Pipeline {
         &self.work
     }
 
-    /// All file sizes.
+    /// All file sizes, indexed by [`EdgeId`].
     pub fn file_sizes(&self) -> &[f64] {
         &self.files
     }
+}
+
+/// Two-terminal series-parallel recognition by the classic reduction:
+/// repeatedly merge parallel edges and contract internal stages with
+/// in-degree 1 and out-degree 1; the graph is SP iff a single
+/// source→sink edge remains.
+fn is_series_parallel(n: usize, edges: &[(u32, u32)]) -> bool {
+    if n == 1 {
+        return edges.is_empty();
+    }
+    let mut multi: std::collections::BTreeMap<(u32, u32), usize> = std::collections::BTreeMap::new();
+    for &e in edges {
+        *multi.entry(e).or_insert(0) += 1;
+    }
+    loop {
+        let mut changed = false;
+        for count in multi.values_mut() {
+            if *count > 1 {
+                *count = 1;
+                changed = true;
+            }
+        }
+        let mut in_deg = vec![0usize; n];
+        let mut out_deg = vec![0usize; n];
+        for (&(s, d), &c) in &multi {
+            out_deg[s as usize] += c;
+            in_deg[d as usize] += c;
+        }
+        let contract = (1..n - 1).find(|&v| in_deg[v] == 1 && out_deg[v] == 1).map(|v| v as u32);
+        if let Some(v) = contract {
+            let (&(s, _), _) = multi.iter().find(|(&(_, d), _)| d == v).expect("in-edge");
+            let (&(_, d), _) = multi.iter().find(|(&(s2, _), _)| s2 == v).expect("out-edge");
+            multi.remove(&(s, v));
+            multi.remove(&(v, d));
+            *multi.entry((s, d)).or_insert(0) += 1;
+            changed = true;
+        }
+        if !changed {
+            break;
+        }
+    }
+    multi.len() == 1 && multi.get(&(0, n as u32 - 1)) == Some(&1)
 }
 
 /// A fully heterogeneous platform: processor speeds and a full bandwidth
@@ -368,9 +561,10 @@ impl Instance {
         self.view().comp_time(i, u)
     }
 
-    /// Transfer time of file `F_i` over `link(u → v)`: `δ_i / b_{u,v}`.
-    pub fn comm_time(&self, i: usize, u: ProcId, v: ProcId) -> f64 {
-        self.view().comm_time(i, u, v)
+    /// Transfer time of the file carried by edge `e` over `link(u → v)`:
+    /// `δ_e / b_{u,v}` (on a chain, edge `i` is the file `F_i`).
+    pub fn comm_time(&self, e: EdgeId, u: ProcId, v: ProcId) -> f64 {
+        self.view().comm_time(e, u, v)
     }
 
     /// The processor handling stage `i` of data set `j`
@@ -440,11 +634,12 @@ impl<'a> InstanceView<'a> {
                 }
             }
         }
-        // Every sender/receiver pair that the round-robin can produce must
-        // have a usable link.
-        for i in 0..self.mapping.num_stages().saturating_sub(1) {
-            for &u in self.mapping.procs(i) {
-                for &v in self.mapping.procs(i + 1) {
+        // Every sender/receiver pair that the round-robin can produce on
+        // some precedence edge must have a usable link.
+        for e in 0..self.pipeline.num_edges() {
+            let (src, dst) = self.pipeline.edge(e);
+            for &u in self.mapping.procs(src) {
+                for &v in self.mapping.procs(dst) {
                     let b = self.platform.bandwidth(u, v);
                     if !(b.is_finite() && b > 0.0) {
                         return Err(ModelError::InvalidBandwidth { from: u, to: v, bandwidth: b });
@@ -475,9 +670,10 @@ impl<'a> InstanceView<'a> {
         self.pipeline.work(i) / self.platform.speed(u)
     }
 
-    /// Transfer time of file `F_i` over `link(u → v)`: `δ_i / b_{u,v}`.
-    pub fn comm_time(&self, i: usize, u: ProcId, v: ProcId) -> f64 {
-        self.pipeline.file(i) / self.platform.bandwidth(u, v)
+    /// Transfer time of the file carried by edge `e` over `link(u → v)`:
+    /// `δ_e / b_{u,v}` (on a chain, edge `i` is the file `F_i`).
+    pub fn comm_time(&self, e: EdgeId, u: ProcId, v: ProcId) -> f64 {
+        self.pipeline.file(e) / self.platform.bandwidth(u, v)
     }
 
     /// The processor handling stage `i` of data set `j`
@@ -511,6 +707,103 @@ mod tests {
             Err(ModelError::InvalidSize(_))
         ));
         assert!(Pipeline::new(vec![5.0], vec![]).is_ok());
+    }
+
+    #[test]
+    fn chain_from_edges_matches_new() {
+        let a = Pipeline::new(vec![3.0, 5.0, 7.0], vec![2.0, 4.0]).unwrap();
+        let b = Workflow::from_edges(vec![3.0, 5.0, 7.0], vec![(0, 1, 2.0), (1, 2, 4.0)]).unwrap();
+        assert_eq!(a, b);
+        assert!(a.is_linear());
+        assert_eq!(a.num_edges(), 2);
+        assert_eq!(a.edge(0), (0, 1));
+        assert_eq!(a.edge(1), (1, 2));
+        assert_eq!(a.in_edges(0), &[] as &[EdgeId]);
+        assert_eq!(a.in_edges(1), &[0]);
+        assert_eq!(a.out_edges(1), &[1]);
+        assert_eq!(a.out_edges(2), &[] as &[EdgeId]);
+        assert_eq!(a.file_sizes(), &[2.0, 4.0]);
+    }
+
+    #[test]
+    fn fork_join_diamond_is_valid() {
+        let wf = Workflow::from_edges(
+            vec![1.0, 2.0, 3.0, 4.0],
+            // Deliberately unsorted input: edges get sorted by (src, dst).
+            vec![(2, 3, 30.0), (0, 1, 10.0), (1, 3, 40.0), (0, 2, 20.0)],
+        )
+        .unwrap();
+        assert!(!wf.is_linear());
+        assert_eq!(wf.num_edges(), 4);
+        assert_eq!(wf.edges(), &[(0, 1), (0, 2), (1, 3), (2, 3)]);
+        assert_eq!(wf.file_sizes(), &[10.0, 20.0, 40.0, 30.0]);
+        assert_eq!(wf.out_edges(0), &[0, 1]);
+        assert_eq!(wf.in_edges(3), &[2, 3]);
+        assert_eq!(wf.in_edges(1), &[0]);
+        assert_eq!(wf.out_edges(2), &[3]);
+    }
+
+    #[test]
+    fn parallel_edges_are_series_parallel() {
+        let wf =
+            Workflow::from_edges(vec![1.0, 1.0], vec![(0, 1, 3.0), (0, 1, 5.0)]).unwrap();
+        assert_eq!(wf.num_edges(), 2);
+        assert_eq!(wf.edges(), &[(0, 1), (0, 1)]);
+    }
+
+    #[test]
+    fn non_sp_graph_rejected() {
+        // The "W" graph (N-graph): 0→1, 0→2, 1→2, 1→3, 2→3 is a DAG with a
+        // single source/sink but is not two-terminal series-parallel.
+        assert_eq!(
+            Workflow::from_edges(
+                vec![1.0; 4],
+                vec![(0, 1, 1.0), (0, 2, 1.0), (1, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
+            ),
+            Err(ModelError::NotSeriesParallel)
+        );
+    }
+
+    #[test]
+    fn from_edges_validation_errors() {
+        assert_eq!(Workflow::from_edges(vec![], vec![]), Err(ModelError::EmptyPipeline));
+        assert_eq!(
+            Workflow::from_edges(vec![1.0, 1.0], vec![(1, 0, 1.0)]),
+            Err(ModelError::InvalidEdge { from: 1, to: 0 })
+        );
+        assert_eq!(
+            Workflow::from_edges(vec![1.0, 1.0], vec![(0, 2, 1.0)]),
+            Err(ModelError::InvalidEdge { from: 0, to: 2 })
+        );
+        assert_eq!(
+            Workflow::from_edges(vec![1.0, 1.0, 1.0], vec![(0, 2, 1.0)]),
+            Err(ModelError::DisconnectedStage(1))
+        );
+        assert!(matches!(
+            Workflow::from_edges(vec![1.0, 1.0], vec![(0, 1, f64::NAN)]),
+            Err(ModelError::InvalidSize(_))
+        ));
+        // Single stage: no edges is the (trivially SP) empty workflow.
+        assert!(Workflow::from_edges(vec![5.0], vec![]).is_ok());
+    }
+
+    #[test]
+    fn fork_join_validate_checks_edge_links() {
+        let wf = Workflow::from_edges(
+            vec![1.0; 4],
+            vec![(0, 1, 1.0), (0, 2, 1.0), (1, 3, 1.0), (2, 3, 1.0)],
+        )
+        .unwrap();
+        let mut platform = Platform::uniform(4, 1.0, 1.0);
+        // Break the 0→2 branch link: used by edge (0, 2), not by any
+        // chain-adjacent pair.
+        platform.set_bandwidth(0, 2, 0.0);
+        let mapping =
+            Mapping::new(vec![vec![0], vec![1], vec![2], vec![3]]).unwrap();
+        assert!(matches!(
+            Instance::new(wf, platform, mapping),
+            Err(ModelError::InvalidBandwidth { from: 0, to: 2, .. })
+        ));
     }
 
     #[test]

@@ -1,11 +1,14 @@
 //! Theorem 1: the polynomial algorithm for the **overlap one-port** model.
 //!
-//! In the overlap TPN every place is either forward (row order) or stays
+//! In the overlap TPN every place is either forward (dataflow) or stays
 //! within a column, so every circuit lives in a single column and the period
-//! is the worst column. Computation columns are trivial (one circuit per
-//! processor). For a communication column `F_i` with `m_i` senders and
-//! `m_{i+1}` receivers, the sub-TPN is a circulant graph on the `m` rows
-//! with steps `+m_i` (out-port circuits) and `+m_{i+1}` (in-port circuits).
+//! is the worst column — this holds for series-parallel workflows too,
+//! because ports are per *edge* and each edge owns one column. Computation
+//! columns are trivial (one circuit per processor). For the communication
+//! column of an edge with `m_i` sender replicas and `m_{i+1}` receiver
+//! replicas (on a chain, file `F_i` between stages `i` and `i+1`), the
+//! sub-TPN is a circulant graph on the `m` rows with steps `+m_i`
+//! (out-port circuits) and `+m_{i+1}` (in-port circuits).
 //! Writing `g = gcd(m_i, m_{i+1})`, `u = m_i/g`, `v = m_{i+1}/g`:
 //!
 //! * rows split into `g` connected components (residues mod `g`);
@@ -46,9 +49,9 @@ pub enum Bottleneck {
         proc: ProcId,
     },
     /// A communication column: the critical circuit of one pattern of the
-    /// transfer of `F_file`.
+    /// transfer on edge `file` (on a chain, edge `i` is file `F_i`).
     Communication {
-        /// index of the file
+        /// id of the edge whose file is transferred
         file: usize,
         /// residue class (connected component) mod `gcd(m_i, m_{i+1})`
         residue: usize,
@@ -107,7 +110,10 @@ pub struct PatternInfo {
     pub m: Option<u128>,
 }
 
-/// Computes the pattern decomposition constants for communication `F_i`.
+/// Computes the pattern decomposition constants for the chain
+/// communication `F_i` between adjacent stages `i` and `i+1` (a
+/// convenience over explicit replica slices; DAG callers derive the same
+/// constants from an edge's endpoint replica counts).
 pub fn pattern_info(replicas: &[usize], i: usize) -> PatternInfo {
     assert!(i + 1 < replicas.len());
     let (mi, mn) = (replicas[i], replicas[i + 1]);
@@ -117,19 +123,21 @@ pub fn pattern_info(replicas: &[usize], i: usize) -> PatternInfo {
     PatternInfo { g, u: mi / g, v: mn / g, c: m.map(|m| m / l), m }
 }
 
-/// Builds the pattern cycle-ratio graph for communication `F_i`, residue
-/// `rho`: `u·v` vertices `q` (rows `j = rho + g·q` of the component), a
-/// sender-step edge `q → q+u (mod uv)` of token-weight `u` and a
-/// receiver-step edge `q → q+v (mod uv)` of token-weight `v`, both carrying
-/// the transfer time of row `j` as cost.
-pub fn pattern_graph(inst: &Instance, i: usize, rho: usize) -> RatioGraph {
-    pattern_graph_view(inst.view(), i, rho)
+/// Builds the pattern cycle-ratio graph for the transfer on edge `e`,
+/// residue `rho`: `u·v` vertices `q` (rows `j = rho + g·q` of the
+/// component), a sender-step edge `q → q+u (mod uv)` of token-weight `u`
+/// and a receiver-step edge `q → q+v (mod uv)` of token-weight `v`, both
+/// carrying the transfer time of row `j` as cost. On a chain, edge `i` is
+/// the communication `F_i` between stages `i` and `i+1`.
+pub fn pattern_graph(inst: &Instance, e: usize, rho: usize) -> RatioGraph {
+    pattern_graph_view(inst.view(), e, rho)
 }
 
 /// [`pattern_graph`] on a borrowed view.
-pub fn pattern_graph_view(view: InstanceView<'_>, i: usize, rho: usize) -> RatioGraph {
-    let procs_s = view.mapping.procs(i);
-    let procs_r = view.mapping.procs(i + 1);
+pub fn pattern_graph_view(view: InstanceView<'_>, e: usize, rho: usize) -> RatioGraph {
+    let (src, dst) = view.pipeline.edge(e);
+    let procs_s = view.mapping.procs(src);
+    let procs_r = view.mapping.procs(dst);
     let (mi, mn) = (procs_s.len(), procs_r.len());
     let g = gcd(mi as u128, mn as u128) as usize;
     let (u, v) = (mi / g, mn / g);
@@ -139,30 +147,32 @@ pub fn pattern_graph_view(view: InstanceView<'_>, i: usize, rho: usize) -> Ratio
         let j = rho + g * q; // a representative row of this pattern cell
         let sender = procs_s[j % mi];
         let receiver = procs_r[j % mn];
-        let t = view.comm_time(i, sender, receiver);
+        let t = view.comm_time(e, sender, receiver);
         graph.add_edge(q as u32, ((q + u) % nv) as u32, t, u as u32);
         graph.add_edge(q as u32, ((q + v) % nv) as u32, t, v as u32);
     }
     graph
 }
 
-/// The period contribution of communication column `F_i` (max over its `g`
-/// components), with the critical component and pattern circuit.
-pub fn comm_column_period(inst: &Instance, i: usize) -> ColumnPeriod {
-    comm_column_period_view(inst.view(), i)
+/// The period contribution of the communication column of edge `e` (max
+/// over its `g` components), with the critical component and pattern
+/// circuit.
+pub fn comm_column_period(inst: &Instance, e: usize) -> ColumnPeriod {
+    comm_column_period_view(inst.view(), e)
 }
 
 /// [`comm_column_period`] on a borrowed view.
-pub fn comm_column_period_view(view: InstanceView<'_>, i: usize) -> ColumnPeriod {
-    let mi = view.mapping.replicas(i);
-    let mn = view.mapping.replicas(i + 1);
+pub fn comm_column_period_view(view: InstanceView<'_>, e: usize) -> ColumnPeriod {
+    let (src, dst) = view.pipeline.edge(e);
+    let mi = view.mapping.replicas(src);
+    let mn = view.mapping.replicas(dst);
     let g = gcd(mi as u128, mn as u128) as usize;
     let mut best = ColumnPeriod {
-        bottleneck: Bottleneck::Communication { file: i, residue: 0, pattern_rows: Vec::new() },
+        bottleneck: Bottleneck::Communication { file: e, residue: 0, pattern_rows: Vec::new() },
         period: f64::NEG_INFINITY,
     };
     for rho in 0..g {
-        let graph = pattern_graph_view(view, i, rho);
+        let graph = pattern_graph_view(view, e, rho);
         let sol = max_cycle_ratio(&graph)
             .expect("pattern graph is well-formed")
             .expect("pattern graph always has circuits");
@@ -170,7 +180,7 @@ pub fn comm_column_period_view(view: InstanceView<'_>, i: usize) -> ColumnPeriod
         if period > best.period {
             best = ColumnPeriod {
                 bottleneck: Bottleneck::Communication {
-                    file: i,
+                    file: e,
                     residue: rho,
                     pattern_rows: sol.cycle.iter().map(|&q| (rho + g * q as usize) as u64).collect(),
                 },
@@ -205,9 +215,9 @@ pub fn overlap_period_view(view: InstanceView<'_>) -> OverlapAnalysis {
             });
         }
     }
-    // Communication columns.
-    for i in 0..n.saturating_sub(1) {
-        columns.push(comm_column_period_view(view, i));
+    // Communication columns, one per edge (chain: edge i is F_i).
+    for e in 0..view.pipeline.num_edges() {
+        columns.push(comm_column_period_view(view, e));
     }
     let best = columns
         .iter()

@@ -5,12 +5,18 @@
 //! # comment
 //! workflow v1
 //! stages   <w_0> <w_1> … <w_{n-1}>
-//! files    <δ_0> … <δ_{n-2}>
+//! files    <δ_0> … <δ_{n-2}>       # linear chain: file k goes S_k → S_{k+1}
+//! edge <src> <dst> <δ>             # series-parallel DAG: repeated, instead of `files`
 //! speeds   <Π_0> … <Π_{p-1}>
 //! bandwidth <u> <v> <b>         # repeated; unset links default to `default`
 //! default-bandwidth <b>
 //! map <stage> <proc> [<proc>…]  # round-robin order; one line per stage
 //! ```
+//!
+//! `files` and `edge` are mutually exclusive: chains use the compact
+//! `files` line (serialization is byte-identical to the pre-DAG format),
+//! general series-parallel workflows list one `edge` line per precedence
+//! edge.
 //!
 //! Writing and re-reading an instance reproduces it exactly on the
 //! processors/links the mapping uses (round-trip tested).
@@ -57,9 +63,16 @@ pub fn to_text(inst: &Instance) -> String {
     let mut out = String::from("workflow v1\n");
     let works: Vec<String> = inst.pipeline.works().iter().map(f64::to_string).collect();
     let _ = writeln!(out, "stages {}", works.join(" "));
-    let files: Vec<String> = inst.pipeline.file_sizes().iter().map(f64::to_string).collect();
-    if !files.is_empty() {
-        let _ = writeln!(out, "files {}", files.join(" "));
+    if inst.pipeline.is_linear() {
+        let files: Vec<String> = inst.pipeline.file_sizes().iter().map(f64::to_string).collect();
+        if !files.is_empty() {
+            let _ = writeln!(out, "files {}", files.join(" "));
+        }
+    } else {
+        for e in 0..inst.pipeline.num_edges() {
+            let (src, dst) = inst.pipeline.edge(e);
+            let _ = writeln!(out, "edge {src} {dst} {}", inst.pipeline.file(e));
+        }
     }
     let p = inst.platform.num_procs();
     let speeds: Vec<String> = (0..p).map(|u| inst.platform.speed(u).to_string()).collect();
@@ -84,6 +97,7 @@ pub fn to_text(inst: &Instance) -> String {
 pub fn from_text(text: &str) -> Result<Instance, TextError> {
     let mut works: Option<Vec<f64>> = None;
     let mut files: Vec<f64> = Vec::new();
+    let mut edges: Vec<(crate::model::StageId, crate::model::StageId, f64)> = Vec::new();
     let mut speeds: Option<Vec<f64>> = None;
     let mut default_bw = 1.0f64;
     let mut links: Vec<(usize, usize, f64)> = Vec::new();
@@ -111,6 +125,15 @@ pub fn from_text(text: &str) -> Result<Instance, TextError> {
         match key {
             "stages" => works = Some(nums(it)?),
             "files" => files = nums(it)?,
+            "edge" => {
+                let src: usize =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(TextError::BadLine(lineno))?;
+                let dst: usize =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(TextError::BadLine(lineno))?;
+                let size: f64 =
+                    it.next().and_then(|s| s.parse().ok()).ok_or(TextError::BadLine(lineno))?;
+                edges.push((src, dst, size));
+            }
             "speeds" => speeds = Some(nums(it)?),
             "default-bandwidth" => {
                 default_bw =
@@ -141,7 +164,14 @@ pub fn from_text(text: &str) -> Result<Instance, TextError> {
 
     let works = works.ok_or(TextError::Missing("stages"))?;
     let speeds = speeds.ok_or(TextError::Missing("speeds"))?;
-    let pipeline = Pipeline::new(works, files)?;
+    if !edges.is_empty() && !files.is_empty() {
+        return Err(TextError::Missing("either `files` or `edge` lines, not both"));
+    }
+    let pipeline = if edges.is_empty() {
+        Pipeline::new(works, files)?
+    } else {
+        Pipeline::from_edges(works, edges)?
+    };
     let p = speeds.len();
     let mut platform = Platform::uniform(p, 1.0, default_bw);
     for (u, speed) in speeds.into_iter().enumerate() {
@@ -225,6 +255,36 @@ mod tests {
         assert!(from_text(text).is_ok(), "sorted internally");
         let text = "workflow v1\nstages 1 1\nfiles 1\nspeeds 1 1\nmap 0 0\nmap 2 1\n";
         assert!(matches!(from_text(text), Err(TextError::Missing(_))));
+    }
+
+    #[test]
+    fn diamond_round_trip() {
+        let pipeline = Pipeline::from_edges(
+            vec![4.0, 6.0, 5.0, 3.0],
+            vec![(0, 1, 2.0), (0, 2, 3.0), (1, 3, 1.0), (2, 3, 2.5)],
+        )
+        .unwrap();
+        let platform = crate::model::Platform::uniform(5, 1.0, 1.0);
+        let mapping = Mapping::new(vec![vec![0], vec![1, 2], vec![3], vec![4]]).unwrap();
+        let inst = Instance::new(pipeline, platform, mapping).unwrap();
+        let text = to_text(&inst);
+        assert!(text.contains("edge 0 1 2"), "DAGs serialize as edge lines:\n{text}");
+        assert!(!text.contains("\nfiles"), "no files line for a DAG");
+        let back = from_text(&text).unwrap();
+        assert_eq!(inst.pipeline, back.pipeline);
+        assert_eq!(inst.mapping, back.mapping);
+    }
+
+    #[test]
+    fn chain_serialization_unchanged_and_edge_files_exclusive() {
+        // A chain still uses the compact `files` line.
+        let text = to_text(&example_a());
+        assert!(text.contains("\nfiles "));
+        assert!(!text.contains("\nedge "));
+        // Mixing `files` and `edge` is rejected.
+        let bad =
+            "workflow v1\nstages 1 1\nfiles 1\nedge 0 1 1\nspeeds 1 1\nmap 0 0\nmap 1 1\n";
+        assert!(matches!(from_text(bad), Err(TextError::Missing(_))));
     }
 
     #[test]

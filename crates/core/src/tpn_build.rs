@@ -1,23 +1,35 @@
-//! §3 of the paper: the timed Petri net model of a mapping.
+//! §3 of the paper: the timed Petri net model of a mapping, generalized
+//! from the paper's linear chain to series-parallel workflows.
 //!
 //! The TPN is a grid of `m = lcm(m_0,…,m_{n−1})` rows — one per path of
-//! Proposition 1 — and `2n−1` columns alternating computations
-//! (column `2i`: stage `S_i`) and communications (column `2i+1`: file `F_i`).
+//! Proposition 1 — and `n + E` columns: walking the stages in topological
+//! order, each stage contributes its computation column followed by one
+//! communication column per out-edge (ascending edge id). On a linear
+//! chain (`E = n − 1`) this is exactly the paper's `2n−1`-column grid —
+//! column `2i` is stage `S_i`, column `2i+1` is file `F_i` — and every
+//! transition, place and label is emitted in the same order with the same
+//! value, so chain nets are byte-identical to the historical builder.
 //! Dependences (places) are:
 //!
-//! 1. **Row order** (both models): within a row, each operation feeds the
-//!    next (Fig. 3a).
+//! 1. **Dataflow** (both models): within a row, each edge's transfer
+//!    follows its producer's computation and precedes its consumer's
+//!    (Fig. 3a; on a chain this is the row order).
 //! 2. **Overlap model** (Figs. 3b–3d): per-column round-robin circuits — one
-//!    circuit per computing processor (column `2i`), per sending port
-//!    (column `2i+1`, grouped by sender) and per receiving port (column
-//!    `2i+1`, grouped by receiver). Each circuit carries one token on its
-//!    wrap-around place.
+//!    circuit per computing processor (stage columns), per sending port
+//!    (edge columns, grouped by sender replica) and per receiving port
+//!    (edge columns, grouped by receiver replica). Each circuit carries one
+//!    token on its wrap-around place. Because ports are per *edge*, every
+//!    circuit stays within a single column and the Theorem 1 column
+//!    decomposition survives on DAGs.
 //! 3. **Strict model** (Fig. 5a): one circuit per *processor* chaining its
-//!    receive→compute→send sequences across its rows (the send of one row
-//!    precedes the receive of the processor's next row), one token on the
-//!    wrap-around.
+//!    receive→compute→send sequences across its rows (the last send of one
+//!    row precedes the first receive of the processor's next row), one
+//!    token on the wrap-around; plus 0-token serialization places between
+//!    a stage's consecutive same-row receives and consecutive same-row
+//!    sends (a processor moves one file at a time). A chain stage has at
+//!    most one in- and one out-edge, so chains gain no extra places.
 //!
-//! Construction is `O(m·n)`, as stated in the paper.
+//! Construction is `O(m·(n + E))`.
 
 use crate::model::{CommModel, Instance, InstanceView};
 use crate::paths::{instance_num_paths, mapping_num_paths};
@@ -43,7 +55,7 @@ impl Default for BuildOptions {
 /// Errors from TPN construction.
 #[derive(Debug, Clone, PartialEq)]
 pub enum BuildError {
-    /// `m·(2n−1)` exceeds [`BuildOptions::max_transitions`] (the strict
+    /// `m·(n+E)` exceeds [`BuildOptions::max_transitions`] (the strict
     /// model has no known polynomial alternative; use the simulator).
     TooLarge {
         /// Number of TPN rows `m`.
@@ -78,7 +90,7 @@ pub struct BuiltTpn {
     pub net: TimedEventGraph,
     /// Number of rows `m`.
     pub rows: usize,
-    /// Number of columns `2n−1`.
+    /// Number of columns `n + E` (chain: `2n−1`).
     pub cols: usize,
 }
 
@@ -111,12 +123,33 @@ impl BuiltTpn {
 
 fn checked_dims(view: InstanceView<'_>, opts: &BuildOptions) -> Result<(usize, usize), BuildError> {
     let m = mapping_num_paths(view.mapping).ok_or(BuildError::PathCountOverflow)?;
-    let cols = (2 * view.num_stages() - 1) as u128;
+    let cols = (view.num_stages() + view.pipeline.num_edges()) as u128;
     let transitions = m.checked_mul(cols).ok_or(BuildError::PathCountOverflow)?;
     if transitions > opts.max_transitions as u128 {
         return Err(BuildError::TooLarge { m, transitions, cap: opts.max_transitions });
     }
     Ok((m as usize, cols as usize))
+}
+
+/// Column index of every stage and every edge in the grid layout: stages
+/// in topological order, each immediately followed by its out-edge
+/// columns (ascending edge id). Chain: stage `i` at `2i`, edge `i` at
+/// `2i+1`.
+fn column_map(view: InstanceView<'_>) -> (Vec<usize>, Vec<usize>) {
+    let wf = view.pipeline;
+    let n = wf.num_stages();
+    let mut col_of_stage = vec![0usize; n];
+    let mut col_of_edge = vec![0usize; wf.num_edges()];
+    let mut c = 0;
+    for (i, col) in col_of_stage.iter_mut().enumerate() {
+        *col = c;
+        c += 1;
+        for &e in wf.out_edges(i) {
+            col_of_edge[e] = c;
+            c += 1;
+        }
+    }
+    (col_of_stage, col_of_edge)
 }
 
 /// Builds the full TPN of a mapping under the given communication model.
@@ -150,32 +183,42 @@ pub fn build_tpn_view_into(
     net: &mut TimedEventGraph,
 ) -> Result<(usize, usize), BuildError> {
     let (rows, cols) = checked_dims(view, opts)?;
+    let wf = view.pipeline;
     let n = view.num_stages();
     net.clear();
 
-    // --- transitions, row-major ---
+    // --- transitions, row-major in column order (stage, then out-edges) ---
     for j in 0..rows {
-        for c in 0..cols {
-            let i = c / 2;
-            if c % 2 == 0 {
-                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
-                let label = if opts.labels { format!("S{i}/P{u} r{j}") } else { String::new() };
-                net.add_transition(view.comp_time(i, u), label);
-            } else {
-                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
-                let v = view.mapping.procs(i + 1)[j % view.mapping.replicas(i + 1)];
-                let label = if opts.labels { format!("F{i}:P{u}>P{v} r{j}") } else { String::new() };
-                net.add_transition(view.comm_time(i, u, v), label);
+        for i in 0..n {
+            let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
+            let label = if opts.labels { format!("S{i}/P{u} r{j}") } else { String::new() };
+            net.add_transition(view.comp_time(i, u), label);
+            for &e in wf.out_edges(i) {
+                let (_, dst) = wf.edge(e);
+                let v = view.mapping.procs(dst)[j % view.mapping.replicas(dst)];
+                let label =
+                    if opts.labels { format!("F{e}:P{u}>P{v} r{j}") } else { String::new() };
+                net.add_transition(view.comm_time(e, u, v), label);
             }
         }
     }
     let at = |j: usize, c: usize| TransitionId((j * cols + c) as u32);
+    let (col_of_stage, col_of_edge) = column_map(view);
 
-    // --- constraint 1: row order (both models) ---
+    // --- constraint 1: dataflow (both models) ---
+    // Per row, per edge (producer order): computation feeds the transfer,
+    // the transfer feeds the consumer's computation. On a chain this emits
+    // exactly the historical row-order places c → c+1.
     for j in 0..rows {
-        for c in 0..cols - 1 {
-            let label = if opts.labels { format!("row{j} c{c}>{}", c + 1) } else { String::new() };
-            net.add_place(at(j, c), at(j, c + 1), 0, label);
+        for i in 0..n {
+            for &e in wf.out_edges(i) {
+                let (src, dst) = wf.edge(e);
+                let (cs, ce, cd) = (col_of_stage[src], col_of_edge[e], col_of_stage[dst]);
+                let label = if opts.labels { format!("row{j} c{cs}>{ce}") } else { String::new() };
+                net.add_place(at(j, cs), at(j, ce), 0, label);
+                let label = if opts.labels { format!("row{j} c{ce}>{cd}") } else { String::new() };
+                net.add_place(at(j, ce), at(j, cd), 0, label);
+            }
         }
     }
 
@@ -193,34 +236,55 @@ pub fn build_tpn_view_into(
 
     match model {
         CommModel::Overlap => {
-            for i in 0..n {
+            for (i, &ci) in col_of_stage.iter().enumerate() {
                 let m_i = view.mapping.replicas(i);
                 // constraint 2: computation round-robin per processor
                 for beta in 0..m_i {
                     let group: Vec<usize> = (beta..rows).step_by(m_i).collect();
-                    circuit(net, &group, 2 * i, 2 * i, &format!("cpu S{i}#{beta}"));
+                    circuit(net, &group, ci, ci, &format!("cpu S{i}#{beta}"));
                 }
-                if i + 1 < n {
-                    let m_next = view.mapping.replicas(i + 1);
+                for &e in wf.out_edges(i) {
+                    let (_, dst) = wf.edge(e);
+                    let m_dst = view.mapping.replicas(dst);
+                    let ce = col_of_edge[e];
                     // constraint 3: out-port round-robin per sender
                     for alpha in 0..m_i {
                         let group: Vec<usize> = (alpha..rows).step_by(m_i).collect();
-                        circuit(net, &group, 2 * i + 1, 2 * i + 1, &format!("out F{i}#{alpha}"));
+                        circuit(net, &group, ce, ce, &format!("out F{e}#{alpha}"));
                     }
                     // constraint 4: in-port round-robin per receiver
-                    for beta in 0..m_next {
-                        let group: Vec<usize> = (beta..rows).step_by(m_next).collect();
-                        circuit(net, &group, 2 * i + 1, 2 * i + 1, &format!("in F{i}#{beta}"));
+                    for beta in 0..m_dst {
+                        let group: Vec<usize> = (beta..rows).step_by(m_dst).collect();
+                        circuit(net, &group, ce, ce, &format!("in F{e}#{beta}"));
                     }
                 }
             }
         }
         CommModel::Strict => {
-            for i in 0..n {
+            for (i, &ci) in col_of_stage.iter().enumerate() {
                 let m_i = view.mapping.replicas(i);
+                let ins = wf.in_edges(i);
+                let outs = wf.out_edges(i);
+                // A processor moves one file at a time: serialize a
+                // stage's same-row receives and sends in edge order. A
+                // chain stage has ≤1 of each, so this emits nothing there.
+                for j in 0..rows {
+                    for w in ins.windows(2) {
+                        let (a, b) = (col_of_edge[w[0]], col_of_edge[w[1]]);
+                        let label =
+                            if opts.labels { format!("ser in S{i} r{j}") } else { String::new() };
+                        net.add_place(at(j, a), at(j, b), 0, label);
+                    }
+                    for w in outs.windows(2) {
+                        let (a, b) = (col_of_edge[w[0]], col_of_edge[w[1]]);
+                        let label =
+                            if opts.labels { format!("ser out S{i} r{j}") } else { String::new() };
+                        net.add_place(at(j, a), at(j, b), 0, label);
+                    }
+                }
                 // Last operation of the processor in a row, first in the next.
-                let last_col = if i + 1 == n { 2 * i } else { 2 * i + 1 };
-                let first_col = if i == 0 { 0 } else { 2 * i - 1 };
+                let last_col = outs.last().map_or(ci, |&e| col_of_edge[e]);
+                let first_col = ins.first().map_or(ci, |&e| col_of_edge[e]);
                 for beta in 0..m_i {
                     let group: Vec<usize> = (beta..rows).step_by(m_i).collect();
                     circuit(net, &group, last_col, first_col, &format!("proc S{i}#{beta}"));
@@ -239,38 +303,42 @@ pub fn build_tpn_view_into(
 /// build) and patches them in place, appending the ids of transitions
 /// whose time actually changed to `changed` (cleared first).
 ///
-/// A mapping change preserves the TPN shape iff the communication model
-/// and every per-stage replica count `m_i` are unchanged — the place
-/// structure (row order + round-robin circuits) depends only on those, so
-/// swapping which processors occupy the slots only re-times transitions.
-/// The caller ([`crate::engine::PeriodEngine`]) is responsible for that
-/// check; this function `debug_assert`s the grid dimensions. Labels (if
-/// any) are left stale — only patch label-free nets.
+/// A mapping change preserves the TPN shape iff the communication model,
+/// every per-stage replica count `m_i`, and the workflow's edge set are
+/// unchanged — the place structure (dataflow + round-robin circuits)
+/// depends only on those, so swapping which processors occupy the slots
+/// only re-times transitions. The caller
+/// ([`crate::engine::PeriodEngine`]) is responsible for that check; this
+/// function `debug_assert`s the grid dimensions. Labels (if any) are left
+/// stale — only patch label-free nets.
 pub fn retime_tpn_into(
     view: InstanceView<'_>,
     net: &mut TimedEventGraph,
     changed: &mut Vec<TransitionId>,
 ) {
     changed.clear();
+    let wf = view.pipeline;
     let n = view.num_stages();
-    let cols = 2 * n - 1;
+    let cols = n + wf.num_edges();
     let rows = net.num_transitions() / cols;
     debug_assert_eq!(rows * cols, net.num_transitions(), "net is not a {cols}-column grid");
     for j in 0..rows {
-        for c in 0..cols {
-            let i = c / 2;
-            let time = if c % 2 == 0 {
-                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
-                view.comp_time(i, u)
-            } else {
-                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
-                let v = view.mapping.procs(i + 1)[j % view.mapping.replicas(i + 1)];
-                view.comm_time(i, u, v)
-            };
+        let mut c = 0;
+        let mut patch = |net: &mut TimedEventGraph, time: f64| {
             let t = grid_transition(cols, j, c);
+            c += 1;
             let old = net.patch(t, time);
             if old.to_bits() != time.to_bits() {
                 changed.push(t);
+            }
+        };
+        for i in 0..n {
+            let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
+            patch(net, view.comp_time(i, u));
+            for &e in wf.out_edges(i) {
+                let (_, dst) = wf.edge(e);
+                let v = view.mapping.procs(dst)[j % view.mapping.replicas(dst)];
+                patch(net, view.comm_time(e, u, v));
             }
         }
     }
@@ -279,52 +347,51 @@ pub fn retime_tpn_into(
 /// Computes the row-major firing-time vector of the TPN grid of `view`
 /// **without building a net**: `out[j·cols + c]` is the firing time
 /// [`build_tpn_view_into`] would give transition `(j, c)` of a
-/// `rows × (2n−1)` grid — the same expressions in the same order, so the
+/// `rows × (n+E)` grid — the same expressions in the same order, so the
 /// values are bit-identical to a fresh build. This is the per-instance
 /// staging primitive of the shape-batched campaign path
 /// ([`crate::batch::ShapeBatchSolver`]): same-shape instances share one
 /// built net (the place structure) and differ only in these times.
 pub fn transition_times_into(view: InstanceView<'_>, rows: usize, out: &mut Vec<f64>) {
+    let wf = view.pipeline;
     let n = view.num_stages();
-    let cols = 2 * n - 1;
+    let cols = n + wf.num_edges();
     out.clear();
     out.reserve(rows * cols);
     for j in 0..rows {
-        for c in 0..cols {
-            let i = c / 2;
-            let time = if c % 2 == 0 {
-                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
-                view.comp_time(i, u)
-            } else {
-                let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
-                let v = view.mapping.procs(i + 1)[j % view.mapping.replicas(i + 1)];
-                view.comm_time(i, u, v)
-            };
-            out.push(time);
+        for i in 0..n {
+            let u = view.mapping.procs(i)[j % view.mapping.replicas(i)];
+            out.push(view.comp_time(i, u));
+            for &e in wf.out_edges(i) {
+                let (_, dst) = wf.edge(e);
+                let v = view.mapping.procs(dst)[j % view.mapping.replicas(dst)];
+                out.push(view.comm_time(e, u, v));
+            }
         }
     }
 }
 
-/// Builds only the sub-TPN of communication `F_i` under the overlap model
-/// (the restriction of the full TPN to column `2i+1`): `m` transfer
-/// transitions with the sender and receiver round-robin circuits. This is
-/// the object of the paper's Figures 9 and 10 and of the Theorem 1
-/// decomposition.
-pub fn comm_sub_tpn(inst: &Instance, i: usize, opts: &BuildOptions) -> Result<BuiltTpn, BuildError> {
-    assert!(i + 1 < inst.num_stages(), "file F_i requires stage i+1");
+/// Builds only the sub-TPN of the transfer on edge `e` under the overlap
+/// model (the restriction of the full TPN to that edge's column): `m`
+/// transfer transitions with the sender and receiver round-robin
+/// circuits. This is the object of the paper's Figures 9 and 10 and of
+/// the Theorem 1 decomposition (on a chain, edge `i` is file `F_i`).
+pub fn comm_sub_tpn(inst: &Instance, e: usize, opts: &BuildOptions) -> Result<BuiltTpn, BuildError> {
+    assert!(e < inst.pipeline.num_edges(), "edge {e} out of range");
+    let (src, dst) = inst.pipeline.edge(e);
     let m = instance_num_paths(inst).ok_or(BuildError::PathCountOverflow)?;
     if m > opts.max_transitions as u128 {
         return Err(BuildError::TooLarge { m, transitions: m, cap: opts.max_transitions });
     }
     let rows = m as usize;
-    let m_i = inst.mapping.replicas(i);
-    let m_next = inst.mapping.replicas(i + 1);
+    let m_i = inst.mapping.replicas(src);
+    let m_next = inst.mapping.replicas(dst);
     let mut net = TimedEventGraph::with_capacity(rows, 2 * rows);
     for j in 0..rows {
-        let u = inst.mapping.procs(i)[j % m_i];
-        let v = inst.mapping.procs(i + 1)[j % m_next];
-        let label = if opts.labels { format!("F{i}:P{u}>P{v} r{j}") } else { String::new() };
-        net.add_transition(inst.comm_time(i, u, v), label);
+        let u = inst.mapping.procs(src)[j % m_i];
+        let v = inst.mapping.procs(dst)[j % m_next];
+        let label = if opts.labels { format!("F{e}:P{u}>P{v} r{j}") } else { String::new() };
+        net.add_transition(inst.comm_time(e, u, v), label);
     }
     let circuit = |net: &mut TimedEventGraph, group: &[usize], tag: &str| {
         for w in 0..group.len() {
@@ -365,6 +432,83 @@ mod tests {
             })
             .collect();
         Instance::new(pipeline, platform, Mapping::new(assignment).unwrap()).unwrap()
+    }
+
+    /// Diamond 0→{1,2}→3 with the given replica counts.
+    fn diamond_instance(replicas: &[usize; 4]) -> Instance {
+        let wf = crate::model::Workflow::from_edges(
+            vec![6.0; 4],
+            vec![(0, 1, 3.0), (0, 2, 3.0), (1, 3, 3.0), (2, 3, 3.0)],
+        )
+        .unwrap();
+        let p: usize = replicas.iter().sum();
+        let platform = Platform::uniform(p, 1.0, 1.0);
+        let mut next = 0;
+        let assignment: Vec<Vec<usize>> = replicas
+            .iter()
+            .map(|&m| {
+                let v: Vec<usize> = (next..next + m).collect();
+                next += m;
+                v
+            })
+            .collect();
+        Instance::new(wf, platform, Mapping::new(assignment).unwrap()).unwrap()
+    }
+
+    #[test]
+    fn diamond_grid_dimensions() {
+        let inst = diamond_instance(&[1, 2, 3, 1]);
+        let built = build_tpn(&inst, CommModel::Overlap, &BuildOptions::default()).unwrap();
+        assert_eq!(built.rows, 6); // lcm(1,2,3,1)
+        assert_eq!(built.cols, 8); // n + E = 4 + 4
+        assert_eq!(built.net.num_transitions(), 48);
+    }
+
+    #[test]
+    fn diamond_place_counts_overlap() {
+        // Dataflow: 2E per row. Circuits: one place per row per column
+        // (stage columns: cpu; edge columns: out + in).
+        let inst = diamond_instance(&[1, 2, 3, 1]);
+        let built = build_tpn(&inst, CommModel::Overlap, &BuildOptions::default()).unwrap();
+        let (m, n, e) = (6, 4, 4);
+        assert_eq!(built.net.num_places(), m * 2 * e + n * m + e * 2 * m);
+        // One token per circuit: Σ m_i + Σ_e (m_src + m_dst).
+        assert_eq!(built.net.total_tokens(), (1 + 2 + 3 + 1) + (1 + 2) + (1 + 3) + (2 + 1) + (3 + 1));
+    }
+
+    #[test]
+    fn diamond_place_counts_strict() {
+        // Dataflow 2E·m, serialization 1·m at the fork and 1·m at the
+        // join, proc circuits n·m.
+        let inst = diamond_instance(&[1, 2, 3, 1]);
+        let built = build_tpn(&inst, CommModel::Strict, &BuildOptions::default()).unwrap();
+        let (m, n, e) = (6, 4, 4);
+        assert_eq!(built.net.num_places(), m * 2 * e + 2 * m + n * m);
+        assert_eq!(built.net.total_tokens(), 1 + 2 + 3 + 1);
+    }
+
+    #[test]
+    fn diamond_no_sourceless_transitions() {
+        let inst = diamond_instance(&[2, 3, 1, 2]);
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let built = build_tpn(&inst, model, &BuildOptions::default()).unwrap();
+            assert!(built.net.lint().is_empty(), "{model}: {:?}", built.net.lint());
+        }
+    }
+
+    #[test]
+    fn diamond_transition_times_match_built_net_bitwise() {
+        let inst = diamond_instance(&[1, 2, 3, 1]);
+        let opts = BuildOptions { labels: false, ..Default::default() };
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let built = build_tpn(&inst, model, &opts).unwrap();
+            let mut times = Vec::new();
+            transition_times_into(inst.view(), built.rows, &mut times);
+            assert_eq!(times.len(), built.net.num_transitions());
+            for (i, t) in built.net.transitions().iter().enumerate() {
+                assert_eq!(times[i].to_bits(), t.firing_time.to_bits(), "{model} t{i}");
+            }
+        }
     }
 
     #[test]

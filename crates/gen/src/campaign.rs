@@ -43,7 +43,7 @@
 //!   exact in every field.
 
 use crate::agg;
-use crate::sampler::{sample_parts, sample_replica_counts, GenConfig};
+use crate::sampler::{sample_replica_counts, sample_workflow_parts, GenConfig, Topology};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use repwf_core::batch::ShapeBatchSolver;
@@ -337,6 +337,19 @@ pub fn run_one_with(
     seed: u64,
     engine: &mut PeriodEngine,
 ) -> ExperimentOutcome {
+    run_one_workflow_with(cfg, &Topology::chain(cfg.stages), model, seed, engine)
+}
+
+/// [`run_one_with`] on an arbitrary series-parallel [`Topology`]. On
+/// [`Topology::chain`] this *is* [`run_one_with`] (same RNG stream, same
+/// bytes).
+pub fn run_one_workflow_with(
+    cfg: &GenConfig,
+    topo: &Topology,
+    model: CommModel,
+    seed: u64,
+    engine: &mut PeriodEngine,
+) -> ExperimentOutcome {
     let mut rng = StdRng::seed_from_u64(seed);
     // The draw is evaluated through the borrowed-view oracle path: no
     // owned `Instance` is assembled unless the simulator fallback needs
@@ -344,7 +357,7 @@ pub fn run_one_with(
     // worker take the engine's incremental patch path — bit-transparent,
     // so outcomes stay a pure function of the seed regardless of the
     // work-stealing schedule.
-    let (pipeline, platform, mapping) = sample_parts(cfg, &mut rng);
+    let (pipeline, platform, mapping) = sample_workflow_parts(cfg, topo, &mut rng);
     let method = match model {
         CommModel::Overlap => Method::Polynomial,
         CommModel::Strict => Method::FullTpn,
@@ -408,6 +421,38 @@ pub fn run_campaign_with(
     cap: usize,
     progress: Option<ProgressFn<'_>>,
 ) -> CampaignResult {
+    run_campaign_workflow_with(cfg, &Topology::chain(cfg.stages), model, count, seed_base, threads, cap, progress)
+}
+
+/// [`run_campaign`] on an arbitrary series-parallel [`Topology`]: every
+/// experiment draws its instance on the same precedence graph. All
+/// determinism guarantees carry over — outcomes are a pure function of
+/// `(cfg, topo, model, seed)` and bit-identical at any thread count. On
+/// [`Topology::chain`] the result is byte-identical to [`run_campaign`].
+pub fn run_campaign_workflow(
+    cfg: &GenConfig,
+    topo: &Topology,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    threads: usize,
+    cap: usize,
+) -> CampaignResult {
+    run_campaign_workflow_with(cfg, topo, model, count, seed_base, threads, cap, None)
+}
+
+/// [`run_campaign_workflow`] with an optional streaming progress callback.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_workflow_with(
+    cfg: &GenConfig,
+    topo: &Topology,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    threads: usize,
+    cap: usize,
+    progress: Option<ProgressFn<'_>>,
+) -> CampaignResult {
     // Lock-free streaming aggregates. `max_gap` is a non-negative f64; for
     // non-negative IEEE-754 doubles the bit pattern is monotone in the
     // value, so a `fetch_max` on the bits is a numeric max.
@@ -420,7 +465,7 @@ pub fn run_campaign_with(
         count,
         || engine_for_cap(cap),
         |engine, k| {
-            let outcome = run_one_with(cfg, model, seed_base + k as u64, engine);
+            let outcome = run_one_workflow_with(cfg, topo, model, seed_base + k as u64, engine);
             if let Some(callback) = progress {
                 // Update every statistic *before* bumping `done`: the
                 // worker that observes `done == total` then reads totals
@@ -469,11 +514,37 @@ pub fn run_campaign_streamed(
     cap: usize,
     sink: OutcomeSink<'_>,
 ) -> CampaignResult {
+    run_campaign_workflow_streamed(
+        cfg,
+        &Topology::chain(cfg.stages),
+        model,
+        count,
+        seed_base,
+        threads,
+        cap,
+        sink,
+    )
+}
+
+/// [`run_campaign_streamed`] on an arbitrary series-parallel
+/// [`Topology`] — the shard-runner entry point for workflow campaigns,
+/// with the same seed-order streaming contract.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_workflow_streamed(
+    cfg: &GenConfig,
+    topo: &Topology,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    threads: usize,
+    cap: usize,
+    sink: OutcomeSink<'_>,
+) -> CampaignResult {
     let outcomes = repwf_par::par_map_init_ordered(
         threads,
         count,
         || engine_for_cap(cap),
-        |engine, k| run_one_with(cfg, model, seed_base + k as u64, engine),
+        |engine, k| run_one_workflow_with(cfg, topo, model, seed_base + k as u64, engine),
         |_, outcome| sink(outcome),
     );
     CampaignResult { outcomes }
@@ -562,12 +633,54 @@ pub fn run_campaign_batched_with(
     cap: usize,
     progress: Option<ProgressFn<'_>>,
 ) -> CampaignResult {
+    run_campaign_workflow_batched_with(
+        cfg,
+        &Topology::chain(cfg.stages),
+        model,
+        count,
+        seed_base,
+        threads,
+        cap,
+        progress,
+    )
+}
+
+/// [`run_campaign_batched`] on an arbitrary series-parallel [`Topology`].
+/// Static shape routing is unchanged: the topology is fixed across the
+/// campaign, so the TPN shape of a seed is still recovered from its
+/// replica-count RNG prefix alone (the grid simply has `n + E` columns
+/// instead of the chain's `2n − 1`).
+pub fn run_campaign_workflow_batched(
+    cfg: &GenConfig,
+    topo: &Topology,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    threads: usize,
+    cap: usize,
+) -> CampaignResult {
+    run_campaign_workflow_batched_with(cfg, topo, model, count, seed_base, threads, cap, None)
+}
+
+/// [`run_campaign_workflow_batched`] with an optional streaming progress
+/// callback.
+#[allow(clippy::too_many_arguments)]
+pub fn run_campaign_workflow_batched_with(
+    cfg: &GenConfig,
+    topo: &Topology,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    threads: usize,
+    cap: usize,
+    progress: Option<ProgressFn<'_>>,
+) -> CampaignResult {
     if model == CommModel::Overlap || count == 0 {
-        return run_campaign_with(cfg, model, count, seed_base, threads, cap, progress);
+        return run_campaign_workflow_with(cfg, topo, model, count, seed_base, threads, cap, progress);
     }
 
     // --- static shape routing: replay only the replica RNG prefix ---
-    let cols = (2 * cfg.stages - 1) as u128;
+    let cols = (topo.stages + topo.num_edges()) as u128;
     let mut tasks: Vec<BatchTask> = Vec::new();
     let mut group_of: HashMap<Vec<usize>, usize> = HashMap::new();
     // (transitions, members) per shape, in first-occurrence order.
@@ -627,7 +740,8 @@ pub fn run_campaign_batched_with(
         || (engine_for_cap(cap), ShapeBatchSolver::new(cap)),
         |(engine, solver), t| match &tasks[t] {
             BatchTask::Solo(k) => {
-                let outcome = run_one_with(cfg, model, seed_base + u64::from(*k), engine);
+                let outcome =
+                    run_one_workflow_with(cfg, topo, model, seed_base + u64::from(*k), engine);
                 record(&outcome);
                 vec![(*k, outcome)]
             }
@@ -637,7 +751,7 @@ pub fn run_campaign_batched_with(
                 for (q, &k) in ks.iter().enumerate() {
                     let seed = seed_base + u64::from(k);
                     let mut rng = StdRng::seed_from_u64(seed);
-                    let (pipeline, platform, mapping) = sample_parts(cfg, &mut rng);
+                    let (pipeline, platform, mapping) = sample_workflow_parts(cfg, topo, &mut rng);
                     let view = InstanceView::new(&pipeline, &platform, &mapping)
                         .expect("generator produces valid instances");
                     if q == 0 {
@@ -1002,6 +1116,51 @@ mod tests {
         assert_eq!(last.no_critical, res.count_no_critical(GAP_REL_TOL));
         assert_eq!(last.simulated, res.count_simulated());
         assert!((last.max_gap - res.max_gap()).abs() < 1e-15);
+    }
+
+    #[test]
+    fn workflow_campaign_deterministic_and_batched_matches_unbatched() {
+        // Fork/join campaign: batched and unbatched runners must agree
+        // byte-for-byte at any thread count, and every outcome respects
+        // the M_ct lower bound.
+        let cfg = GenConfig {
+            stages: 4,
+            procs: 9,
+            comp: Range::new(5.0, 15.0),
+            comm: Range::new(5.0, 15.0),
+        };
+        let topo = Topology::fork_join(2);
+        assert_eq!(topo.stages, 4);
+        let reference =
+            run_campaign_workflow(&cfg, &topo, CommModel::Strict, 16, 40, 1, 200_000);
+        for o in &reference.outcomes {
+            assert!(o.period >= o.mct - 1e-9 * o.mct, "seed {}", o.seed);
+        }
+        for threads in [2, 4] {
+            let other = run_campaign_workflow(&cfg, &topo, CommModel::Strict, 16, 40, threads, 200_000);
+            assert_eq!(other, reference, "threads={threads}");
+        }
+        for threads in [1, 3] {
+            let batched = run_campaign_workflow_batched(
+                &cfg, &topo, CommModel::Strict, 16, 40, threads, 200_000,
+            );
+            assert_eq!(batched, reference, "batched threads={threads}");
+        }
+    }
+
+    #[test]
+    fn chain_topology_campaign_is_byte_identical_to_legacy() {
+        // The non-negotiable invariant at the campaign level: running the
+        // chain topology through the workflow entry points reproduces the
+        // legacy chain campaign exactly.
+        let cfg = small_cfg();
+        let topo = Topology::chain(cfg.stages);
+        assert!(topo.is_chain());
+        for model in [CommModel::Strict, CommModel::Overlap] {
+            let legacy = run_campaign(&cfg, model, 12, 77, 2, 200_000);
+            let wf = run_campaign_workflow(&cfg, &topo, model, 12, 77, 2, 200_000);
+            assert_eq!(legacy, wf, "{model}");
+        }
     }
 
     #[test]

@@ -66,8 +66,9 @@ pub mod stats;
 pub mod table2;
 
 pub use campaign::{
-    run_campaign, run_campaign_streamed, run_campaign_with, CampaignAccum, CampaignResult,
-    ExperimentOutcome, Progress,
+    engine_for_cap, run_campaign, run_campaign_streamed, run_campaign_with,
+    run_campaign_workflow, run_campaign_workflow_batched, run_campaign_workflow_streamed,
+    run_one_workflow_with, CampaignAccum, CampaignResult, ExperimentOutcome, Progress,
 };
-pub use sampler::{sample_instance, GenConfig, Range};
+pub use sampler::{sample_instance, sample_workflow_instance, GenConfig, Range, Topology};
 pub use table2::{table2_rows, Table2Row};

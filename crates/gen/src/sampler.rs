@@ -70,6 +70,52 @@ pub struct GenConfig {
     pub comm: Range,
 }
 
+/// A precedence topology shared by every draw of a campaign: the stage
+/// count plus the series-parallel edge set. The generator draws a fresh
+/// instance *on* this fixed graph — replica counts, sizes, speeds and
+/// bandwidths vary per seed, the precedence structure does not (so the
+/// static shape-routing of the batched runner keeps working: the TPN shape
+/// of a draw is still a pure function of its replica-count RNG prefix).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// Number of stages `n`.
+    pub stages: usize,
+    /// Precedence edges `(src, dst)`; must form a two-terminal
+    /// series-parallel DAG (validated by `Pipeline::from_edges` on the
+    /// first draw).
+    pub edges: Vec<(usize, usize)>,
+}
+
+impl Topology {
+    /// The linear chain `S_0 → S_1 → … → S_{n-1}` — the classic pipeline.
+    pub fn chain(n: usize) -> Topology {
+        Topology { stages: n, edges: (0..n.saturating_sub(1)).map(|k| (k, k + 1)).collect() }
+    }
+
+    /// A fork/join: a split stage, `branches` parallel stages, a merge
+    /// stage (`branches + 2` stages total).
+    pub fn fork_join(branches: usize) -> Topology {
+        assert!(branches >= 1, "need at least one branch");
+        let sink = branches + 1;
+        let mut edges = Vec::with_capacity(2 * branches);
+        for b in 1..=branches {
+            edges.push((0, b));
+            edges.push((b, sink));
+        }
+        Topology { stages: branches + 2, edges }
+    }
+
+    /// Number of precedence edges (= files drawn per instance).
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True iff this is the chain topology on its stage count.
+    pub fn is_chain(&self) -> bool {
+        *self == Topology::chain(self.stages)
+    }
+}
+
 /// Draws a random instance: random replica counts (every stage ≥ 1
 /// processor, all `p` processors used), heterogeneous speeds/bandwidths and
 /// stage/file sizes per the range scheme above.
@@ -84,6 +130,30 @@ pub fn sample_instance<R: Rng>(cfg: &GenConfig, rng: &mut R) -> Instance {
 /// all; the parts are only assembled (by move, not clone) when the
 /// simulator fallback requires ownership.
 pub fn sample_parts<R: Rng>(cfg: &GenConfig, rng: &mut R) -> (Pipeline, Platform, Mapping) {
+    sample_workflow_parts(cfg, &Topology::chain(cfg.stages), rng)
+}
+
+/// [`sample_instance`] on an arbitrary series-parallel topology.
+pub fn sample_workflow_instance<R: Rng>(
+    cfg: &GenConfig,
+    topo: &Topology,
+    rng: &mut R,
+) -> Instance {
+    let (pipeline, platform, mapping) = sample_workflow_parts(cfg, topo, rng);
+    Instance::new(pipeline, platform, mapping).expect("generator produces valid instances")
+}
+
+/// [`sample_parts`] generalized to any series-parallel [`Topology`]:
+/// edge sizes are drawn in `topo.edges` order, one per edge, where the
+/// chain drew one per stage boundary. On [`Topology::chain`] the RNG
+/// stream and the resulting parts are exactly those of [`sample_parts`] —
+/// the chain *is* this function.
+pub fn sample_workflow_parts<R: Rng>(
+    cfg: &GenConfig,
+    topo: &Topology,
+    rng: &mut R,
+) -> (Pipeline, Platform, Mapping) {
+    assert_eq!(cfg.stages, topo.stages, "topology stage count must match the GenConfig");
     let replicas = sample_replica_counts(cfg, rng);
     // Shuffle processor identities so stage/processor correlation is random.
     let mut procs: Vec<usize> = (0..cfg.procs).collect();
@@ -99,8 +169,12 @@ pub fn sample_parts<R: Rng>(cfg: &GenConfig, rng: &mut R) -> (Pipeline, Platform
     }
 
     let works: Vec<f64> = (0..cfg.stages).map(|_| cfg.comp.sample_size(rng)).collect();
-    let files: Vec<f64> = (0..cfg.stages - 1).map(|_| cfg.comm.sample_size(rng)).collect();
-    let pipeline = Pipeline::new(works, files).expect("generator produces valid pipelines");
+    let edges: Vec<(usize, usize, f64)> = topo
+        .edges
+        .iter()
+        .map(|&(src, dst)| (src, dst, cfg.comm.sample_size(rng)))
+        .collect();
+    let pipeline = Pipeline::from_edges(works, edges).expect("generator topologies are valid");
 
     let mut platform = Platform::uniform(cfg.procs, 1.0, 1.0);
     for u in 0..cfg.procs {

@@ -25,8 +25,10 @@ pub struct ClockedResult {
     /// Maximum backlog observed: released-but-unfinished data sets, sampled
     /// at release instants.
     pub max_backlog: u64,
-    /// Per-stage-boundary maximum buffer occupancy: data sets whose stage-i
-    /// output exists but whose stage-i+1 computation has not started.
+    /// Per-edge maximum buffer occupancy: data sets whose source-stage
+    /// output exists on the edge but whose destination-stage computation
+    /// has not started. Indexed by workflow edge id (on a chain, edge `i`
+    /// is the stage-`i`/`i+1` boundary).
     pub max_buffer: Vec<u64>,
 }
 
@@ -55,54 +57,70 @@ pub fn simulate_clocked(
 ) -> ClockedResult {
     let n = inst.num_stages();
     let p = inst.platform.num_procs();
+    let wf = &inst.pipeline;
+    let num_edges = wf.num_edges();
     let mut cpu = vec![0.0f64; p];
-    let mut inp = vec![0.0f64; p];
-    let mut outp = vec![0.0f64; p];
+    // Per-edge send/receive port clocks (overlap model), one per replica —
+    // the same one-port discipline as the free-running simulator.
+    let mut outp: Vec<Vec<f64>> = (0..num_edges)
+        .map(|e| vec![0.0f64; inst.mapping.replicas(wf.edge(e).0)])
+        .collect();
+    let mut inp: Vec<Vec<f64>> = (0..num_edges)
+        .map(|e| vec![0.0f64; inst.mapping.replicas(wf.edge(e).1)])
+        .collect();
+    let mut edge_end = vec![0.0f64; num_edges];
     let mut completion: Vec<f64> = Vec::with_capacity(data_sets as usize);
     let mut sojourn = Vec::with_capacity(data_sets as usize);
-    // start time of stage-(i+1) compute per data set, for buffer tracking:
-    // we keep, per boundary, the times the file became ready and the times
-    // it was consumed, and count occupancy by merging (two-pointer).
-    let mut produced: Vec<Vec<f64>> = vec![Vec::new(); n.saturating_sub(1)];
-    let mut consumed: Vec<Vec<f64>> = vec![Vec::new(); n.saturating_sub(1)];
+    // start time of the consuming compute per data set, for buffer tracking:
+    // we keep, per edge, the times the file became ready and the times it
+    // was consumed, and count occupancy by merging (two-pointer).
+    let mut produced: Vec<Vec<f64>> = vec![Vec::new(); num_edges];
+    let mut consumed: Vec<Vec<f64>> = vec![Vec::new(); num_edges];
 
     for d in 0..data_sets {
         let release = d as f64 * t;
-        let mut ready = release;
+        let mut finish = release;
         for i in 0..n {
             let u = inst.proc_for(i, d);
+            let mut ready = release;
+            for &e in wf.in_edges(i) {
+                ready = ready.max(edge_end[e]);
+            }
             let ct = inst.comp_time(i, u);
             let start = ready.max(cpu[u]);
-            if i > 0 {
-                consumed[i - 1].push(start);
+            for &e in wf.in_edges(i) {
+                consumed[e].push(start);
             }
             let end = start + ct;
             cpu[u] = end;
-            ready = end;
-            if i + 1 < n {
-                let v = inst.proc_for(i + 1, d);
-                let tt = inst.comm_time(i, u, v);
+            finish = end;
+            for &e in wf.out_edges(i) {
+                let dst = wf.edge(e).1;
+                let v = inst.proc_for(dst, d);
+                let alpha = (d % inst.mapping.replicas(i) as u64) as usize;
+                let beta = (d % inst.mapping.replicas(dst) as u64) as usize;
+                let tt = inst.comm_time(e, u, v);
                 let start = match model {
-                    CommModel::Overlap => ready.max(outp[u]).max(inp[v]),
-                    CommModel::Strict => ready.max(cpu[u]).max(cpu[v]),
+                    CommModel::Overlap => end.max(outp[e][alpha]).max(inp[e][beta]),
+                    CommModel::Strict => end.max(cpu[u]).max(cpu[v]),
                 };
-                let end = start + tt;
+                let tend = start + tt;
                 match model {
                     CommModel::Overlap => {
-                        outp[u] = end;
-                        inp[v] = end;
+                        outp[e][alpha] = tend;
+                        inp[e][beta] = tend;
                     }
                     CommModel::Strict => {
-                        cpu[u] = end;
-                        cpu[v] = end;
+                        cpu[u] = tend;
+                        cpu[v] = tend;
                     }
                 }
-                produced[i].push(end);
-                ready = end;
+                produced[e].push(tend);
+                edge_end[e] = tend;
             }
         }
-        completion.push(ready);
-        sojourn.push(ready - release);
+        completion.push(finish);
+        sojourn.push(finish - release);
     }
 
     // Backlog at release instants: released d+1 data sets; completed =

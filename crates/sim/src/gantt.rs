@@ -65,14 +65,18 @@ pub fn build(inst: &Instance, model: CommModel, sim: &SimResult, t0: f64, t1: f6
     }
 
     // Display order: processors in stage order; per proc: in, cpu, out.
+    // Port rows exist only where the stage actually receives or sends
+    // (sources have no in-port, sinks no out-port). A stage with several
+    // in- or out-edges shares one display row per processor side.
     let mut rows = Vec::new();
     for i in 0..inst.num_stages() {
+        let wf = &inst.pipeline;
         for &u in inst.mapping.procs(i) {
-            if model == CommModel::Overlap && i > 0 {
+            if model == CommModel::Overlap && !wf.in_edges(i).is_empty() {
                 rows.push(Resource::InPort(u));
             }
             rows.push(Resource::Cpu(u));
-            if model == CommModel::Overlap && i + 1 < inst.num_stages() {
+            if model == CommModel::Overlap && !wf.out_edges(i).is_empty() {
                 rows.push(Resource::OutPort(u));
             }
         }

@@ -32,7 +32,7 @@ pub enum OpKind {
     },
     /// Transfer of file `F_file` between two processors.
     Transfer {
-        /// index of the transferred file
+        /// index of the transferred file (= workflow edge id)
         file: usize,
         /// sending processor
         from: usize,
@@ -145,25 +145,47 @@ pub fn sustainable_period(completion: &[f64], m_last: usize) -> f64 {
 }
 
 /// Runs the simulation.
+///
+/// Stages are visited in topological (stage-id) order per data set; a stage
+/// is ready once every in-edge transfer has landed. Under the overlap model
+/// each edge owns its own send/receive port pair per replica — the one-port
+/// discipline of the TPN, where a stage's distinct out-edges occupy distinct
+/// port columns. On a linear chain this is the classic per-processor
+/// three-clock recurrence, bit for bit.
 pub fn simulate(inst: &Instance, model: CommModel, opts: &SimOptions) -> SimResult {
     let n = inst.num_stages();
     let p = inst.platform.num_procs();
+    let wf = &inst.pipeline;
+    let num_edges = wf.num_edges();
     let d_total = opts.data_sets;
 
-    // Per-resource "free from" clocks.
+    // Per-resource "free from" clocks: whole processors, plus (overlap
+    // only) one send and one receive port per edge per replica.
     let mut cpu = vec![0.0f64; p];
-    let mut inp = vec![0.0f64; p];
-    let mut outp = vec![0.0f64; p];
+    let mut outp: Vec<Vec<f64>> = (0..num_edges)
+        .map(|e| vec![0.0f64; inst.mapping.replicas(wf.edge(e).0)])
+        .collect();
+    let mut inp: Vec<Vec<f64>> = (0..num_edges)
+        .map(|e| vec![0.0f64; inst.mapping.replicas(wf.edge(e).1)])
+        .collect();
+
+    // Per-edge transfer-end times of the data set in flight. Every edge's
+    // source precedes its destination, so a slot is always written before
+    // it is read within one data set.
+    let mut edge_end = vec![0.0f64; num_edges];
 
     let mut completion = Vec::with_capacity(d_total as usize);
     let mut ops = Vec::new();
 
     for d in 0..d_total {
-        // `ready` = time the data set's current file/result is available.
-        let mut ready = 0.0f64;
+        let mut finish = 0.0f64;
         for i in 0..n {
             let u = inst.proc_for(i, d);
             // --- computation of stage i on u ---
+            let mut ready = 0.0f64;
+            for &e in wf.in_edges(i) {
+                ready = ready.max(edge_end[e]);
+            }
             let ct = inst.comp_time(i, u);
             let start = ready.max(cpu[u]);
             let end = start + ct;
@@ -171,39 +193,43 @@ pub fn simulate(inst: &Instance, model: CommModel, opts: &SimOptions) -> SimResu
             if opts.record_ops {
                 ops.push(Op { data_set: d, kind: OpKind::Compute { stage: i }, start, end });
             }
-            ready = end;
-            // --- transfer of F_i to the next stage's processor ---
-            if i + 1 < n {
-                let v = inst.proc_for(i + 1, d);
-                let tt = inst.comm_time(i, u, v);
+            finish = end;
+            // --- transfers along the out-edges, in edge order ---
+            for &e in wf.out_edges(i) {
+                let dst = wf.edge(e).1;
+                let v = inst.proc_for(dst, d);
+                let alpha = (d % inst.mapping.replicas(i) as u64) as usize;
+                let beta = (d % inst.mapping.replicas(dst) as u64) as usize;
+                let tt = inst.comm_time(e, u, v);
                 let start = match model {
-                    CommModel::Overlap => ready.max(outp[u]).max(inp[v]),
-                    // Strict: the transfer holds both whole processors.
-                    CommModel::Strict => ready.max(cpu[u]).max(cpu[v]),
+                    CommModel::Overlap => end.max(outp[e][alpha]).max(inp[e][beta]),
+                    // Strict: the transfer holds both whole processors, so
+                    // same-row sends serialize through `cpu[u]`.
+                    CommModel::Strict => end.max(cpu[u]).max(cpu[v]),
                 };
-                let end = start + tt;
+                let tend = start + tt;
                 match model {
                     CommModel::Overlap => {
-                        outp[u] = end;
-                        inp[v] = end;
+                        outp[e][alpha] = tend;
+                        inp[e][beta] = tend;
                     }
                     CommModel::Strict => {
-                        cpu[u] = end;
-                        cpu[v] = end;
+                        cpu[u] = tend;
+                        cpu[v] = tend;
                     }
                 }
                 if opts.record_ops {
                     ops.push(Op {
                         data_set: d,
-                        kind: OpKind::Transfer { file: i, from: u, to: v },
+                        kind: OpKind::Transfer { file: e, from: u, to: v },
                         start,
-                        end,
+                        end: tend,
                     });
                 }
-                ready = end;
+                edge_end[e] = tend;
             }
         }
-        completion.push(ready);
+        completion.push(finish);
     }
 
     let window = repwf_core::paths::instance_num_paths(inst)
@@ -310,6 +336,29 @@ mod tests {
         let ov = simulate(&i, CommModel::Overlap, &SimOptions { data_sets: 400, record_ops: false });
         let st = simulate(&i, CommModel::Strict, &SimOptions { data_sets: 400, record_ops: false });
         assert!(st.period_estimate() >= ov.period_estimate() - 1e-9);
+    }
+
+    #[test]
+    fn diamond_matches_tpn_both_models() {
+        // Fork/join: S0 → {S1, S2} → S3, middle stages replicated.
+        let pipeline = Pipeline::from_edges(
+            vec![4.0, 6.0, 5.0, 3.0],
+            vec![(0, 1, 2.0), (0, 2, 3.0), (1, 3, 1.0), (2, 3, 2.0)],
+        )
+        .unwrap();
+        let platform = Platform::uniform(6, 1.0, 1.0);
+        let mapping = Mapping::new(vec![vec![0], vec![1, 2], vec![3, 4], vec![5]]).unwrap();
+        let i = Instance::new(pipeline, platform, mapping).unwrap();
+        for model in [CommModel::Overlap, CommModel::Strict] {
+            let analytic = compute_period(&i, model, Method::FullTpn).unwrap();
+            let r = simulate(&i, model, &SimOptions { data_sets: 600, record_ops: false });
+            let est = r.exact_period(1e-9).unwrap_or_else(|| r.period_estimate());
+            assert!(
+                (est - analytic.period).abs() < 1e-6,
+                "{model}: sim {est} vs analytic {}",
+                analytic.period
+            );
+        }
     }
 
     #[test]

@@ -87,8 +87,9 @@ impl StochasticEstimate {
 #[derive(Debug, Clone, Default)]
 pub struct ReplicationScratch {
     cpu: Vec<f64>,
-    inp: Vec<f64>,
-    outp: Vec<f64>,
+    inp: Vec<Vec<f64>>,
+    outp: Vec<Vec<f64>>,
+    edge_end: Vec<f64>,
     completion: Vec<f64>,
 }
 
@@ -136,48 +137,67 @@ fn noisy_completions(
 ) {
     let n = inst.num_stages();
     let p = inst.platform.num_procs();
+    let wf = &inst.pipeline;
+    let num_edges = wf.num_edges();
     let mut rng = StdRng::seed_from_u64(seed);
     scratch.cpu.clear();
     scratch.cpu.resize(p, 0.0);
-    scratch.inp.clear();
-    scratch.inp.resize(p, 0.0);
-    scratch.outp.clear();
-    scratch.outp.resize(p, 0.0);
+    // Per-edge port clocks (one slot per replica); inner buffers are kept
+    // allocated across replications.
+    scratch.inp.resize_with(num_edges, Vec::new);
+    scratch.outp.resize_with(num_edges, Vec::new);
+    for (e, ports) in scratch.inp.iter_mut().enumerate() {
+        ports.clear();
+        ports.resize(inst.mapping.replicas(wf.edge(e).1), 0.0);
+    }
+    for (e, ports) in scratch.outp.iter_mut().enumerate() {
+        ports.clear();
+        ports.resize(inst.mapping.replicas(wf.edge(e).0), 0.0);
+    }
+    scratch.edge_end.clear();
+    scratch.edge_end.resize(num_edges, 0.0);
     scratch.completion.clear();
     scratch.completion.reserve(opts.data_sets as usize);
-    let ReplicationScratch { cpu, inp, outp, completion } = scratch;
+    let ReplicationScratch { cpu, inp, outp, edge_end, completion } = scratch;
 
     for d in 0..opts.data_sets {
-        let mut ready = 0.0f64;
+        let mut finish = 0.0f64;
         for i in 0..n {
             let u = inst.proc_for(i, d);
+            let mut ready = 0.0f64;
+            for &e in wf.in_edges(i) {
+                ready = ready.max(edge_end[e]);
+            }
             let ct = inst.comp_time(i, u) * noise.sample(&mut rng);
             let start = ready.max(cpu[u]);
             let end = start + ct;
             cpu[u] = end;
-            ready = end;
-            if i + 1 < n {
-                let v = inst.proc_for(i + 1, d);
-                let tt = inst.comm_time(i, u, v) * noise.sample(&mut rng);
+            finish = end;
+            for &e in wf.out_edges(i) {
+                let dst = wf.edge(e).1;
+                let v = inst.proc_for(dst, d);
+                let alpha = (d % inst.mapping.replicas(i) as u64) as usize;
+                let beta = (d % inst.mapping.replicas(dst) as u64) as usize;
+                let tt = inst.comm_time(e, u, v) * noise.sample(&mut rng);
                 let start = match model {
-                    CommModel::Overlap => ready.max(outp[u]).max(inp[v]),
-                    CommModel::Strict => ready.max(cpu[u]).max(cpu[v]),
+                    CommModel::Overlap => end.max(outp[e][alpha]).max(inp[e][beta]),
+                    CommModel::Strict => end.max(cpu[u]).max(cpu[v]),
                 };
-                let end = start + tt;
+                let tend = start + tt;
                 match model {
                     CommModel::Overlap => {
-                        outp[u] = end;
-                        inp[v] = end;
+                        outp[e][alpha] = tend;
+                        inp[e][beta] = tend;
                     }
                     CommModel::Strict => {
-                        cpu[u] = end;
-                        cpu[v] = end;
+                        cpu[u] = tend;
+                        cpu[v] = tend;
                     }
                 }
-                ready = end;
+                edge_end[e] = tend;
             }
         }
-        completion.push(ready);
+        completion.push(finish);
     }
 }
 
