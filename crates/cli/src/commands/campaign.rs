@@ -46,6 +46,10 @@ OPTIONS:
   --model M          overlap | strict (default: strict)
   --csv PATH         write per-experiment outcomes as CSV
   --hist             print an ASCII histogram of the positive gaps
+  --trace FILE       write an NDJSON span/counter trace (repwf-trace/v1);
+                     never changes this command's stdout bytes
+  --metrics          append a telemetry counter table (or a \"metrics\"
+                     object with --json)
   --json             structured output (identical at any --threads)
 
 DISTRIBUTED (see also `repwf merge` and `repwf dist status`):
@@ -80,8 +84,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
             "--stages", "--procs", "--comp", "--comm", "--count", "--seed", "--threads",
             "--cap", "--model", "--csv", "--shard", "--out", "--range", "--flush-every",
             "--dir", "--workers", "--units", "--lease-timeout", "--retries", "--owner",
+            "--trace",
         ],
-        &["--json", "--hist", "--help", "--supervise"],
+        &["--json", "--hist", "--help", "--supervise", "--metrics"],
     )?;
     if opts.has("--help") {
         print!("{HELP}");
@@ -113,12 +118,13 @@ pub fn run(args: &[String]) -> Result<(), String> {
         cap,
     };
 
+    let obs = crate::obsctl::init(&opts, "campaign")?;
     if opts.has("--supervise") {
-        return run_supervised(&opts, &spec, threads);
+        return run_supervised(&opts, &spec, threads, obs);
     }
     if opts.get("--shard").is_some() || opts.get("--range").is_some() || opts.get("--out").is_some()
     {
-        return run_sharded(&opts, &spec, threads);
+        return run_sharded(&opts, &spec, threads, obs);
     }
 
     // The unsharded run goes through the shape-batched solver: same bytes
@@ -144,6 +150,8 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }),
     );
 
+    let metrics = obs.finish()?;
+
     if let Some(path) = opts.get("--csv") {
         std::fs::write(path, repwf_gen::stats::outcomes_csv(&res))
             .map_err(|e| format!("cannot write {path}: {e}"))?;
@@ -151,9 +159,18 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
 
     if opts.has("--json") {
+        // The campaign document itself stays metrics-free: it must be
+        // byte-identical to a `repwf merge` of the same campaign, traced
+        // or not, at any thread count. `--metrics` reports on stderr.
         print!("{}", campaign_doc(&spec, &res).to_string_pretty());
+        if let Some(snap) = &metrics {
+            eprint!("{}", crate::obsctl::metrics_table(snap));
+        }
     } else {
         print_summary(&spec, &res, opts.has("--hist"));
+        if let Some(snap) = &metrics {
+            crate::obsctl::print_metrics(snap);
+        }
     }
     Ok(())
 }
@@ -170,7 +187,12 @@ fn shard_run_options(opts: &Opts) -> Result<ShardRunOptions, String> {
 
 /// Shard mode: run (or resume) one deterministic seed slice into an
 /// NDJSON shard file.
-fn run_sharded(opts: &Opts, spec: &CampaignSpec, threads: usize) -> Result<(), String> {
+fn run_sharded(
+    opts: &Opts,
+    spec: &CampaignSpec,
+    threads: usize,
+    obs: crate::obsctl::Obs,
+) -> Result<(), String> {
     let out = opts
         .get("--out")
         .ok_or("--shard/--range needs --out PATH (the NDJSON shard file)")?;
@@ -213,6 +235,11 @@ fn run_sharded(opts: &Opts, spec: &CampaignSpec, threads: usize) -> Result<(), S
         run_shard_opts(spec, shard_index, num_shards, threads, path, Some(&cb), &run_opts)
             .map_err(|e| e.to_string())?
     };
+    // Shard stdout (and the shard file) are machine artifacts: the
+    // metrics table goes to stderr alongside the progress line.
+    if let Some(snap) = obs.finish()? {
+        eprint!("{}", crate::obsctl::metrics_table(&snap));
+    }
     let plan = summary.manifest.plan;
     if opts.has("--json") {
         let mut fields = vec![
@@ -274,7 +301,12 @@ fn parse_range_slice(raw: &str) -> Result<(usize, usize), String> {
 /// Supervise mode: run `--workers` elastic worker loops against the
 /// shared campaign directory until the campaign completes (then merge
 /// and report exactly like an unsharded run) or degrades.
-fn run_supervised(opts: &Opts, spec: &CampaignSpec, threads: usize) -> Result<(), String> {
+fn run_supervised(
+    opts: &Opts,
+    spec: &CampaignSpec,
+    threads: usize,
+    obs: crate::obsctl::Obs,
+) -> Result<(), String> {
     let dir = opts
         .get("--dir")
         .ok_or("--supervise needs --dir PATH (the shared campaign directory)")?;
@@ -325,6 +357,11 @@ fn run_supervised(opts: &Opts, spec: &CampaignSpec, threads: usize) -> Result<()
             .collect();
         handles.into_iter().map(|h| h.join().expect("worker panicked")).collect::<Vec<_>>()
     });
+
+    // Workers are done (or degraded): close the trace before reporting.
+    if let Some(snap) = obs.finish()? {
+        eprint!("{}", crate::obsctl::metrics_table(&snap));
+    }
 
     let mut complete: Option<repwf_dist::SuperviseSummary> = None;
     for summary in summaries {
@@ -410,6 +447,17 @@ pub(crate) fn print_summary(spec: &CampaignSpec, res: &CampaignResult, hist: boo
     println!(
         "distinct shapes     : {distinct_shapes} (batch hit rate {:.1}%)",
         batch_hit_rate * 100.0
+    );
+    let structural = repwf_gen::campaign::structural_stats(
+        &spec.cfg,
+        spec.model,
+        count,
+        spec.seed_base,
+        spec.cap,
+    );
+    println!(
+        "structural solves   : {} CSR builds, {} Tarjan runs, {} patched",
+        structural.csr_builds, structural.tarjan_runs, structural.patched_solves
     );
     println!(
         "no critical resource: {no_critical} ({:.2}%)",

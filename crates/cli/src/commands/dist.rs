@@ -11,20 +11,27 @@ use repwf_dist::status;
 const HELP: &str = "\
 repwf dist — inspect distributed campaign state
 
-USAGE: repwf dist status --dir PATH [--json]
+USAGE: repwf dist status --dir PATH [--lease-timeout S] [--json]
 
 Reports each claim unit of a supervised campaign directory (see
 `repwf campaign --supervise`): durable records vs effective length,
-completion, and the current lease (owner, attempt, age, failed flag).
-Read-only; safe while workers are running.
+completion, and the current lease (owner, attempt, heartbeat age,
+failed flag). Leased units report throughput (records/sec, derived
+from checkpoint growth between heartbeats) when the owner has
+published progress, and are flagged STALE once the heartbeat age
+exceeds --lease-timeout. Read-only; safe while workers are running.
 
 OPTIONS:
   --dir PATH         the shared campaign directory
+  --lease-timeout S  heartbeat age (seconds) past which a lease is
+                     reported STALE (default 10, matching the
+                     supervisor's takeover timeout)
   --json             structured output
 ";
 
 pub fn run(args: &[String]) -> Result<(), String> {
-    let opts = crate::opts::Opts::parse(args, &["--dir"], &["--json", "--help"])?;
+    let opts =
+        crate::opts::Opts::parse(args, &["--dir", "--lease-timeout"], &["--json", "--help"])?;
     if opts.has("--help") {
         print!("{HELP}");
         return Ok(());
@@ -35,6 +42,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
         [other, ..] => return Err(format!("unknown subcommand `{other}`\n\n{HELP}")),
     }
     let dir = opts.get("--dir").ok_or("dist status needs --dir PATH")?;
+    let timeout = opts.get_or("--lease-timeout", 10.0f64)?;
+    if !timeout.is_finite() || timeout <= 0.0 {
+        return Err("--lease-timeout must be positive seconds".to_string());
+    }
+    let stale_after = std::time::Duration::from_secs_f64(timeout);
     let status = status(std::path::Path::new(dir)).map_err(|e| e.to_string())?;
 
     if opts.has("--json") {
@@ -51,15 +63,17 @@ pub fn run(args: &[String]) -> Result<(), String> {
                     ("file_complete", Json::Bool(u.file_complete)),
                 ];
                 if let Some(lease) = &u.lease {
-                    fields.push((
-                        "lease",
-                        Json::Obj(vec![
-                            ("owner", Json::str(&lease.owner)),
-                            ("attempt", Json::UInt(u128::from(lease.attempt))),
-                            ("failed", Json::Bool(lease.failed)),
-                            ("age_ms", Json::UInt(lease.age.as_millis())),
-                        ]),
-                    ));
+                    let mut lease_fields = vec![
+                        ("owner", Json::str(&lease.owner)),
+                        ("attempt", Json::UInt(u128::from(lease.attempt))),
+                        ("failed", Json::Bool(lease.failed)),
+                        ("age_ms", Json::UInt(lease.age.as_millis())),
+                        ("stale", Json::Bool(lease.age >= stale_after)),
+                    ];
+                    if let Some(rate) = lease.progress.as_ref().and_then(|p| p.records_per_sec()) {
+                        lease_fields.push(("records_per_sec", Json::Num(rate)));
+                    }
+                    fields.push(("lease", Json::Obj(lease_fields)));
                 }
                 Json::Obj(fields)
             })
@@ -83,8 +97,14 @@ pub fn run(args: &[String]) -> Result<(), String> {
         let state = if u.unit.done.is_some() {
             "done".to_string()
         } else if let Some(lease) = &u.lease {
+            let rate = lease
+                .progress
+                .as_ref()
+                .and_then(repwf_dist::LeaseProgress::records_per_sec)
+                .map_or(String::new(), |r| format!(", {r:.1} rec/s"));
+            let stale = if !lease.failed && lease.age >= stale_after { " STALE" } else { "" };
             format!(
-                "{} by {} (attempt {}, {:.1}s ago)",
+                "{} by {} (attempt {}, heartbeat {:.1}s ago{rate}){stale}",
                 if lease.failed { "failed" } else { "claimed" },
                 lease.owner,
                 lease.attempt,
@@ -99,17 +119,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
         );
     }
     let durable: usize = status.unit_status.iter().map(|u| u.records.min(u.unit.eff)).sum();
-    let coverage = repwf_gen::campaign::Progress {
-        done: durable,
-        total: status.spec.count,
-        no_critical: 0,
-        simulated: 0,
-        max_gap: 0.0,
-    };
     println!(
-        "progress: {durable}/{} records durable ({:.1}%)",
+        "progress: {durable}/{} records durable ({})",
         status.spec.count,
-        coverage.fraction() * 100.0
+        repwf_gen::campaign::format_pct(durable, status.spec.count)
     );
     println!("status: {}", if status.complete { "COMPLETE" } else { "in progress" });
     Ok(())

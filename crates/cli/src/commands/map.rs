@@ -35,6 +35,10 @@ OPTIONS:
                      error — exact never falls back to the simulator
   --threads K        workers for the exact search (default: all cores;
                      the result does not depend on this)
+  --trace FILE       write an NDJSON span/counter trace (repwf-trace/v1);
+                     never changes this command's stdout bytes
+  --metrics          append a telemetry counter table (or a \"metrics\"
+                     object with --json)
   --json             structured output (independent of --threads)
 ";
 
@@ -111,13 +115,17 @@ fn print_mapping(label: &str, mapping: &Mapping) {
 pub fn run(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
-        &["--example", "--file", "--workflow", "--model", "--steps", "--seed", "--cap", "--threads"],
-        &["--exact", "--certify", "--json", "--help"],
+        &[
+            "--example", "--file", "--workflow", "--model", "--steps", "--seed", "--cap",
+            "--threads", "--trace",
+        ],
+        &["--exact", "--certify", "--json", "--metrics", "--help"],
     )?;
     if opts.has("--help") {
         print!("{HELP}");
         return Ok(());
     }
+    let obs = crate::obsctl::init(&opts, "map")?;
     let inst = load_instance(&opts)?;
     let (pipeline, platform) = (&inst.pipeline, &inst.platform);
     let model = parse_model(&opts)?;
@@ -190,6 +198,7 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
         _ => None,
     };
+    let metrics = obs.finish()?;
 
     if opts.has("--json") {
         let mut fields = vec![
@@ -207,6 +216,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
         }
         if let Some(gap) = gap {
             fields.push(("gap", Json::Num(gap)));
+        }
+        if let Some(snap) = &metrics {
+            fields.push(("metrics", crate::obsctl::metrics_json(snap)));
         }
         print!("{}", Json::Obj(fields).to_string_pretty());
         return Ok(());
@@ -240,6 +252,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
     }
     if let Some(gap) = gap {
         println!("optimality gap      : {:.6}%", gap * 100.0);
+    }
+    if let Some(snap) = &metrics {
+        crate::obsctl::print_metrics(snap);
     }
     Ok(())
 }

@@ -10,3 +10,4 @@ pub mod merge;
 pub mod period;
 pub mod simulate;
 pub mod table2;
+pub mod trace;

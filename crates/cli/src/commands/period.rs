@@ -15,19 +15,24 @@ OPTIONS:
   --model M          overlap | strict (default: overlap)
   --method X         auto | polynomial | full-tpn | tpn-simulation (default: auto)
   --cap N            TPN transition cap for full-tpn (default: 400000)
+  --trace FILE       write an NDJSON span/counter trace (repwf-trace/v1);
+                     never changes this command's stdout bytes
+  --metrics          append a telemetry counter table (or a \"metrics\"
+                     object with --json)
   --json             structured output
 ";
 
 pub fn run(args: &[String]) -> Result<(), String> {
     let opts = Opts::parse(
         args,
-        &["--example", "--file", "--workflow", "--model", "--method", "--cap"],
-        &["--json", "--help"],
+        &["--example", "--file", "--workflow", "--model", "--method", "--cap", "--trace"],
+        &["--json", "--metrics", "--help"],
     )?;
     if opts.has("--help") {
         print!("{HELP}");
         return Ok(());
     }
+    let obs = crate::obsctl::init(&opts, "period")?;
     let inst = load_instance(&opts)?;
     let model = parse_model(&opts)?;
     let method = parse_method(&opts)?;
@@ -35,9 +40,10 @@ pub fn run(args: &[String]) -> Result<(), String> {
     let build = BuildOptions { labels: false, max_transitions: cap };
     let report =
         compute_period_with(&inst, model, method, &build).map_err(|e| e.to_string())?;
+    let metrics = obs.finish()?;
 
     if opts.has("--json") {
-        let doc = Json::Obj(vec![
+        let mut fields = vec![
             ("model", Json::str(model_name(model))),
             ("method", Json::str(report.method.to_string())),
             ("period", Json::Num(report.period)),
@@ -46,8 +52,11 @@ pub fn run(args: &[String]) -> Result<(), String> {
             ("num_paths", Json::UInt(report.num_paths)),
             ("has_critical_resource", Json::Bool(report.has_critical_resource(1e-9))),
             ("critical", Json::str(report.critical.clone())),
-        ]);
-        print!("{}", doc.to_string_pretty());
+        ];
+        if let Some(snap) = &metrics {
+            fields.push(("metrics", crate::obsctl::metrics_json(snap)));
+        }
+        print!("{}", Json::Obj(fields).to_string_pretty());
     } else {
         println!("model               : {}", model_name(model));
         println!("method              : {}", report.method);
@@ -63,6 +72,9 @@ pub fn run(args: &[String]) -> Result<(), String> {
                 "NONE — every resource idles each period"
             }
         );
+        if let Some(snap) = &metrics {
+            crate::obsctl::print_metrics(snap);
+        }
     }
     Ok(())
 }

@@ -13,7 +13,8 @@
 //! repwf map       [--example a|b|c | --file F] [--model M] [--exact | --certify]
 //!                 [--steps N] [--seed S] [--cap N] [--threads K] [--json]
 //! repwf merge     <shard.ndjson>... [--csv F] [--json] [--allow-partial]
-//! repwf dist      status --dir D [--json]
+//! repwf dist      status --dir D [--lease-timeout S] [--json]
+//! repwf trace     report FILE.ndjson [--min-coverage F] [--json]
 //! repwf bench     [--quick] [--out F] [--threads K] [--check BASELINE] [--json]
 //! repwf table2    [--scale F | --full] [--threads K] [--seed S] [--csv F] [--json]
 //! repwf gantt     <a-strict|a-overlap|b-overlap> [--periods K] [--svg F]
@@ -26,6 +27,7 @@
 //! reproduces the unsharded `--json` document byte for byte.
 
 mod commands;
+mod obsctl;
 mod opts;
 
 use repwf_dist::json;
@@ -49,6 +51,8 @@ COMMANDS:
   merge      recombine campaign shard files (byte-identical to unsharded;
              --allow-partial tolerates gaps and reports them)
   dist       inspect distributed campaign state (dist status --dir D)
+  trace      summarize an NDJSON telemetry trace (trace report FILE;
+             traces come from --trace on period/map/campaign)
   table2     reproduce the paper's Table 2 experiment families
   bench      run the tracked benchmark suite (emits BENCH_period.json)
   gantt      render the paper's Gantt figures (ASCII / SVG)
@@ -78,6 +82,7 @@ fn main() -> ExitCode {
         "map" => commands::map::run(rest),
         "merge" => commands::merge::run(rest),
         "dist" => commands::dist::run(rest),
+        "trace" => commands::trace::run(rest),
         "bench" => commands::bench::run(rest),
         "table2" => commands::table2::run(rest),
         "gantt" => commands::gantt::run(rest),

@@ -534,3 +534,91 @@ fn unknown_command_fails_with_usage() {
     assert!(!ok);
     assert!(err.contains("unknown command"), "{err}");
 }
+
+#[test]
+fn traced_campaign_json_is_byte_identical_to_untraced() {
+    // The telemetry invariant the obs layer is built around: `--trace`
+    // observes, never perturbs. Campaign output bytes are identical with
+    // tracing on and off, at thread counts 1, 2 and 4.
+    let dir = std::env::temp_dir().join(format!("repwf-trace-test-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let base = [
+        "campaign", "--stages", "2", "--procs", "6", "--comm", "5..10", "--count", "24",
+        "--seed", "91", "--model", "strict", "--json",
+    ];
+    let (reference, _, ok) = repwf(&[&base[..], &["--threads", "1"]].concat());
+    assert!(ok);
+    for threads in ["1", "2", "4"] {
+        let trace = dir.join(format!("t{threads}.ndjson"));
+        let trace_s = trace.to_str().unwrap();
+        let (traced, err, ok) = repwf(
+            &[&base[..], &["--threads", threads, "--trace", trace_s]].concat(),
+        );
+        assert!(ok, "{err}");
+        assert_eq!(
+            reference, traced,
+            "--trace changed campaign output bytes at --threads {threads}"
+        );
+
+        // The trace file itself validates end to end (schema, record
+        // count, checksum footer) and accounts for the command's wall
+        // time through the top-level span.
+        let (report, err, ok) =
+            repwf(&["trace", "report", trace_s, "--min-coverage", "0.5", "--json"]);
+        assert!(ok, "{err}");
+        assert!(report.contains("\"command\": \"campaign\""), "{report}");
+        assert!(json_num(&report, "records") >= 1.0, "{report}");
+    }
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn trace_report_rejects_a_truncated_trace() {
+    let dir = std::env::temp_dir().join(format!("repwf-trace-bad-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let trace = dir.join("t.ndjson");
+    let trace_s = trace.to_str().unwrap();
+    let (_, err, ok) = repwf(&[
+        "period", "--example", "a", "--model", "strict", "--json", "--trace", trace_s,
+    ]);
+    assert!(ok, "{err}");
+
+    // Drop the footer: the report must refuse the file.
+    let text = std::fs::read_to_string(&trace).unwrap();
+    let truncated: String =
+        text.lines().take(text.lines().count() - 1).map(|l| format!("{l}\n")).collect();
+    std::fs::write(&trace, truncated).unwrap();
+    let (_, err, ok) = repwf(&["trace", "report", trace_s]);
+    assert!(!ok);
+    assert!(err.contains("footer"), "{err}");
+    std::fs::remove_dir_all(&dir).unwrap();
+}
+
+#[test]
+fn campaign_metrics_flag_reports_structural_counters() {
+    // `--metrics` (unlike `--trace`) is allowed to add output: the human
+    // summary gains a counter table fed by the sharded registry.
+    let (doc, err, ok) = repwf(&[
+        "campaign", "--stages", "2", "--procs", "6", "--count", "12", "--seed", "7",
+        "--model", "strict", "--metrics",
+    ]);
+    assert!(ok, "{err}");
+    assert!(doc.contains("metrics:"), "{doc}");
+    assert!(doc.contains("csr_builds"), "{doc}");
+    assert!(doc.contains("span"), "{doc}");
+}
+
+#[test]
+fn campaign_json_reports_structural_solve_totals() {
+    // Satellite: the campaign document carries spec-derived structural
+    // totals, so a merged sharded run reports the same bytes.
+    let (doc, err, ok) = repwf(&[
+        "campaign", "--stages", "2", "--procs", "6", "--count", "12", "--seed", "7",
+        "--model", "strict", "--json",
+    ]);
+    assert!(ok, "{err}");
+    for key in ["patched_solves", "csr_builds", "tarjan_runs"] {
+        assert!(doc.contains(&format!("\"{key}\": ")), "missing {key} in:\n{doc}");
+    }
+    assert!(json_num(&doc, "csr_builds") >= 1.0, "{doc}");
+}

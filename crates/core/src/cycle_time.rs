@@ -306,6 +306,7 @@ impl MctCache {
             self.changed[i] = full || self.prev[i][..] != *v.mapping.procs(i);
         }
         let wf = v.pipeline;
+        let mut recomputed = 0u64;
         for i in 0..n {
             let dirty = self.changed[i]
                 || wf.in_edges(i).iter().any(|&e| self.changed[wf.edge(e).0])
@@ -313,12 +314,16 @@ impl MctCache {
             if dirty {
                 stage_cycle_times_into(v, i, &mut self.times[i]);
                 self.stage_recomputes += 1;
+                recomputed += 1;
             }
             if self.changed[i] {
                 self.prev[i].clear();
                 self.prev[i].extend_from_slice(v.mapping.procs(i));
             }
         }
+        repwf_obs::counter_add(repwf_obs::CounterId::MctEvals, 1);
+        repwf_obs::counter_add(repwf_obs::CounterId::MctStageRecomputes, recomputed);
+        repwf_obs::counter_add(repwf_obs::CounterId::MctStageHits, n as u64 - recomputed);
         // Scan in the exact order of `max_cycle_time_view` (stage-major,
         // slot order), keeping the LAST maximum on ties like
         // `Iterator::max_by` — bit-identical winner, bit-identical value.

@@ -264,9 +264,12 @@ impl PeriodEngine {
         method: Method,
         mct_cache: Option<&mut MctCache>,
     ) -> Result<PeriodReport, PeriodError> {
-        let (mct, who) = match mct_cache {
-            Some(cache) => cache.max_cycle_time(view, model),
-            None => max_cycle_time_view(view, model),
+        let (mct, who) = {
+            let _span = repwf_obs::span!(Mct);
+            match mct_cache {
+                Some(cache) => cache.max_cycle_time(view, model),
+                None => max_cycle_time_view(view, model),
+            }
         };
         let m = mapping_num_paths(view.mapping).ok_or(BuildError::PathCountOverflow)?;
 
@@ -327,7 +330,12 @@ impl PeriodEngine {
                     && self.shape.as_ref().is_some_and(|s| s.matches(model, view));
                 let solved = if patchable {
                     self.patched_solves += 1;
-                    retime_tpn_into(view, &mut self.net, &mut self.changed);
+                    repwf_obs::counter_add(repwf_obs::CounterId::PatchedSolves, 1);
+                    {
+                        let _span = repwf_obs::span!(Retime);
+                        retime_tpn_into(view, &mut self.net, &mut self.changed);
+                    }
+                    repwf_obs::counter_add(repwf_obs::CounterId::Retimes, 1);
                     tpn::analysis::period_patched_with(
                         &self.net,
                         &mut self.scratch,
@@ -343,7 +351,11 @@ impl PeriodEngine {
                         .take()
                         .map(|s| (s.replicas, s.edges))
                         .unwrap_or_default();
-                    build_tpn_view_into(view, model, &self.opts, &mut self.net)?;
+                    {
+                        let _span = repwf_obs::span!(TpnBuild);
+                        build_tpn_view_into(view, model, &self.opts, &mut self.net)?;
+                    }
+                    repwf_obs::counter_add(repwf_obs::CounterId::TpnBuilds, 1);
                     let res = tpn::analysis::period_with(&self.net, &mut self.scratch, self.warm);
                     if res.is_ok() && !self.opts.labels {
                         view.mapping.replica_counts_into(&mut replicas);
@@ -381,7 +393,11 @@ impl PeriodEngine {
                 // This path rebuilds the arena net without refreshing the
                 // solver scratch: the patch precondition no longer holds.
                 self.shape = None;
-                let (rows, cols) = build_tpn_view_into(view, model, &self.opts, &mut self.net)?;
+                let (rows, cols) = {
+                    let _span = repwf_obs::span!(TpnBuild);
+                    build_tpn_view_into(view, model, &self.opts, &mut self.net)?
+                };
+                repwf_obs::counter_add(repwf_obs::CounterId::TpnBuilds, 1);
                 // Enough firings to leave the transient: the transient of a
                 // TEG is bounded in practice by a few multiples of the row
                 // count.

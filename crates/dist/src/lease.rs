@@ -79,6 +79,33 @@ impl RetryPolicy {
     }
 }
 
+/// Checkpoint progress an owner publishes with its heartbeats, so `repwf
+/// dist status` can report per-unit throughput without touching (or even
+/// being able to read) the unit files mid-write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LeaseProgress {
+    /// Records in the unit file at the last heartbeat.
+    pub records: u64,
+    /// Records already present when this attempt claimed the unit (a
+    /// resumed checkpoint) — throughput counts only this attempt's work.
+    pub start_records: u64,
+    /// Milliseconds this attempt has been running at the last heartbeat.
+    pub elapsed_ms: u64,
+}
+
+impl LeaseProgress {
+    /// Records per second written by the current attempt
+    /// (`(records − start_records) / elapsed`); `None` until the attempt
+    /// has run long enough to measure (≥ 1ms) and written something.
+    pub fn records_per_sec(&self) -> Option<f64> {
+        let done = self.records.saturating_sub(self.start_records);
+        if self.elapsed_ms == 0 || done == 0 {
+            return None;
+        }
+        Some(done as f64 * 1000.0 / self.elapsed_ms as f64)
+    }
+}
+
 /// A decoded lease file (someone else's claim, observed).
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct LeaseInfo {
@@ -93,6 +120,10 @@ pub struct LeaseInfo {
     pub failed: bool,
     /// Age of the last heartbeat.
     pub age: Duration,
+    /// Checkpoint progress published with the last heartbeat; `None` on
+    /// leases that have not heartbeated progress yet (fresh claims, or
+    /// files written by older workers — the fields are parsed leniently).
+    pub progress: Option<LeaseProgress>,
 }
 
 impl LeaseInfo {
@@ -129,7 +160,13 @@ pub struct Lease {
     token: u64,
 }
 
-fn lease_body(owner: &str, attempt: u32, token: u64, failed: bool) -> String {
+fn lease_body(
+    owner: &str,
+    attempt: u32,
+    token: u64,
+    failed: bool,
+    progress: Option<LeaseProgress>,
+) -> String {
     // Owner ids are short host:pid strings; escape just enough that any
     // input still yields a parseable line.
     let owner: String = owner
@@ -140,7 +177,16 @@ fn lease_body(owner: &str, attempt: u32, token: u64, failed: bool) -> String {
             c => c,
         })
         .collect();
-    format!("{{\"owner\":\"{owner}\",\"attempt\":{attempt},\"token\":{token},\"failed\":{failed}}}\n")
+    let progress = match progress {
+        Some(p) => format!(
+            ",\"records\":{},\"start_records\":{},\"elapsed_ms\":{}",
+            p.records, p.start_records, p.elapsed_ms
+        ),
+        None => String::new(),
+    };
+    format!(
+        "{{\"owner\":\"{owner}\",\"attempt\":{attempt},\"token\":{token},\"failed\":{failed}{progress}}}\n"
+    )
 }
 
 fn io_err(path: &Path, e: std::io::Error) -> DistError {
@@ -179,7 +225,7 @@ impl Lease {
             Err(e) if e.kind() == std::io::ErrorKind::AlreadyExists => return Ok(None),
             Err(e) => return Err(io_err(path, e)),
         };
-        file.write_all(lease_body(owner, attempt, token, false).as_bytes())
+        file.write_all(lease_body(owner, attempt, token, false, None).as_bytes())
             .map_err(|e| io_err(path, e))?;
         Ok(Some(Lease { path: path.to_path_buf(), owner: owner.to_string(), attempt, token }))
     }
@@ -204,7 +250,7 @@ impl Lease {
             TMP_SEQ.fetch_add(1, std::sync::atomic::Ordering::Relaxed),
         ));
         let mut file = std::fs::File::create(&tmp).map_err(|e| io_err(&tmp, e))?;
-        file.write_all(lease_body(owner, attempt, token, false).as_bytes())
+        file.write_all(lease_body(owner, attempt, token, false, None).as_bytes())
             .map_err(|e| io_err(&tmp, e))?;
         drop(file);
         std::fs::rename(&tmp, path).map_err(|e| io_err(path, e))?;
@@ -218,7 +264,16 @@ impl Lease {
         if !self.still_owned()? {
             return Ok(false);
         }
-        self.rewrite(false)
+        self.rewrite(false, None)
+    }
+
+    /// [`Lease::heartbeat`] that also publishes checkpoint progress for
+    /// `repwf dist status` throughput reporting.
+    pub fn heartbeat_progress(&self, progress: LeaseProgress) -> Result<bool, DistError> {
+        if !self.still_owned()? {
+            return Ok(false);
+        }
+        self.rewrite(false, Some(progress))
     }
 
     /// Marks the claim failed (observed death) so the retry gate skips
@@ -226,7 +281,7 @@ impl Lease {
     /// range is someone else's problem already.
     pub fn mark_failed(&self) -> Result<(), DistError> {
         if self.still_owned()? {
-            self.rewrite(true)?;
+            self.rewrite(true, None)?;
         }
         Ok(())
     }
@@ -254,7 +309,7 @@ impl Lease {
         }
     }
 
-    fn rewrite(&self, failed: bool) -> Result<bool, DistError> {
+    fn rewrite(&self, failed: bool, progress: Option<LeaseProgress>) -> Result<bool, DistError> {
         use std::io::Write as _;
         // Plain in-place rewrite (no tmp+rename): a rename would recreate
         // the path even after a thief removed it, resurrecting a dead
@@ -265,7 +320,7 @@ impl Lease {
             Err(e) if e.kind() == std::io::ErrorKind::NotFound => return Ok(false),
             Err(e) => return Err(io_err(&self.path, e)),
         };
-        let body = lease_body(&self.owner, self.attempt, self.token, failed);
+        let body = lease_body(&self.owner, self.attempt, self.token, failed, progress);
         file.set_len(0).map_err(|e| io_err(&self.path, e))?;
         file.write_all(body.as_bytes()).map_err(|e| io_err(&self.path, e))?;
         Ok(true)
@@ -291,23 +346,40 @@ fn read_lease_text(path: &Path) -> Result<Option<(LeaseInfo, SystemTime)>, DistE
     // next heartbeat makes it readable again.
     let parsed = parse(text.trim()).ok();
     let info = match parsed {
-        Some(doc) => LeaseInfo {
-            owner: doc
-                .get("owner")
-                .and_then(JsonValue::as_str)
-                .unwrap_or("<unreadable>")
-                .to_string(),
-            attempt: doc.get("attempt").and_then(JsonValue::as_u64).unwrap_or(1) as u32,
-            token: doc.get("token").and_then(JsonValue::as_u64).unwrap_or(0),
-            failed: matches!(doc.get("failed"), Some(JsonValue::Bool(true))),
-            age: Duration::ZERO,
-        },
+        Some(doc) => {
+            // Progress fields are optional (plain heartbeats and leases
+            // written by older workers omit them): require all three
+            // before reporting any.
+            let progress = match (
+                doc.get("records").and_then(JsonValue::as_u64),
+                doc.get("start_records").and_then(JsonValue::as_u64),
+                doc.get("elapsed_ms").and_then(JsonValue::as_u64),
+            ) {
+                (Some(records), Some(start_records), Some(elapsed_ms)) => {
+                    Some(LeaseProgress { records, start_records, elapsed_ms })
+                }
+                _ => None,
+            };
+            LeaseInfo {
+                owner: doc
+                    .get("owner")
+                    .and_then(JsonValue::as_str)
+                    .unwrap_or("<unreadable>")
+                    .to_string(),
+                attempt: doc.get("attempt").and_then(JsonValue::as_u64).unwrap_or(1) as u32,
+                token: doc.get("token").and_then(JsonValue::as_u64).unwrap_or(0),
+                failed: matches!(doc.get("failed"), Some(JsonValue::Bool(true))),
+                age: Duration::ZERO,
+                progress,
+            }
+        }
         None => LeaseInfo {
             owner: "<unreadable>".to_string(),
             attempt: 1,
             token: 0,
             failed: false,
             age: Duration::ZERO,
+            progress: None,
         },
     };
     Ok(Some((info, mtime)))
@@ -519,6 +591,31 @@ mod tests {
         let worn = LeaseInfo { attempt: policy.max_attempts, ..info };
         assert!(!worn.reclaimable(20, Duration::from_secs(3600), &policy));
         assert!(worn.exhausted(Duration::from_secs(3600), &policy));
+    }
+
+    #[test]
+    fn heartbeat_progress_round_trips_and_derives_throughput() {
+        let path = dir().join("r50-10.lease");
+        let _ = std::fs::remove_file(&path);
+        let lease = Lease::claim(&path, "w1", 1, 11).unwrap().unwrap();
+        assert!(
+            inspect(&path).unwrap().unwrap().progress.is_none(),
+            "fresh claim publishes no progress"
+        );
+        let p = LeaseProgress { records: 120, start_records: 20, elapsed_ms: 4000 };
+        assert!(lease.heartbeat_progress(p).unwrap());
+        let info = inspect(&path).unwrap().unwrap();
+        assert_eq!(info.progress, Some(p));
+        assert_eq!(p.records_per_sec(), Some(25.0));
+        // No records yet, or no measurable time: no rate (never a NaN/inf).
+        let idle = LeaseProgress { records: 20, start_records: 20, elapsed_ms: 4000 };
+        assert_eq!(idle.records_per_sec(), None);
+        let instant = LeaseProgress { records: 50, start_records: 0, elapsed_ms: 0 };
+        assert_eq!(instant.records_per_sec(), None);
+        // A plain heartbeat keeps the lease valid but drops the snapshot.
+        assert!(lease.heartbeat().unwrap());
+        assert!(inspect(&path).unwrap().unwrap().progress.is_none());
+        lease.release().unwrap();
     }
 
     #[test]

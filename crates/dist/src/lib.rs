@@ -73,6 +73,7 @@ pub mod shard;
 pub mod supervise;
 
 pub use fault::FaultPlan;
+pub use lease::{LeaseInfo, LeaseProgress};
 pub use manifest::{CampaignSpec, ShardManifest};
 pub use merge::{merge_paths, merge_paths_partial, MergeReport, MergedCampaign};
 pub use plan::ShardPlan;

@@ -74,7 +74,7 @@
 //! the exact backoff gates it applied.
 
 use crate::fault::FaultPlan;
-use crate::lease::{self, Lease, LeaseInfo, RetryPolicy};
+use crate::lease::{self, Lease, LeaseInfo, LeaseProgress, RetryPolicy};
 use crate::manifest::{CampaignSpec, ShardManifest};
 use crate::shard::{open_checkpoint, outcome_line, ShardRunOptions};
 use crate::DistError;
@@ -482,7 +482,14 @@ impl Worker<'_> {
         let salt = self.opts.retry.jitter_seed ^ unit.offset as u64;
         let (lease, takeover, backoff) = match lease::inspect(&lease_path)? {
             None => match Lease::claim(&lease_path, &self.owner, 1, salt)? {
-                Some(lease) => (lease, false, Duration::ZERO),
+                Some(lease) => {
+                    repwf_obs::counter_add(repwf_obs::CounterId::LeaseClaims, 1);
+                    repwf_obs::event(
+                        "lease_claim",
+                        &[("offset", unit.offset as u64), ("len", unit.eff as u64)],
+                    );
+                    (lease, false, Duration::ZERO)
+                }
                 None => return Ok(Claimed::Raced),
             },
             Some(info) => {
@@ -498,7 +505,26 @@ impl Worker<'_> {
                 }
                 let backoff = self.opts.retry.backoff(unit.offset, info.attempt);
                 match lease::take_over(&lease_path, &info, &self.owner, salt)? {
-                    Some(lease) => (lease, true, backoff),
+                    Some(lease) => {
+                        // An observed failure re-run is a *retry*; stealing
+                        // from a silently dead owner is a *takeover*.
+                        repwf_obs::counter_add(
+                            if info.failed {
+                                repwf_obs::CounterId::LeaseRetries
+                            } else {
+                                repwf_obs::CounterId::LeaseTakeovers
+                            },
+                            1,
+                        );
+                        repwf_obs::event(
+                            if info.failed { "lease_retry" } else { "lease_takeover" },
+                            &[
+                                ("offset", unit.offset as u64),
+                                ("attempt", u64::from(lease.attempt)),
+                            ],
+                        );
+                        (lease, true, backoff)
+                    }
                     None => return Ok(Claimed::Raced),
                 }
             }
@@ -544,6 +570,7 @@ impl Worker<'_> {
         fault: Option<&FaultPlan>,
         report: &mut ClaimReport,
     ) -> Result<(), DistError> {
+        let started = std::time::Instant::now();
         let manifest = ShardManifest::new_range(self.spec, unit.offset, unit.declared)?;
         let file = file_path(self.dir, unit);
         let opts = ShardRunOptions { flush_every: self.opts.flush_every, fault: None };
@@ -600,7 +627,17 @@ impl Worker<'_> {
             }
             writer.flush()?;
             report.ran = ran;
-            if !lease.heartbeat()? {
+            repwf_obs::counter_add(repwf_obs::CounterId::LeaseHeartbeats, 1);
+            repwf_obs::event(
+                "lease_heartbeat",
+                &[("offset", unit.offset as u64), ("records", written as u64)],
+            );
+            let progress = LeaseProgress {
+                records: written as u64,
+                start_records: report.resumed as u64,
+                elapsed_ms: started.elapsed().as_millis() as u64,
+            };
+            if !lease.heartbeat_progress(progress)? {
                 return Err(DistError::Fault(format!(
                     "lease for {} taken over mid-run; stopped writing",
                     unit.name()
@@ -684,6 +721,11 @@ impl Worker<'_> {
                 // marker meanwhile covers past the split point, the
                 // marker is void and enumeration will ignore it — either
                 // way the next rescan computes the truth.
+                repwf_obs::counter_add(repwf_obs::CounterId::LeaseSplits, 1);
+                repwf_obs::event(
+                    "lease_split",
+                    &[("offset", victim.offset as u64), ("len", victim.eff as u64)],
+                );
                 self.summary.splits.push((victim.offset, victim.eff));
                 Ok(true)
             }

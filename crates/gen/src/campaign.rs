@@ -284,10 +284,10 @@ impl Progress {
             format!("{}/{} experiments", self.done, self.total)
         } else {
             format!(
-                "{}/{} experiments ({:.1}%)",
+                "{}/{} experiments ({})",
                 self.done,
                 self.total,
-                self.fraction() * 100.0
+                format_pct(self.done, self.total)
             )
         };
         let simulated = if self.simulated > 0 {
@@ -301,6 +301,15 @@ impl Progress {
             self.max_gap * 100.0
         )
     }
+}
+
+/// `done/total` as a percentage with one decimal (`"75.0%"`). An empty
+/// total counts as complete (`"100.0%"`), matching [`Progress::fraction`]'s
+/// empty-campaign convention. The one formatting rule shared by
+/// [`Progress::summary`] and `repwf dist status`.
+pub fn format_pct(done: usize, total: usize) -> String {
+    let fraction = if total == 0 { 1.0 } else { done as f64 / total as f64 };
+    format!("{:.1}%", fraction * 100.0)
 }
 
 /// Progress callback type: invoked from worker threads.
@@ -465,6 +474,7 @@ pub fn run_campaign_workflow_with(
         count,
         || engine_for_cap(cap),
         |engine, k| {
+            let _span = repwf_obs::span!(Experiment);
             let outcome = run_one_workflow_with(cfg, topo, model, seed_base + k as u64, engine);
             if let Some(callback) = progress {
                 // Update every statistic *before* bumping `done`: the
@@ -571,6 +581,84 @@ pub fn shape_stats(cfg: &GenConfig, count: usize, seed_base: u64) -> (usize, f64
     }
     let distinct = shapes.len();
     (distinct, (count - distinct) as f64 / count as f64)
+}
+
+/// Structural-solve totals of the canonical batched campaign schedule
+/// (see [`structural_stats`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct StructuralStats {
+    /// Oracle solves that took the engine's shape-preserving patch path.
+    /// The shape-batched scheduler replaces per-instance patching with
+    /// shared-structure batch passes, so this is zero for every campaign
+    /// it routes (and the overlap model never builds a TPN at all) — the
+    /// field pins that the batched schedule pays **no** per-instance
+    /// incremental solves, mirroring `PeriodEngine::patched_solves`.
+    pub patched_solves: u64,
+    /// CSR adjacency builds: one structural phase per batch chunk.
+    pub csr_builds: u64,
+    /// Tarjan condensations: one per batch chunk (always equal to
+    /// `csr_builds` on this schedule; reported separately to mirror the
+    /// engine counters).
+    pub tarjan_runs: u64,
+}
+
+/// Replays the batched campaign's static routing (the same replica-RNG
+/// prefix replay as [`run_campaign_workflow_batched_with`]) and returns
+/// the structural work of that schedule **without cross-chunk cache
+/// reuse**: each batch chunk pays one TPN/CSR/Tarjan structural phase;
+/// over-cap seeds run the simulator fallback, which builds none of it.
+///
+/// Like [`shape_stats`], this depends only on
+/// `(cfg, topo, model, count, seed_base, cap)` — never on the outcomes or
+/// the thread schedule — so a sharded campaign's merge report and the
+/// unsharded run report identical values and merged bytes stay identical
+/// to unsharded bytes.
+pub fn structural_stats_workflow(
+    cfg: &GenConfig,
+    topo: &Topology,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    cap: usize,
+) -> StructuralStats {
+    if model == CommModel::Overlap || count == 0 {
+        return StructuralStats::default();
+    }
+    let cols = (topo.stages + topo.num_edges()) as u128;
+    let mut group_of: HashMap<Vec<usize>, usize> = HashMap::new();
+    let mut groups: Vec<(u128, u64)> = Vec::new();
+    for k in 0..count {
+        let mut rng = StdRng::seed_from_u64(seed_base + k as u64);
+        let replicas = sample_replica_counts(cfg, &mut rng);
+        let transitions = num_paths(&replicas).and_then(|m| m.checked_mul(cols));
+        if let Some(t) = transitions {
+            if t <= cap as u128 {
+                let g = *group_of.entry(replicas).or_insert_with(|| {
+                    groups.push((t, 0));
+                    groups.len() - 1
+                });
+                groups[g].1 += 1;
+            }
+        }
+    }
+    let mut chunks = 0u64;
+    for (transitions, members) in groups {
+        let chunk = (BATCH_TRANSITION_BUDGET / transitions.max(1)).clamp(1, MAX_BATCH as u128);
+        chunks += members.div_ceil(chunk as u64);
+    }
+    StructuralStats { patched_solves: 0, csr_builds: chunks, tarjan_runs: chunks }
+}
+
+/// [`structural_stats_workflow`] on the linear chain topology — the shape
+/// every `CampaignSpec`-driven campaign (CLI, shards, supervisor) runs.
+pub fn structural_stats(
+    cfg: &GenConfig,
+    model: CommModel,
+    count: usize,
+    seed_base: u64,
+    cap: usize,
+) -> StructuralStats {
+    structural_stats_workflow(cfg, &Topology::chain(cfg.stages), model, count, seed_base, cap)
 }
 
 /// Upper bound on transitions staged per batched chunk: chunks shrink for
@@ -700,12 +788,20 @@ pub fn run_campaign_workflow_batched_with(
             _ => tasks.push(BatchTask::Solo(k as u32)),
         }
     }
+    repwf_obs::counter_add(repwf_obs::CounterId::ShapeGroups, groups.len() as u64);
+    repwf_obs::counter_add(repwf_obs::CounterId::SoloExperiments, tasks.len() as u64);
+    let mut batch_chunks = 0u64;
+    let mut batched_experiments = 0u64;
     for (transitions, members) in groups {
         let chunk = (BATCH_TRANSITION_BUDGET / transitions.max(1)).clamp(1, MAX_BATCH as u128);
         for c in members.chunks(chunk as usize) {
+            batch_chunks += 1;
+            batched_experiments += c.len() as u64;
             tasks.push(BatchTask::Batch(c.to_vec()));
         }
     }
+    repwf_obs::counter_add(repwf_obs::CounterId::BatchChunks, batch_chunks);
+    repwf_obs::counter_add(repwf_obs::CounterId::BatchedExperiments, batched_experiments);
 
     // Streaming aggregates, exactly as in `run_campaign_with`.
     let done = AtomicUsize::new(0);
@@ -740,12 +836,14 @@ pub fn run_campaign_workflow_batched_with(
         || (engine_for_cap(cap), ShapeBatchSolver::new(cap)),
         |(engine, solver), t| match &tasks[t] {
             BatchTask::Solo(k) => {
+                let _span = repwf_obs::span!(Experiment);
                 let outcome =
                     run_one_workflow_with(cfg, topo, model, seed_base + u64::from(*k), engine);
                 record(&outcome);
                 vec![(*k, outcome)]
             }
             BatchTask::Batch(ks) => {
+                let _span = repwf_obs::span!(Experiment);
                 // (seed index, M_ct, path count) per staged instance.
                 let mut metas: Vec<(u32, f64, u128)> = Vec::with_capacity(ks.len());
                 for (q, &k) in ks.iter().enumerate() {
@@ -1191,5 +1289,49 @@ mod tests {
 
         let empty = Progress { done: 0, total: 0, no_critical: 0, simulated: 0, max_gap: 0.0 };
         assert_eq!(empty.fraction(), 1.0, "an empty campaign counts as done");
+    }
+
+    #[test]
+    fn format_pct_covers_zero_records_and_degraded_edges() {
+        // 0 records of a non-empty campaign (every unit failed / nothing
+        // checkpointed yet): 0.0%, never NaN.
+        assert_eq!(format_pct(0, 8), "0.0%");
+        // Empty campaign counts as done, matching `Progress::fraction`.
+        assert_eq!(format_pct(0, 0), "100.0%");
+        assert_eq!(format_pct(3, 4), "75.0%");
+        assert_eq!(format_pct(4, 4), "100.0%");
+        // `Progress::summary` routes through the same helper.
+        let p = Progress { done: 0, total: 8, no_critical: 0, simulated: 0, max_gap: 0.0 };
+        assert_eq!(p.summary(), "0/8 experiments (0.0%), 0 no-critical, max gap 0.000%");
+    }
+
+    #[test]
+    fn structural_stats_replay_the_batched_routing() {
+        let cfg = small_cfg();
+        // Overlap: polynomial path, no structural work at all.
+        assert_eq!(
+            structural_stats(&cfg, CommModel::Overlap, 24, 900, 200_000),
+            StructuralStats::default()
+        );
+        assert_eq!(
+            structural_stats(&cfg, CommModel::Strict, 0, 900, 200_000),
+            StructuralStats::default()
+        );
+
+        let stats = structural_stats(&cfg, CommModel::Strict, 24, 900, 200_000);
+        let (distinct, _) = shape_stats(&cfg, 24, 900);
+        // One structural phase per chunk: at least one chunk per in-cap
+        // shape, at most one per experiment; Tarjan rides every CSR build.
+        assert_eq!(stats.tarjan_runs, stats.csr_builds);
+        assert!(stats.csr_builds >= distinct as u64);
+        assert!(stats.csr_builds <= 24);
+        assert_eq!(stats.patched_solves, 0, "batched schedule never patches");
+        // Purely spec-derived: identical on every call.
+        assert_eq!(structural_stats(&cfg, CommModel::Strict, 24, 900, 200_000), stats);
+
+        // A cap below every shape routes everything solo (simulator): no
+        // structural work is derived.
+        let all_solo = structural_stats(&cfg, CommModel::Strict, 24, 900, 1);
+        assert_eq!(all_solo, StructuralStats::default());
     }
 }

@@ -180,6 +180,9 @@ impl Workspace {
         if k == 0 {
             return Vec::new();
         }
+        let _span = repwf_obs::span!(BatchSolve);
+        repwf_obs::counter_add(repwf_obs::CounterId::BatchedPasses, 1);
+        repwf_obs::counter_add(repwf_obs::CounterId::BatchedLanes, k as u64);
 
         // Per-instance validation, mirroring `RatioGraph::validate` with
         // the instance's own costs: same error variant, same edge-order
@@ -435,6 +438,7 @@ fn batch_component(
         // Phase 2 (potential improvement) and convergence, per lane that
         // saw no λ-improvement this round; λ-improved lanes go straight to
         // the next round, like the solo solver's `continue`.
+        repwf_obs::counter_add(repwf_obs::CounterId::HowardItersBatched, act.len() as u64);
         for &q in act.iter() {
             let qi = q as usize;
             iters[qi] += 1;

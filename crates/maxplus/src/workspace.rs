@@ -270,14 +270,17 @@ impl Workspace {
     /// forgetting the structure cache (the cached condensation may no
     /// longer describe the CSR contents).
     fn rebuild_csr(&mut self, g: &RatioGraph) {
+        let _span = repwf_obs::span!(CsrBuild);
         self.struct_sig = None;
         self.csr.build(g);
         self.csr_builds += 1;
+        repwf_obs::counter_add(repwf_obs::CounterId::CsrBuilds, 1);
     }
 
     /// CSR build + Tarjan condensation into the workspace buffers.
     fn condense(&mut self, g: &RatioGraph) {
         self.rebuild_csr(g);
+        let _span = repwf_obs::span!(Tarjan);
         tarjan_flat(
             g,
             &self.csr,
@@ -291,6 +294,7 @@ impl Workspace {
             &mut self.comp_vertices,
         );
         self.tarjan_runs += 1;
+        repwf_obs::counter_add(repwf_obs::CounterId::TarjanRuns, 1);
     }
 
     /// Number of CSR adjacency (re)builds performed by this workspace.
@@ -489,10 +493,19 @@ impl Workspace {
     }
 
     fn howard(&mut self, g: &RatioGraph, warm: bool, structure: Option<u64>) -> RatioResult {
+        let _span = repwf_obs::span!(Solve);
         g.validate()?;
         let n = g.num_vertices();
         let ne = g.num_edges();
         let warm_ok = warm && self.warm_sig == Some((n, ne)) && self.policy.len() == n;
+        repwf_obs::counter_add(
+            if warm_ok {
+                repwf_obs::CounterId::HowardSolvesWarm
+            } else {
+                repwf_obs::CounterId::HowardSolvesCold
+            },
+            1,
+        );
         let structure_ok =
             structure.is_some() && self.struct_sig == structure.map(|t| (t, n, ne));
         // Invalidate until this solve completes (an early error must not
@@ -880,7 +893,7 @@ fn howard_component(
         policy[v] = best_p;
     }
 
-    for _ in 0..max_iters {
+    for iter in 0..max_iters {
         evaluate_policy(csr, members, policy, lambda, potential, state, walk_pos, path)?;
 
         // Phase 1: improve by cycle-ratio value.
@@ -936,6 +949,14 @@ fn howard_component(
             }
         }
         if !changed {
+            repwf_obs::counter_add(
+                if warm_ok {
+                    repwf_obs::CounterId::HowardItersWarm
+                } else {
+                    repwf_obs::CounterId::HowardItersCold
+                },
+                iter as u64 + 1,
+            );
             return extract_witness(csr, members, policy, lambda, state);
         }
     }

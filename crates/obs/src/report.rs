@@ -1,0 +1,346 @@
+//! Trace file reader and summarizer backing `repwf trace report`.
+//!
+//! Records are flat single-line JSON objects whose values are either quoted
+//! strings (no escapes — the writer only emits fixed identifiers) or u64
+//! integers, so a tiny purpose-built scanner suffices. The reader validates
+//! the header format tag, the footer record count, and the FNV-1a/64 checksum
+//! before summarizing; a truncated or corrupted trace is an error, never a
+//! silently partial report.
+
+use crate::sink::Checksum;
+use std::fs;
+use std::path::Path;
+
+#[derive(Clone, Debug, PartialEq)]
+pub enum Value {
+    Str(String),
+    Num(u64),
+}
+
+/// One parsed record line: ordered `(key, value)` pairs.
+#[derive(Clone, Debug)]
+pub struct Record {
+    pub fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    pub fn str_field(&self, key: &str) -> Option<&str> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            Value::Str(s) if k == key => Some(s.as_str()),
+            _ => None,
+        })
+    }
+
+    pub fn num_field(&self, key: &str) -> Option<u64> {
+        self.fields.iter().find_map(|(k, v)| match v {
+            Value::Num(n) if k == key => Some(*n),
+            _ => None,
+        })
+    }
+}
+
+/// Parse one flat record line. Strict about shape (it guards CI validation)
+/// but independent of field order.
+pub fn parse_line(line: &str) -> Result<Record, String> {
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    let err = |what: &str, pos: usize| format!("trace record byte {pos}: {what}");
+    if bytes.first() != Some(&b'{') {
+        return Err(err("expected '{'", 0));
+    }
+    pos += 1;
+    let mut fields = Vec::new();
+    loop {
+        if bytes.get(pos) == Some(&b'}') {
+            pos += 1;
+            break;
+        }
+        if bytes.get(pos) != Some(&b'"') {
+            return Err(err("expected '\"' starting a key", pos));
+        }
+        pos += 1;
+        let kstart = pos;
+        while pos < bytes.len() && bytes[pos] != b'"' {
+            pos += 1;
+        }
+        if pos >= bytes.len() {
+            return Err(err("unterminated key", kstart));
+        }
+        let key = line[kstart..pos].to_string();
+        pos += 1;
+        if bytes.get(pos) != Some(&b':') {
+            return Err(err("expected ':'", pos));
+        }
+        pos += 1;
+        let value = if bytes.get(pos) == Some(&b'"') {
+            pos += 1;
+            let vstart = pos;
+            while pos < bytes.len() && bytes[pos] != b'"' {
+                pos += 1;
+            }
+            if pos >= bytes.len() {
+                return Err(err("unterminated string value", vstart));
+            }
+            let v = Value::Str(line[vstart..pos].to_string());
+            pos += 1;
+            v
+        } else {
+            let vstart = pos;
+            while pos < bytes.len() && bytes[pos].is_ascii_digit() {
+                pos += 1;
+            }
+            if pos == vstart {
+                return Err(err("expected a u64 or quoted string value", pos));
+            }
+            let n = line[vstart..pos]
+                .parse::<u64>()
+                .map_err(|e| err(&format!("bad integer: {e}"), vstart))?;
+            Value::Num(n)
+        };
+        fields.push((key, value));
+        match bytes.get(pos) {
+            Some(&b',') => {
+                pos += 1;
+                if bytes.get(pos) == Some(&b'}') {
+                    return Err(err("trailing comma", pos));
+                }
+            }
+            Some(&b'}') => {}
+            _ => return Err(err("expected ',' or '}'", pos)),
+        }
+    }
+    if pos != bytes.len() {
+        return Err(err("trailing bytes after '}'", pos));
+    }
+    Ok(Record { fields })
+}
+
+/// Per-phase (per span name) totals with exact percentiles computed from the
+/// raw span records.
+#[derive(Clone, Debug)]
+pub struct PhaseStat {
+    pub name: String,
+    pub count: u64,
+    pub sum_ns: u64,
+    pub min_ns: u64,
+    pub max_ns: u64,
+    pub p50_ns: u64,
+    pub p95_ns: u64,
+    pub p99_ns: u64,
+}
+
+/// Per-thread busy time: the sum of that thread's depth-0 spans (top-level
+/// work items — nested spans are already inside them).
+#[derive(Clone, Debug)]
+pub struct ThreadStat {
+    pub tid: u64,
+    pub busy_ns: u64,
+    pub spans: u64,
+}
+
+#[derive(Clone, Debug)]
+pub struct TraceReport {
+    pub command: String,
+    /// Checksummed record lines (header + spans + events + flush records).
+    pub records: u64,
+    /// Wall time from sink install to footer, in nanoseconds.
+    pub total_ns: u64,
+    pub phases: Vec<PhaseStat>,
+    pub counters: Vec<(String, u64)>,
+    /// Event name → occurrence count.
+    pub events: Vec<(String, u64)>,
+    pub threads: Vec<ThreadStat>,
+    /// Fraction of `total_ns` covered by the main thread's top-level spans.
+    pub coverage: f64,
+    /// Max/mean busy-time ratio across worker threads (1.0 = perfectly even,
+    /// also reported when there are no worker spans to compare).
+    pub imbalance: f64,
+}
+
+fn percentile(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[idx.min(sorted.len() - 1)]
+}
+
+/// Read, validate (header tag, checksum, record count), and summarize a trace.
+pub fn read_trace(path: &Path) -> Result<TraceReport, String> {
+    let data = fs::read(path).map_err(|e| format!("{}: {e}", path.display()))?;
+    let text = String::from_utf8(data).map_err(|_| "trace is not valid UTF-8".to_string())?;
+    let mut sum = Checksum::new();
+    let mut lines = 0u64;
+    let mut command = String::new();
+    let mut footer: Option<Record> = None;
+    // name → raw durations; collected per phase for exact percentiles.
+    let mut durs: Vec<(String, Vec<u64>)> = Vec::new();
+    let mut counters: Vec<(String, u64)> = Vec::new();
+    let mut events: Vec<(String, u64)> = Vec::new();
+    let mut threads: Vec<ThreadStat> = Vec::new();
+    let mut main_tid = 0u64;
+
+    for line in text.lines() {
+        if footer.is_some() {
+            return Err("records after the footer".to_string());
+        }
+        let rec = parse_line(line)?;
+        let kind = rec.str_field("kind").ok_or("record without \"kind\"")?.to_string();
+        if lines == 0 {
+            if kind != "trace" {
+                return Err(format!("first record kind is \"{kind}\", expected \"trace\""));
+            }
+            match rec.str_field("format") {
+                Some("repwf-trace/v1") => {}
+                other => return Err(format!("unsupported trace format {other:?}")),
+            }
+            command = rec.str_field("command").unwrap_or("?").to_string();
+        }
+        if kind == "footer" {
+            footer = Some(rec);
+            continue;
+        }
+        sum.update(line.as_bytes());
+        sum.update(b"\n");
+        lines += 1;
+        match kind.as_str() {
+            "trace" => {}
+            "span" => {
+                let name = rec.str_field("name").ok_or("span without name")?;
+                let dur = rec.num_field("dur_ns").ok_or("span without dur_ns")?;
+                let tid = rec.num_field("tid").ok_or("span without tid")?;
+                let depth = rec.num_field("depth").ok_or("span without depth")?;
+                if name == "command" {
+                    main_tid = tid;
+                }
+                match durs.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, v)) => v.push(dur),
+                    None => durs.push((name.to_string(), vec![dur])),
+                }
+                if depth == 0 {
+                    match threads.iter_mut().find(|t| t.tid == tid) {
+                        Some(t) => {
+                            t.busy_ns += dur;
+                            t.spans += 1;
+                        }
+                        None => threads.push(ThreadStat { tid, busy_ns: dur, spans: 1 }),
+                    }
+                }
+            }
+            "event" => {
+                let name = rec.str_field("name").ok_or("event without name")?;
+                match events.iter_mut().find(|(n, _)| n == name) {
+                    Some((_, c)) => *c += 1,
+                    None => events.push((name.to_string(), 1)),
+                }
+            }
+            "counter" => {
+                let name = rec.str_field("name").ok_or("counter without name")?.to_string();
+                let value = rec.num_field("value").ok_or("counter without value")?;
+                counters.push((name, value));
+            }
+            "spanstat" => {
+                // Aggregate form of the per-span records; the summary below is
+                // rebuilt from the raw spans, so these only need to parse.
+                rec.str_field("name").ok_or("spanstat without name")?;
+            }
+            other => return Err(format!("unknown record kind \"{other}\"")),
+        }
+    }
+
+    let footer = footer.ok_or("trace has no footer (truncated or still being written)")?;
+    let want_records = footer.num_field("records").ok_or("footer without records")?;
+    if want_records != lines {
+        return Err(format!("footer declares {want_records} records, found {lines}"));
+    }
+    let want_sum = footer.str_field("checksum").ok_or("footer without checksum")?;
+    if want_sum != sum.hex() {
+        return Err(format!("checksum mismatch: footer {want_sum}, computed {}", sum.hex()));
+    }
+    let total_ns = footer.num_field("total_ns").ok_or("footer without total_ns")?;
+
+    let mut phases: Vec<PhaseStat> = durs
+        .into_iter()
+        .map(|(name, mut v)| {
+            v.sort_unstable();
+            PhaseStat {
+                name,
+                count: v.len() as u64,
+                sum_ns: v.iter().sum(),
+                min_ns: *v.first().unwrap(),
+                max_ns: *v.last().unwrap(),
+                p50_ns: percentile(&v, 0.50),
+                p95_ns: percentile(&v, 0.95),
+                p99_ns: percentile(&v, 0.99),
+            }
+        })
+        .collect();
+    phases.sort_by_key(|p| std::cmp::Reverse(p.sum_ns));
+    threads.sort_by_key(|t| t.tid);
+
+    let main_busy: u64 =
+        threads.iter().filter(|t| t.tid == main_tid).map(|t| t.busy_ns).sum();
+    let coverage =
+        if total_ns == 0 { 0.0 } else { main_busy as f64 / total_ns as f64 };
+    let workers: Vec<u64> =
+        threads.iter().filter(|t| t.tid != main_tid).map(|t| t.busy_ns).collect();
+    let imbalance = if workers.is_empty() {
+        1.0
+    } else {
+        let max = *workers.iter().max().unwrap() as f64;
+        let mean = workers.iter().sum::<u64>() as f64 / workers.len() as f64;
+        if mean == 0.0 {
+            1.0
+        } else {
+            max / mean
+        }
+    };
+
+    Ok(TraceReport {
+        command,
+        records: lines,
+        total_ns,
+        phases,
+        counters,
+        events,
+        threads,
+        coverage,
+        imbalance,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_flat_records() {
+        let r = parse_line("{\"kind\":\"span\",\"name\":\"solve\",\"tid\":3,\"dur_ns\":42}")
+            .unwrap();
+        assert_eq!(r.str_field("kind"), Some("span"));
+        assert_eq!(r.str_field("name"), Some("solve"));
+        assert_eq!(r.num_field("tid"), Some(3));
+        assert_eq!(r.num_field("dur_ns"), Some(42));
+        assert_eq!(r.num_field("missing"), None);
+    }
+
+    #[test]
+    fn rejects_malformed_records() {
+        assert!(parse_line("").is_err());
+        assert!(parse_line("{").is_err());
+        assert!(parse_line("{\"k\":}").is_err());
+        assert!(parse_line("{\"k\":1,}").is_err());
+        assert!(parse_line("{\"k\":1} trailing").is_err());
+        assert!(parse_line("{\"k\":-1}").is_err());
+    }
+
+    #[test]
+    fn percentiles_on_small_samples() {
+        assert_eq!(percentile(&[], 0.5), 0);
+        assert_eq!(percentile(&[7], 0.99), 7);
+        let v: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&v, 0.50), 51);
+        assert_eq!(percentile(&v, 0.95), 95);
+        assert_eq!(percentile(&v, 0.99), 99);
+    }
+}

@@ -1,0 +1,185 @@
+//! NDJSON trace sink with an FNV-checksummed footer.
+//!
+//! File layout (format `repwf-trace/v1`, mirroring the `repwf-shard/v1`
+//! conventions from `repwf_dist::shard`):
+//!
+//! ```text
+//! {"kind":"trace","format":"repwf-trace/v1","command":"campaign"}
+//! {"kind":"span","name":"tpn_build","tid":0,"depth":1,"start_ns":...,"dur_ns":...}
+//! {"kind":"event","name":"lease_claim","tid":0,"at_ns":...,"unit":3,...}
+//! {"kind":"counter","name":"csr_builds","value":12}
+//! {"kind":"spanstat","name":"solve","count":80,"sum_ns":...,"min_ns":...,"max_ns":...}
+//! {"kind":"footer","records":96,"total_ns":...,"checksum":"<fnv1a64 hex>"}
+//! ```
+//!
+//! Every record is one line; all values are u64 (durations are integer
+//! nanoseconds — any f64 a future record needs must be stored as its u64 bit
+//! pattern, the same rule the shard format uses). The checksum is FNV-1a/64
+//! over every byte of every line before the footer, newlines included, so
+//! `repwf trace report` can detect truncation and corruption exactly like the
+//! shard scanner does. `records` counts the checksummed lines.
+
+use std::fs::File;
+use std::io::{self, BufWriter, Write};
+use std::path::Path;
+use std::sync::Mutex;
+
+/// FNV-1a 64-bit running checksum (same parameters as `repwf_dist::shard`).
+pub struct Checksum(u64);
+
+impl Checksum {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+
+    pub fn new() -> Self {
+        Checksum(Self::OFFSET)
+    }
+
+    pub fn update(&mut self, bytes: &[u8]) {
+        let mut h = self.0;
+        for &b in bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(Self::PRIME);
+        }
+        self.0 = h;
+    }
+
+    pub fn hex(&self) -> String {
+        format!("{:016x}", self.0)
+    }
+}
+
+impl Default for Checksum {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+struct TraceSink {
+    w: BufWriter<File>,
+    sum: Checksum,
+    records: u64,
+    start_ns: u64,
+}
+
+impl TraceSink {
+    fn write_line(&mut self, line: &str) -> io::Result<()> {
+        self.w.write_all(line.as_bytes())?;
+        self.w.write_all(b"\n")?;
+        self.sum.update(line.as_bytes());
+        self.sum.update(b"\n");
+        self.records += 1;
+        Ok(())
+    }
+}
+
+static SINK: Mutex<Option<TraceSink>> = Mutex::new(None);
+
+pub(crate) fn install(path: &Path, command: &str) -> io::Result<()> {
+    let file = File::create(path)?;
+    let mut sink = TraceSink {
+        w: BufWriter::new(file),
+        sum: Checksum::new(),
+        records: 0,
+        start_ns: crate::now_ns(),
+    };
+    sink.write_line(&format!(
+        "{{\"kind\":\"trace\",\"format\":\"repwf-trace/v1\",\"command\":\"{command}\"}}"
+    ))?;
+    *SINK.lock().unwrap() = Some(sink);
+    Ok(())
+}
+
+/// Append one record line if a sink is installed. Errors are swallowed here
+/// (spans drop in hot paths that cannot return `io::Result`); `finish` flushes
+/// with error propagation, so a dying disk still fails the command visibly.
+fn append(line: &str) {
+    if let Some(sink) = SINK.lock().unwrap().as_mut() {
+        let _ = sink.write_line(line);
+    }
+}
+
+pub(crate) fn record_span(name: &str, tid: u64, depth: u32, start_ns: u64, dur_ns: u64) {
+    append(&format!(
+        "{{\"kind\":\"span\",\"name\":\"{name}\",\"tid\":{tid},\"depth\":{depth},\
+         \"start_ns\":{start_ns},\"dur_ns\":{dur_ns}}}"
+    ));
+}
+
+pub(crate) fn record_event(name: &str, tid: u64, at_ns: u64, fields: &[(&str, u64)]) {
+    let mut line = format!("{{\"kind\":\"event\",\"name\":\"{name}\",\"tid\":{tid},\"at_ns\":{at_ns}");
+    for (k, v) in fields {
+        line.push_str(&format!(",\"{k}\":{v}"));
+    }
+    line.push('}');
+    append(&line);
+}
+
+/// Flush the final metrics snapshot and the checksummed footer, then close.
+/// Counters at zero and spans never entered are omitted (the reader treats
+/// absence as zero).
+pub(crate) fn finish(snap: &crate::MetricsSnapshot) -> io::Result<()> {
+    let Some(mut sink) = SINK.lock().unwrap().take() else {
+        return Ok(());
+    };
+    // Wall time ends here, before the flush/fsync cascade below: the
+    // footer's total_ns measures the traced command, not disk latency —
+    // `trace report --min-coverage` holds spans accountable to it.
+    let total_ns = crate::now_ns().saturating_sub(sink.start_ns);
+    for id in crate::CounterId::ALL {
+        let v = snap.counter(id);
+        if v > 0 {
+            sink.write_line(&format!(
+                "{{\"kind\":\"counter\",\"name\":\"{}\",\"value\":{v}}}",
+                id.name()
+            ))?;
+        }
+    }
+    for id in crate::SpanId::ALL {
+        let s = snap.span(id);
+        if s.count > 0 {
+            sink.write_line(&format!(
+                "{{\"kind\":\"spanstat\",\"name\":\"{}\",\"count\":{},\"sum_ns\":{},\
+                 \"min_ns\":{},\"max_ns\":{}}}",
+                id.name(),
+                s.count,
+                s.sum_ns,
+                s.min_ns,
+                s.max_ns
+            ))?;
+        }
+    }
+    // Durability discipline from the shard writer: data is flushed and synced
+    // before the footer is appended, so a footer's presence certifies every
+    // checksummed byte above it reached the file.
+    sink.w.flush()?;
+    sink.w.get_ref().sync_all()?;
+    let footer = format!(
+        "{{\"kind\":\"footer\",\"records\":{},\"total_ns\":{},\"checksum\":\"{}\"}}",
+        sink.records,
+        total_ns,
+        sink.sum.hex()
+    );
+    sink.w.write_all(footer.as_bytes())?;
+    sink.w.write_all(b"\n")?;
+    sink.w.flush()?;
+    sink.w.get_ref().sync_all()?;
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Classic FNV-1a/64 test vectors.
+        let mut c = Checksum::new();
+        assert_eq!(c.hex(), "cbf29ce484222325");
+        c.update(b"a");
+        assert_eq!(c.hex(), "af63dc4c8601ec8c");
+        let mut c2 = Checksum::new();
+        c2.update(b"foobar");
+        assert_eq!(c2.hex(), "85944171f73967e8");
+    }
+}

@@ -1,0 +1,72 @@
+//! Thread-local RAII span guards over a monotonic clock.
+//!
+//! `span(id)` costs one relaxed atomic load when telemetry is disabled and
+//! returns an inert guard whose `Drop` is a no-op — the zero-cost facade the
+//! bench gates rely on. When enabled, the guard records its duration into the
+//! calling thread's metrics shard and (if a trace sink is installed) emits one
+//! NDJSON span record on drop.
+
+use crate::metrics::{self, SpanId};
+use crate::sink;
+use std::cell::Cell;
+use std::sync::atomic::{AtomicU64, Ordering::Relaxed};
+
+thread_local! {
+    static DEPTH: Cell<u32> = const { Cell::new(0) };
+    static TID: Cell<u64> = const { Cell::new(u64::MAX) };
+}
+
+static NEXT_TID: AtomicU64 = AtomicU64::new(0);
+
+/// Stable small integer identifying the calling thread in trace records.
+/// Assigned in first-use order, so the thread that installs the sink (the CLI
+/// main thread) is tid 0.
+pub fn thread_id() -> u64 {
+    TID.with(|t| {
+        let v = t.get();
+        if v != u64::MAX {
+            v
+        } else {
+            let v = NEXT_TID.fetch_add(1, Relaxed);
+            t.set(v);
+            v
+        }
+    })
+}
+
+/// RAII guard for one timed span. Created by [`crate::span()`] / the `span!`
+/// macro; records on drop.
+pub struct SpanGuard {
+    id: SpanId,
+    start_ns: u64,
+    live: bool,
+}
+
+pub(crate) fn start(id: SpanId) -> SpanGuard {
+    if !crate::enabled() {
+        return SpanGuard { id, start_ns: 0, live: false };
+    }
+    // Claim the thread id at span *start*: the command span opens before
+    // any worker runs, pinning the main thread to tid 0 in traces.
+    let _ = thread_id();
+    DEPTH.with(|d| d.set(d.get() + 1));
+    SpanGuard { id, start_ns: crate::now_ns(), live: true }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        if !self.live {
+            return;
+        }
+        let dur_ns = crate::now_ns().saturating_sub(self.start_ns);
+        let depth = DEPTH.with(|d| {
+            let v = d.get() - 1;
+            d.set(v);
+            v
+        });
+        metrics::record_span(self.id, dur_ns);
+        if crate::tracing() {
+            sink::record_span(self.id.name(), thread_id(), depth, self.start_ns, dur_ns);
+        }
+    }
+}

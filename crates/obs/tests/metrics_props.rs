@@ -1,0 +1,116 @@
+//! Property tests: `MetricsSnapshot::merge` is associative and commutative —
+//! snapshots folded in any grouping and any order produce identical totals,
+//! the invariant that lets per-worker shards, per-process traces, and merged
+//! campaign telemetry all use the same accumulator (the `CampaignAccum`
+//! discipline).
+
+use proptest::prelude::*;
+use repwf_obs::{bucket_of, CounterId, MetricsSnapshot, SpanId, NUM_COUNTERS, NUM_SPANS};
+
+/// Deterministic snapshot generator: splitmix64 over a seed, so every
+/// property case builds its inputs from plain u64s the harness can report.
+fn splitmix(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+fn random_snapshot(seed: u64) -> MetricsSnapshot {
+    let mut s = seed;
+    let mut snap = MetricsSnapshot::new();
+    for i in 0..NUM_COUNTERS {
+        snap.counters[i] = splitmix(&mut s) % 1000;
+    }
+    for i in 0..NUM_SPANS {
+        let n = splitmix(&mut s) % 6;
+        for _ in 0..n {
+            let dur = splitmix(&mut s) % 1_000_000;
+            let sp = &mut snap.spans[i];
+            sp.count += 1;
+            sp.sum_ns += dur;
+            sp.min_ns = sp.min_ns.min(dur);
+            sp.max_ns = sp.max_ns.max(dur);
+            sp.buckets[bucket_of(dur)] += 1;
+        }
+    }
+    snap
+}
+
+/// Fold `parts` with a seed-driven arbitrary grouping: repeatedly merge a
+/// random adjacent pair until one snapshot remains.
+fn fold_grouped(parts: &[MetricsSnapshot], mut grouping_seed: u64) -> MetricsSnapshot {
+    let mut work: Vec<MetricsSnapshot> = parts.to_vec();
+    while work.len() > 1 {
+        let i = (splitmix(&mut grouping_seed) as usize) % (work.len() - 1);
+        let right = work.remove(i + 1);
+        work[i].merge(&right);
+    }
+    work.pop().unwrap_or_default()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn merge_is_associative_and_commutative_at_arbitrary_grouping(
+        n in 1usize..9,
+        seed in 0u64..1_000_000,
+        grouping_a in 0u64..1_000_000,
+        grouping_b in 0u64..1_000_000,
+    ) {
+        let parts: Vec<MetricsSnapshot> =
+            (0..n).map(|i| random_snapshot(seed.wrapping_add(i as u64 * 0x51ed))).collect();
+
+        // Left fold is the reference.
+        let mut reference = MetricsSnapshot::new();
+        for p in &parts {
+            reference.merge(p);
+        }
+
+        // Any grouping of the same sequence.
+        prop_assert_eq!(fold_grouped(&parts, grouping_a), reference.clone());
+        prop_assert_eq!(fold_grouped(&parts, grouping_b), reference.clone());
+
+        // Any order: reverse, and a seed-driven shuffle.
+        let mut rev = parts.clone();
+        rev.reverse();
+        prop_assert_eq!(fold_grouped(&rev, grouping_a), reference.clone());
+
+        let mut shuffled = parts.clone();
+        let mut s = grouping_b;
+        for i in (1..shuffled.len()).rev() {
+            let j = (splitmix(&mut s) as usize) % (i + 1);
+            shuffled.swap(i, j);
+        }
+        prop_assert_eq!(fold_grouped(&shuffled, grouping_b), reference.clone());
+
+        // Identity element.
+        let mut with_identity = MetricsSnapshot::new();
+        with_identity.merge(&reference);
+        with_identity.merge(&MetricsSnapshot::new());
+        prop_assert_eq!(with_identity, reference);
+    }
+
+    #[test]
+    fn merge_totals_match_elementwise_sums(
+        a_seed in 0u64..1_000_000,
+        b_seed in 0u64..1_000_000,
+    ) {
+        let a = random_snapshot(a_seed);
+        let b = random_snapshot(b_seed);
+        let mut ab = a.clone();
+        ab.merge(&b);
+        for id in CounterId::ALL {
+            prop_assert_eq!(ab.counter(id), a.counter(id) + b.counter(id));
+        }
+        for id in SpanId::ALL {
+            let (sa, sb, sm) = (a.span(id), b.span(id), ab.span(id));
+            prop_assert_eq!(sm.count, sa.count + sb.count);
+            prop_assert_eq!(sm.sum_ns, sa.sum_ns + sb.sum_ns);
+            prop_assert_eq!(sm.min_ns, sa.min_ns.min(sb.min_ns));
+            prop_assert_eq!(sm.max_ns, sa.max_ns.max(sb.max_ns));
+        }
+    }
+}
